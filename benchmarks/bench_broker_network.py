@@ -1,0 +1,101 @@
+"""Experiment abl-broker-network: the "distributed sets of brokers".
+
+Section 2.3 motivates a *dynamic collection of brokers*; this ablation
+shows why: spreading the Figure 3 fan-out across a broker network divides
+the per-broker send load, so the same 400 receivers see lower delay as
+brokers are added.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.metrics import mean
+from repro.bench.reporting import simple_table
+from repro.bench.workload import (
+    CLIENT_RECV_COST_S,
+    GIGABIT_LAN,
+    make_paper_video_source,
+)
+from repro.broker.client import BrokerClient
+from repro.broker.network import BrokerNetwork
+from repro.rtp.stats import ReceiverStats
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.simnet.rng import SeededStreams
+
+TOPIC = "/abl/video"
+RECEIVERS = 400
+PACKETS = 600
+
+
+def run_point(broker_count: int, seed: int = 0) -> dict:
+    sim = Simulator()
+    net = Network(sim, SeededStreams(seed))
+    if broker_count == 1:
+        bnet = BrokerNetwork.single(net, "broker-0", link=GIGABIT_LAN)
+    else:
+        bnet = BrokerNetwork.star(net, leaves=broker_count - 1, link=GIGABIT_LAN)
+    brokers = bnet.brokers()
+
+    # Receivers spread evenly across brokers, 50 per client machine.
+    hosts = [
+        net.create_host(f"client-machine-{i}", link=GIGABIT_LAN,
+                        recv_cpu_cost_s=CLIENT_RECV_COST_S)
+        for i in range(8)
+    ]
+    stats = []
+    for index in range(RECEIVERS):
+        client = BrokerClient(hosts[index % len(hosts)],
+                              client_id=f"r{index:03d}")
+        client.connect(brokers[index % len(brokers)])
+        if index % 33 == 0:
+            receiver_stats = ReceiverStats()
+            stats.append(receiver_stats)
+            client.subscribe(
+                TOPIC,
+                lambda event, s=receiver_stats: s.on_packet(event.payload, sim.now),
+            )
+        else:
+            client.subscribe(TOPIC, lambda event: None)
+
+    sender_host = net.create_host("sender-machine", link=GIGABIT_LAN)
+    sender = BrokerClient(sender_host, client_id="sender")
+    sender.connect(brokers[0])
+    sim.run_for(8.0)
+
+    source = make_paper_video_source(
+        sim, lambda p: sender.publish(TOPIC, p, p.wire_size), seed=seed
+    )
+    source.start()
+    while source.packets_sent < PACKETS:
+        sim.run_for(1.0)
+    source.stop()
+    sim.run_for(5.0)
+
+    delays = [d for s in stats for d in s.delays_s]
+    return {
+        "brokers": broker_count,
+        "avg_delay_ms": mean(delays) * 1000.0,
+        "received": sum(s.packet_count for s in stats),
+    }
+
+
+def test_broker_network_scaling(measure):
+    results = measure(lambda: [run_point(n) for n in (1, 2, 4, 8)])
+    rows = [
+        (r["brokers"], f"{r['avg_delay_ms']:.2f}", r["received"])
+        for r in results
+    ]
+    print(simple_table(
+        "Fan-out across a broker network (400 receivers, 600 kbps video)",
+        rows, ("brokers", "avg delay (ms)", "packets received"),
+    ))
+    # Everyone got the stream in every topology.
+    expected = results[0]["received"]
+    assert all(abs(r["received"] - expected) <= expected * 0.02 for r in results)
+    # Adding brokers reduces delay substantially (load division).
+    assert results[-1]["avg_delay_ms"] < 0.5 * results[0]["avg_delay_ms"]
+    # And the trend is monotone non-increasing within 10% noise.
+    for earlier, later in zip(results, results[1:]):
+        assert later["avg_delay_ms"] < earlier["avg_delay_ms"] * 1.10

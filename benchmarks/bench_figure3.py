@@ -1,0 +1,70 @@
+"""Experiment fig3-delay / fig3-jitter: the paper's Figure 3.
+
+One 600 kbps video sender, 400 receivers (12 co-located with the sender,
+measured), 2000 packets; NaradaBrokering vs the JMF reflector.
+
+Paper values: delay NB 80.76 ms vs JMF 229.23 ms; jitter NB 13.38 ms vs
+JMF 15.55 ms.  The asserts check the *shape*: the broker wins by a
+factor of roughly 3 on delay and is modestly better on jitter, and both
+systems are stationary (no runaway queue).
+"""
+
+import pytest
+
+from repro.bench.figure3 import Fig3Config, run_figure3
+from repro.bench.metrics import mean
+from repro.bench.reporting import figure3_table
+from repro.broker.profile import UNOPTIMIZED_PROFILE
+
+CONFIG = Fig3Config(packets=2000)
+
+_results = {}
+
+
+def test_fig3_narada(measure):
+    result = measure(run_figure3, "narada", CONFIG)
+    _results["narada"] = result
+    assert result.packets >= 1900
+    assert result.lost == 0
+    # Interactive-quality delay, far below the reflector's.
+    assert 20.0 < result.avg_delay_ms < 150.0
+    assert 5.0 < result.avg_jitter_ms < 25.0
+    # Stationary: last fifth of the run is not drifting upward.
+    head = mean(result.delay_series_ms[: result.packets // 5])
+    tail = mean(result.delay_series_ms[-result.packets // 5:])
+    assert tail < 3.0 * head + 20.0
+
+
+def test_fig3_jmf_reflector(measure):
+    result = measure(run_figure3, "jmf", CONFIG)
+    _results["jmf"] = result
+    narada = _results["narada"]
+    print(figure3_table(narada, result))
+    # Who wins, by roughly what factor (paper: 2.84x delay).
+    assert result.avg_delay_ms > narada.avg_delay_ms
+    ratio = result.avg_delay_ms / narada.avg_delay_ms
+    assert 1.8 < ratio < 6.0, f"delay ratio {ratio:.2f} out of paper shape"
+    # Jitter: JMF modestly worse (paper: 15.55 vs 13.38).
+    assert result.avg_jitter_ms > narada.avg_jitter_ms
+    jitter_ratio = result.avg_jitter_ms / narada.avg_jitter_ms
+    assert jitter_ratio < 2.0
+    # Saturated but stationary (bounded backlog), like the paper's plot.
+    half = result.packets // 2
+    first_half = mean(result.delay_series_ms[result.packets // 5: half])
+    second_half = mean(result.delay_series_ms[half:])
+    assert second_half < 1.5 * first_half + 30.0
+
+
+def test_fig3_unoptimized_broker_ablation(measure):
+    """Ablation: the pre-optimization NaradaBrokering transmission path
+    ("after we made some optimizations ... it shows excellent
+    performance" — this is the before picture)."""
+    config = Fig3Config(packets=800, narada_profile=UNOPTIMIZED_PROFILE)
+    result = measure(run_figure3, "narada", config)
+    baseline = _results.get("narada")
+    assert baseline is not None
+    print(
+        f"\nunoptimized broker: avg delay {result.avg_delay_ms:.2f} ms vs "
+        f"optimized {baseline.avg_delay_ms:.2f} ms"
+    )
+    assert result.avg_delay_ms > baseline.avg_delay_ms

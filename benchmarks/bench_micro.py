@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the hot code paths (real wall-clock timing).
+
+Unlike the simulation experiments, these measure the reproduction's own
+Python hot paths with pytest-benchmark's statistics: topic matching (per
+event at every broker), XGSP XML encode/decode (per signaling message),
+SIP parsing (per request at proxies), and the event-kernel loop.
+"""
+
+import pytest
+
+from repro.broker.topic import TopicTrie, compile_pattern, match_compiled
+from repro.core.xgsp import xml_codec
+from repro.core.xgsp.messages import JoinSession
+from repro.simnet.kernel import Simulator
+from repro.sip.message import SipRequest, parse_message
+
+
+def test_topic_trie_match(benchmark):
+    trie = TopicTrie()
+    for session in range(50):
+        for kind in ("audio", "video", "chat"):
+            trie.add(f"/xgsp/sessions/session-{session}/media/{kind}",
+                     f"sub-{session}-{kind}")
+        trie.add(f"/xgsp/sessions/session-{session}/#", f"rec-{session}")
+    trie.add("/#", "monitor")
+    topic = "/xgsp/sessions/session-25/media/video"
+    result = benchmark(trie.match, topic)
+    assert result == {"sub-25-video", "rec-25", "monitor"}
+
+
+def test_compiled_pattern_match(benchmark):
+    compiled = compile_pattern("/xgsp/sessions/*/media/#")
+    topic = "/xgsp/sessions/session-7/media/video"
+    assert benchmark(match_compiled, compiled, topic) is True
+
+
+def test_xgsp_xml_roundtrip(benchmark):
+    message = JoinSession(
+        session_id="session-42",
+        participant="sip:alice@mmcs.org",
+        community="sip",
+        terminal="sip:ua",
+        media_kinds=["audio", "video"],
+    )
+
+    def roundtrip():
+        return xml_codec.decode(xml_codec.encode(message))
+
+    assert benchmark(roundtrip) == message
+
+
+def test_sip_parse(benchmark):
+    request = SipRequest("INVITE", "sip:conf-session-9@mmcs.org",
+                         body="v=0\r\nc=IN IP4 h\r\nm=audio 4000 RTP/AVP 0\r\n")
+    request.set("Via", "SIP/2.0/UDP h:5060;branch=z9hG4bK-77")
+    request.set("From", "<sip:alice@mmcs.org>;tag-1")
+    request.set("To", "<sip:conf-session-9@mmcs.org>")
+    request.set("Call-Id", "abc@h")
+    request.set("Cseq", "1 INVITE")
+    text = request.render()
+    parsed = benchmark(parse_message, text)
+    assert parsed.method == "INVITE"
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule+run 10k no-op events: the simulator's floor cost."""
+
+    def run():
+        sim = Simulator()
+        for index in range(10_000):
+            sim.schedule(index * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000

@@ -1,0 +1,73 @@
+"""Experiment abl-gateway-overhead: what signaling translation costs.
+
+Section 3.2 describes the translation chains (H.225/H.245 → XGSP,
+SIP → XGSP).  This benchmark measures session-join latency for each
+client kind: a native XGSP client (one broker round trip), a SIP endpoint
+(INVITE through proxy + gateway + XGSP + SDP answer), and an H.323
+endpoint (ARQ + Setup + XGSP + Connect + full H.245 negotiation).
+"""
+
+import pytest
+
+from repro.bench.reporting import simple_table
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.core.xgsp.translation import conference_alias, conference_sip_uri
+from repro.sip.sdp import SessionDescription
+
+
+def run_joins() -> dict:
+    mmcs = GlobalMMCS(MMCSConfig(enable_streaming=False,
+                                 enable_accessgrid=False))
+    mmcs.start()
+    session = mmcs.create_session("bench")
+    sim = mmcs.sim
+    results = {}
+
+    # Native XGSP client.
+    native = mmcs.create_native_client("native")
+    mmcs.run_for(2.0)
+    start = sim.now
+    done = []
+    native.join(session.session_id, on_result=lambda r: done.append(sim.now))
+    mmcs.run_for(3.0)
+    results["native XGSP"] = (done[0] - start) * 1000.0
+
+    # SIP endpoint through the gateway.
+    ua = mmcs.create_sip_user("alice")
+    mmcs.run_for(2.0)
+    offer = SessionDescription("alice", "alice-host").add_media(
+        "audio", 41000, [0]).add_media("video", 41002, [31])
+    start = sim.now
+    answered = []
+    ua.invite(
+        conference_sip_uri(session.session_id, mmcs.config.sip_domain),
+        offer, on_answer=lambda d, sdp: answered.append(sim.now),
+    )
+    mmcs.run_for(5.0)
+    results["SIP endpoint"] = (answered[0] - start) * 1000.0
+
+    # H.323 terminal through gatekeeper + gateway + H.245.
+    terminal = mmcs.create_h323_terminal("polycom")
+    mmcs.run_for(2.0)
+    start = sim.now
+    connected = []
+    terminal.call(conference_alias(session.session_id),
+                  on_connected=lambda c: connected.append(sim.now))
+    mmcs.run_for(5.0)
+    results["H.323 terminal"] = (connected[0] - start) * 1000.0
+    return results
+
+
+def test_join_latency_by_community(measure):
+    results = measure(run_joins)
+    rows = [(kind, f"{ms:.2f}") for kind, ms in results.items()]
+    print(simple_table("Session-join latency by client kind",
+                       rows, ("client", "join latency (ms)")))
+    native = results["native XGSP"]
+    sip = results["SIP endpoint"]
+    h323 = results["H.323 terminal"]
+    # Translation costs more than native signaling; H.245's extra round
+    # trips (TCS, MSD, OLC per media) make H.323 the slowest join.
+    assert native < sip < h323
+    # But all are well within interactive setup times.
+    assert h323 < 1000.0

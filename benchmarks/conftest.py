@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its (deterministic, simulated) experiment once per
+measurement — repeated rounds would measure the same virtual events, so
+every module uses ``benchmark.pedantic(..., rounds=1, iterations=1)``
+via the ``measure`` helper.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def measure(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

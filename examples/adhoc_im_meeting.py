@@ -1,0 +1,77 @@
+"""Ad-hoc collaboration: IM presence + chat escalating to an A/V session.
+
+Section 2.1: "Ad-hoc needs Instant Messenger to provide chat and remote
+presence services ... quite suitable for small group and informal
+collaborations."  Colleagues chat in a SIP room, then spin up an ad-hoc
+XGSP session and everyone moves to audio.
+
+Run:  python examples/adhoc_im_meeting.py
+"""
+
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.core.xgsp.translation import conference_sip_uri
+from repro.sip.sdp import SessionDescription
+
+
+def main() -> None:
+    mmcs = GlobalMMCS(MMCSConfig(seed=1, enable_h323=False,
+                                 enable_streaming=False,
+                                 enable_accessgrid=False))
+    mmcs.start()
+
+    # Three IM-capable clients (Windows Messenger-class) register.
+    users = {name: mmcs.create_sip_user(name)
+             for name in ("alice", "bob", "carol")}
+    mmcs.run_for(2.0)
+    transcript = []
+    for name, ua in users.items():
+        ua.on_message = (
+            lambda sender, text, name=name: transcript.append(
+                (name, sender, text)
+            )
+        )
+
+    # They gather in a chat room.
+    room = mmcs.chat_rooms.room_uri("grid-hackers")
+    for ua in users.values():
+        ua.send_message(room, "/join")
+    mmcs.run_for(2.0)
+    users["alice"].send_message(room, "anyone free to debug the broker?")
+    mmcs.run_for(2.0)
+    users["bob"].send_message(room, "sure -- let's talk instead of typing")
+    mmcs.run_for(2.0)
+    for receiver, sender, text in transcript:
+        print(f"[chat->{receiver}] {sender}: {text}")
+    assert len(transcript) == 4  # two messages, each fanned to two others
+
+    # Bob creates an ad-hoc session and posts the conference URI to chat.
+    bob_xgsp = mmcs.create_native_client("bob-xgsp")
+    mmcs.run_for(2.0)
+    created = []
+    bob_xgsp.create_session("adhoc debug huddle", ["audio"],
+                            on_created=created.append)
+    mmcs.run_for(2.0)
+    session = created[0]
+    conference_uri = conference_sip_uri(session.session_id,
+                                        mmcs.config.sip_domain)
+    users["bob"].send_message(room, f"dial {conference_uri}")
+    mmcs.run_for(2.0)
+
+    # Everyone dials the conference with their SIP client.
+    joined = []
+    for index, (name, ua) in enumerate(sorted(users.items())):
+        offer = SessionDescription(name, f"{name}-host").add_media(
+            "audio", 42000 + index * 2, [0])
+        ua.invite(conference_uri, offer,
+                  on_answer=lambda d, sdp, name=name: joined.append(name))
+    mmcs.run_for(5.0)
+    print(f"joined the huddle: {sorted(joined)}")
+    roster = mmcs.session_server.session(session.session_id).roster
+    print(f"XGSP roster: {roster.participants()}")
+    assert sorted(joined) == ["alice", "bob", "carol"]
+    assert roster.communities() == {"sip": 3}
+    print("ad-hoc IM meeting OK")
+
+
+if __name__ == "__main__":
+    main()

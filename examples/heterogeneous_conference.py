@@ -1,0 +1,92 @@
+"""The paper's headline scenario: one session, four client technologies.
+
+A SIP endpoint (Windows Messenger-class), an H.323 terminal (Polycom-
+class), an AccessGrid venue full of vic/rat tools, and the Admire system
+in China — all in the same XGSP session, media bridged through the
+NaradaBrokering topics by the community gateways.
+
+Run:  python examples/heterogeneous_conference.py
+"""
+
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.core.xgsp.translation import conference_alias, conference_sip_uri
+from repro.rtp.packet import PayloadType, RtpPacket
+from repro.sip.sdp import SessionDescription
+from repro.simnet.udp import UdpSocket
+
+
+def rtp(seq: int, ssrc: int) -> RtpPacket:
+    return RtpPacket(ssrc=ssrc, sequence=seq, timestamp=seq * 160,
+                     payload_type=PayloadType.PCMU, payload_size=160)
+
+
+def main() -> None:
+    mmcs = GlobalMMCS(MMCSConfig(seed=7, enable_admire=True))
+    mmcs.start()
+    session = mmcs.create_session("global collaboration seminar")
+    print(f"session {session.session_id} created")
+
+    # --- SIP community ----------------------------------------------------
+    alice = mmcs.create_sip_user("alice")
+    mmcs.run_for(2.0)
+    offer = SessionDescription("alice", "alice-host").add_media(
+        "audio", 41000, [0])
+    answers = []
+    alice.invite(
+        conference_sip_uri(session.session_id, mmcs.config.sip_domain),
+        offer, on_answer=lambda dialog, sdp: answers.append(sdp),
+    )
+
+    # --- H.323 community ---------------------------------------------------
+    polycom = mmcs.create_h323_terminal("polycom-lab")
+    mmcs.run_for(2.0)
+    calls = []
+    polycom.call(conference_alias(session.session_id),
+                 on_connected=calls.append)
+
+    # --- AccessGrid community ----------------------------------------------
+    venue = mmcs.create_venue("physics-lab")
+    vic = mmcs.create_accessgrid_client(venue)
+    mmcs.bridge_venue(venue, session.session_id)
+
+    # --- Admire community (China), via SOAP rendezvous ----------------------
+    wenjun = mmcs.admire.attach_client(
+        mmcs.new_host("beihang-client"), "wenjun"
+    )
+    mmcs.connect_admire(session.session_id)
+
+    mmcs.run_for(6.0)
+    xgsp_session = mmcs.session_server.session(session.session_id)
+    print(f"roster by community: {xgsp_session.roster.communities()}")
+    assert xgsp_session.roster.communities() == {
+        "sip": 1, "h323": 1, "accessgrid": 1, "admire": 1,
+    }
+
+    # Everyone listens.
+    inboxes = {"sip": [], "h323": [], "accessgrid": [], "admire": []}
+    sip_socket = UdpSocket(alice.host, 41000)
+    sip_socket.on_receive(lambda p, src, d: inboxes["sip"].append(p.ssrc))
+    polycom.on_media = lambda call, p: inboxes["h323"].append(p.ssrc)
+    vic.on_media = lambda kind, p: inboxes["accessgrid"].append(p.ssrc)
+    wenjun.on_media = lambda kind, p: inboxes["admire"].append(p.ssrc)
+
+    # The H.323 terminal speaks first, then the AccessGrid tool.
+    for i in range(20):
+        calls[0].send_media("audio", rtp(i, ssrc=70))
+    mmcs.run_for(2.0)
+    for i in range(20):
+        vic.send_media("audio", rtp(i, ssrc=71))
+    mmcs.run_for(3.0)
+
+    for community, inbox in sorted(inboxes.items()):
+        heard = sorted(set(inbox))
+        print(f"{community:<11} heard ssrcs {heard} ({len(inbox)} packets)")
+    assert sorted(set(inboxes["sip"])) == [70, 71]
+    assert sorted(set(inboxes["admire"])) == [70, 71]
+    assert sorted(set(inboxes["h323"])) == [71]       # no self-echo
+    assert sorted(set(inboxes["accessgrid"])) == [70]  # no self-echo
+    print("heterogeneous conference OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Scheduled collaboration: the calendar + invitation flow (Section 2.1).
+
+A portal reserves a virtual meeting room over SOAP; at the start time the
+calendar activates the XGSP session and sends invitations; invitees see
+the invitation and join; the organizer runs floor control.
+
+Run:  python examples/scheduled_seminar.py
+"""
+
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.core.xgsp.messages import FloorAction
+from repro.core.xgsp.web_server import XgspWebServer
+from repro.soap import SoapClient
+
+
+def main() -> None:
+    mmcs = GlobalMMCS(MMCSConfig(seed=3, enable_h323=False,
+                                 enable_streaming=False,
+                                 enable_accessgrid=False))
+    mmcs.start()
+
+    # Attendees come online and watch for invitations.
+    attendees = {
+        name: mmcs.create_native_client(name) for name in ("alice", "bob")
+    }
+    invitations = {name: [] for name in attendees}
+    for name, client in attendees.items():
+        client.watch_announcements(lambda a: None)
+        client._announcement_handlers.append(
+            lambda a, name=name: invitations[name].append(a.detail)
+            if a.event == "invitation" else None
+        )
+    mmcs.run_for(2.0)
+
+    # The organizer books the room through the web-services portal.
+    portal = SoapClient(mmcs.new_host("portal-host"))
+    portal.import_wsdl(XgspWebServer.wsdl())
+    booking = []
+    portal.invoke(
+        mmcs.web_server.address, XgspWebServer.SERVICE, "scheduleMeeting",
+        {
+            "room": "grid-seminar-room",
+            "title": "Community Grids weekly",
+            "organizer": "gcf",
+            "start": mmcs.sim.now + 60.0,
+            "duration": 3600.0,
+            "invitees": list(attendees),
+        },
+        on_result=booking.append,
+    )
+    mmcs.run_for(3.0)
+    print(f"reservation: {booking[0]}")
+
+    # ...time passes; the calendar activates the meeting.
+    mmcs.run_for(70.0)
+    session = mmcs.session_server.active_sessions()[0]
+    print(f"activated: {session.session_id} '{session.title}' "
+          f"(mode={session.mode})")
+    for name, inbox in invitations.items():
+        print(f"{name} received invitation: {inbox[0]!r}")
+        assert inbox, f"{name} missed the invitation"
+
+    # Invitees join; the organizer takes the floor.
+    for name, client in attendees.items():
+        client.join(session.session_id)
+    organizer = mmcs.create_native_client("gcf")
+    mmcs.run_for(2.0)
+    organizer.join(session.session_id)
+    mmcs.run_for(2.0)
+    floor = []
+    organizer.floor(session.session_id, FloorAction.REQUEST,
+                    on_result=lambda r: floor.append(r.action))
+    mmcs.run_for(2.0)
+    print(f"roster: {session.roster.participants()}, "
+          f"floor -> {session.floor_holder} ({floor[0]})")
+    assert session.floor_holder == "gcf"
+    print("scheduled seminar OK")
+
+
+if __name__ == "__main__":
+    main()

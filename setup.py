@@ -1,0 +1,6 @@
+"""Setup shim: the environment has no `wheel` package, so modern PEP 517
+editable installs fail; this enables the legacy `setup.py develop` path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Global-MMCS reproduction: Global Multimedia Collaboration System.
+
+Reproduction of Fox, Wu, Uyar, Bulut, Pallickara, "Global Multimedia
+Collaboration System" (MIDDLEWARE 2003).
+
+The package is organized as a set of substrates beneath the paper's
+contribution:
+
+* :mod:`repro.simnet` — deterministic discrete-event network simulator.
+* :mod:`repro.broker` — NaradaBrokering-style publish/subscribe middleware.
+* :mod:`repro.rtp` — RTP/RTCP media transport and traffic models.
+* :mod:`repro.soap` — minimal SOAP/WSDL web-services layer.
+* :mod:`repro.sip` / :mod:`repro.h323` — community signaling stacks.
+* :mod:`repro.streaming` — RealProducer/Helix/RTSP streaming service.
+* :mod:`repro.communities` — AccessGrid and Admire community adapters.
+* :mod:`repro.core` — XGSP: the paper's session protocol, servers, and the
+  :class:`repro.core.mmcs.GlobalMMCS` system assembly.
+* :mod:`repro.baselines` — the JMF reflector baseline from Figure 3.
+* :mod:`repro.bench` — workload generators and experiment harnesses.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from repro.baselines.jmf import JMF_PROFILE, JmfReflector, ReflectorProfile
+
+__all__ = ["JmfReflector", "ReflectorProfile", "JMF_PROFILE"]

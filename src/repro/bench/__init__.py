@@ -1,0 +1,18 @@
+"""Experiment harnesses: workloads, metrics, and the paper's figures.
+
+Each experiment in DESIGN.md's index has a ``run_*`` entry point here;
+the pytest-benchmark modules under ``benchmarks/`` are thin wrappers that
+call them and print paper-style tables.
+"""
+
+from repro.bench.figure3 import Fig3Config, Fig3Result, run_figure3
+from repro.bench.capacity import CapacityConfig, CapacityPoint, run_capacity_sweep
+
+__all__ = [
+    "Fig3Config",
+    "Fig3Result",
+    "run_figure3",
+    "CapacityConfig",
+    "CapacityPoint",
+    "run_capacity_sweep",
+]

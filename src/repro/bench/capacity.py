@@ -1,0 +1,137 @@
+"""Broker capacity sweeps (the Section 3.2 claims).
+
+"One broker can support more than a thousand audio clients or more than
+400 hundred video clients at one time providing a very good quality."
+
+The sweep attaches one media sender and N receivers to a single broker
+and grows N until quality degrades.  "Very good quality" is
+operationalized as: average delay below ``max_avg_delay_s``, 99th
+percentile below ``max_p99_delay_s``, and loss under ``max_loss_rate`` —
+comfortable interactive-conferencing thresholds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.metrics import mean, percentile
+from repro.bench.workload import CLIENT_RECV_COST_S, GIGABIT_LAN
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.profile import BrokerProfile, NARADA_PROFILE
+from repro.rtp.media import AudioSource, VideoSource
+from repro.rtp.stats import ReceiverStats
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.simnet.rng import SeededStreams
+
+
+@dataclass
+class CapacityConfig:
+    media: str = "video"  # "video" | "audio"
+    duration_s: float = 8.0
+    seed: int = 0
+    receiver_hosts: int = 8  # receivers spread over this many machines
+    max_avg_delay_s: float = 0.150
+    max_p99_delay_s: float = 0.400
+    max_loss_rate: float = 0.01
+    sample_receivers: int = 16  # how many receivers to instrument
+    profile: BrokerProfile = NARADA_PROFILE
+
+
+@dataclass
+class CapacityPoint:
+    clients: int
+    avg_delay_ms: float
+    p99_delay_ms: float
+    loss_rate: float
+    good_quality: bool
+
+    def row(self) -> str:
+        mark = "OK " if self.good_quality else "BAD"
+        return (
+            f"  {self.clients:5d} clients  avg {self.avg_delay_ms:8.2f} ms  "
+            f"p99 {self.p99_delay_ms:8.2f} ms  loss {self.loss_rate:6.3%}  {mark}"
+        )
+
+
+def run_capacity_point(clients: int, config: CapacityConfig) -> CapacityPoint:
+    """One sweep point: 1 sender, ``clients`` receivers, one broker."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(config.seed))
+    server = net.create_host("server-machine", link=GIGABIT_LAN,
+                             recv_cpu_cost_s=6e-6)
+    broker = Broker(server, broker_id="capacity-broker", profile=config.profile)
+    hosts = [
+        net.create_host(f"client-machine-{i}", link=GIGABIT_LAN,
+                        recv_cpu_cost_s=CLIENT_RECV_COST_S)
+        for i in range(config.receiver_hosts)
+    ]
+    topic = f"/capacity/{config.media}"
+
+    sample_every = max(1, clients // config.sample_receivers)
+    stats: List[ReceiverStats] = []
+    for index in range(clients):
+        host = hosts[index % len(hosts)]
+        client = BrokerClient(host, client_id=f"c{index:04d}")
+        client.connect(broker)
+        if index % sample_every == 0:
+            receiver_stats = ReceiverStats(record_series=True)
+            stats.append(receiver_stats)
+            client.subscribe(
+                topic,
+                lambda event, s=receiver_stats: s.on_packet(
+                    event.payload, sim.now
+                ),
+            )
+        else:
+            client.subscribe(topic, lambda event: None)
+
+    sender_host = net.create_host("sender-machine", link=GIGABIT_LAN)
+    sender = BrokerClient(sender_host, client_id="sender")
+    sender.connect(broker)
+    sim.run_for(6.0)
+
+    send = lambda packet: sender.publish(topic, packet, packet.wire_size)  # noqa: E731
+    if config.media == "video":
+        source = VideoSource(sim, send, bitrate_bps=600_000.0,
+                             rng=random.Random(config.seed))
+    else:
+        source = AudioSource(sim, send)
+    source.start()
+    sim.run_for(config.duration_s)
+    source.stop()
+    sim.run_for(3.0)
+
+    delays = [d for s in stats for d in s.delays_s]
+    sent = source.packets_sent
+    received_avg = mean([s.packet_count for s in stats])
+    loss_rate = max(0.0, 1.0 - received_avg / sent) if sent else 0.0
+    avg_delay = mean(delays)
+    p99 = percentile(delays, 0.99)
+    good = (
+        avg_delay <= config.max_avg_delay_s
+        and p99 <= config.max_p99_delay_s
+        and loss_rate <= config.max_loss_rate
+    )
+    return CapacityPoint(
+        clients=clients,
+        avg_delay_ms=avg_delay * 1000.0,
+        p99_delay_ms=p99 * 1000.0,
+        loss_rate=loss_rate,
+        good_quality=good,
+    )
+
+
+def run_capacity_sweep(
+    points: List[int], config: CapacityConfig
+) -> List[CapacityPoint]:
+    return [run_capacity_point(n, config) for n in points]
+
+
+def supported_clients(results: List[CapacityPoint]) -> int:
+    """Largest client count that still met the quality bar."""
+    good = [p.clients for p in results if p.good_quality]
+    return max(good) if good else 0

@@ -1,0 +1,194 @@
+"""Figure 3 harness: per-packet delay and jitter, NaradaBrokering vs JMF.
+
+Reproduces the paper's only quantitative experiment: one 600 kbps video
+sender, 400 receivers (12 co-located with the sender, measured; the rest
+on a second machine), 2000 packets.  The paper reports:
+
+* delay: NaradaBrokering avg 80.76 ms, JMF reflector avg 229.23 ms;
+* jitter: NaradaBrokering avg 13.38 ms, JMF avg 15.55 ms.
+
+``run_figure3("narada")`` and ``run_figure3("jmf")`` return the same
+series the paper plots (per-packet averages over the 12 measured
+clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.baselines.jmf import JMF_PROFILE, JmfReflector
+from repro.bench.metrics import average_series, mean
+from repro.bench.workload import (
+    SENDER_PACKET_COST_S,
+    build_fig3_testbed,
+    colocated_indices,
+    make_paper_video_source,
+)
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.profile import BrokerProfile, NARADA_PROFILE
+from repro.rtp.packet import RtpPacket
+from repro.rtp.stats import ReceiverStats
+from repro.simnet.udp import UdpSocket
+
+VIDEO_TOPIC = "/fig3/video"
+
+
+@dataclass
+class Fig3Config:
+    receivers: int = 400
+    colocated: int = 12
+    packets: int = 2000
+    seed: int = 0
+    settle_s: float = 8.0
+    narada_profile: BrokerProfile = NARADA_PROFILE
+
+
+@dataclass
+class Fig3Result:
+    system: str
+    receivers: int
+    packets: int
+    delay_series_ms: List[float]
+    jitter_series_ms: List[float]
+    avg_delay_ms: float
+    avg_jitter_ms: float
+    max_delay_ms: float
+    lost: int
+    per_client: Dict[str, dict] = field(default_factory=dict)
+
+    def summary_row(self) -> str:
+        return (
+            f"{self.system:<18} avg delay {self.avg_delay_ms:7.2f} ms   "
+            f"avg jitter {self.avg_jitter_ms:6.2f} ms   "
+            f"max delay {self.max_delay_ms:7.1f} ms   lost {self.lost}"
+        )
+
+
+def _collect(stats: Dict[str, ReceiverStats], system: str,
+             config: Fig3Config) -> Fig3Result:
+    packets = config.packets
+    delay_series = average_series(
+        [s.delays_s[:packets] for s in stats.values()]
+    )
+    jitter_series = average_series(
+        [s.jitters_s[:packets] for s in stats.values()]
+    )
+    lost = sum(s.lost for s in stats.values())
+    return Fig3Result(
+        system=system,
+        receivers=config.receivers,
+        packets=len(delay_series),
+        delay_series_ms=[d * 1000.0 for d in delay_series],
+        jitter_series_ms=[j * 1000.0 for j in jitter_series],
+        avg_delay_ms=mean(delay_series) * 1000.0,
+        avg_jitter_ms=mean(jitter_series) * 1000.0,
+        max_delay_ms=max(delay_series, default=0.0) * 1000.0,
+        lost=lost,
+        per_client={
+            name: s.summary().as_dict() for name, s in stats.items()
+        },
+    )
+
+
+def run_figure3(system: str, config: Fig3Config = Fig3Config()) -> Fig3Result:
+    """Run the Figure 3 experiment for ``"narada"`` or ``"jmf"``."""
+    if system == "narada":
+        return _run_narada(config)
+    if system == "jmf":
+        return _run_jmf(config)
+    raise ValueError(f"unknown system {system!r} (use 'narada' or 'jmf')")
+
+
+def _run_narada(config: Fig3Config) -> Fig3Result:
+    testbed = build_fig3_testbed(config.seed)
+    sim = testbed.sim
+    broker = Broker(testbed.server_machine, broker_id="fig3-broker",
+                    profile=config.narada_profile)
+
+    measured = set(colocated_indices(config.receivers, config.colocated))
+    stats: Dict[str, ReceiverStats] = {}
+    for index in range(config.receivers):
+        colocated = index in measured
+        host = testbed.sender_machine if colocated else testbed.receiver_machine
+        client = BrokerClient(host, client_id=f"recv-{index:03d}")
+        client.connect(broker)
+        if colocated:
+            receiver_stats = ReceiverStats()
+            stats[f"recv-{index:03d}"] = receiver_stats
+            client.subscribe(
+                VIDEO_TOPIC,
+                lambda event, s=receiver_stats: s.on_packet(
+                    event.payload, sim.now
+                ),
+            )
+        else:
+            client.subscribe(VIDEO_TOPIC, lambda event: None)
+
+    sender = BrokerClient(
+        testbed.sender_machine, client_id="video-sender",
+        publish_cpu_cost_s=SENDER_PACKET_COST_S,
+    )
+    sender.connect(broker)
+    sim.run_for(config.settle_s)
+
+    source = make_paper_video_source(
+        sim,
+        lambda packet: sender.publish(VIDEO_TOPIC, packet, packet.wire_size),
+        seed=config.seed,
+    )
+    source.start()
+    _run_until_measured(sim, source, stats, config)
+    return _collect(stats, "narada", config)
+
+
+def _run_jmf(config: Fig3Config) -> Fig3Result:
+    testbed = build_fig3_testbed(config.seed)
+    sim = testbed.sim
+    reflector = JmfReflector(testbed.server_machine, profile=JMF_PROFILE)
+
+    measured = set(colocated_indices(config.receivers, config.colocated))
+    stats: Dict[str, ReceiverStats] = {}
+    for index in range(config.receivers):
+        colocated = index in measured
+        host = testbed.sender_machine if colocated else testbed.receiver_machine
+        socket = UdpSocket(host)
+        reflector.add_receiver(socket.local_address)
+        if colocated:
+            receiver_stats = ReceiverStats()
+            stats[f"recv-{index:03d}"] = receiver_stats
+            socket.on_receive(
+                lambda payload, src, dgram, s=receiver_stats: s.on_packet(
+                    payload, sim.now
+                )
+            )
+        else:
+            socket.on_receive(lambda payload, src, dgram: None)
+
+    sender_socket = UdpSocket(testbed.sender_machine)
+
+    def send(packet: RtpPacket) -> None:
+        # Sender-side packetization cost, then the UDP send.
+        testbed.sender_machine.cpu.execute(
+            SENDER_PACKET_COST_S,
+            sender_socket.sendto,
+            packet,
+            packet.wire_size,
+            reflector.address,
+        )
+
+    sim.run_for(config.settle_s)
+    source = make_paper_video_source(sim, send, seed=config.seed)
+    source.start()
+    _run_until_measured(sim, source, stats, config)
+    return _collect(stats, "jmf", config)
+
+
+def _run_until_measured(sim, source, stats, config: Fig3Config) -> None:
+    """Advance until the sender emitted ``packets`` packets, then drain."""
+    deadline = sim.now + config.packets * 0.04 + 120.0
+    while source.packets_sent < config.packets and sim.now < deadline:
+        sim.run_for(1.0)
+    source.stop()
+    sim.run_for(5.0)  # drain in-flight packets and queued CPU work

@@ -1,0 +1,41 @@
+"""Series aggregation helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def average_series(series_list: Sequence[Sequence[float]]) -> List[float]:
+    """Element-wise mean of several per-packet series (truncated to the
+    shortest — receivers may have lost trailing packets)."""
+    usable = [s for s in series_list if s]
+    if not usable:
+        return []
+    length = min(len(s) for s in usable)
+    return [
+        sum(s[i] for s in usable) / len(usable)
+        for i in range(length)
+    ]
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def downsample(series: Sequence[float], buckets: int) -> List[float]:
+    """Bucket-average a long series for compact table printing."""
+    if not series or buckets <= 0:
+        return []
+    size = max(1, len(series) // buckets)
+    return [
+        mean(series[start:start + size])
+        for start in range(0, len(series) - size + 1, size)
+    ][:buckets]

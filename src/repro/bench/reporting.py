@@ -1,0 +1,69 @@
+"""Paper-style result tables printed by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bench.metrics import downsample
+
+
+def heading(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{title}\n{bar}"
+
+
+def series_table(
+    label: str, series_ms: Sequence[float], buckets: int = 10
+) -> str:
+    """Render a long per-packet series as bucket averages."""
+    values = downsample(series_ms, buckets)
+    if not values:
+        return f"{label}: (no data)"
+    cells = " ".join(f"{v:7.1f}" for v in values)
+    return f"{label:<26} {cells}"
+
+
+def figure3_table(narada, jmf, paper_narada=(80.76, 13.38),
+                  paper_jmf=(229.23, 15.55)) -> str:
+    """The Figure 3 comparison, measured vs paper."""
+    lines = [
+        heading("Figure 3 — avg delay/jitter per packet, 12 of "
+                f"{narada.receivers} video clients"),
+        f"{'system':<18} {'delay (ms)':>12} {'jitter (ms)':>12}"
+        f" {'paper delay':>12} {'paper jitter':>13}",
+        f"{'NaradaBrokering':<18} {narada.avg_delay_ms:>12.2f} "
+        f"{narada.avg_jitter_ms:>12.2f} {paper_narada[0]:>12.2f} "
+        f"{paper_narada[1]:>13.2f}",
+        f"{'JMF reflector':<18} {jmf.avg_delay_ms:>12.2f} "
+        f"{jmf.avg_jitter_ms:>12.2f} {paper_jmf[0]:>12.2f} "
+        f"{paper_jmf[1]:>13.2f}",
+        "",
+        "per-packet delay series (bucket averages, ms):",
+        series_table("  NaradaBrokering", narada.delay_series_ms),
+        series_table("  JMF reflector", jmf.delay_series_ms),
+        "per-packet jitter series (bucket averages, ms):",
+        series_table("  NaradaBrokering", narada.jitter_series_ms),
+        series_table("  JMF reflector", jmf.jitter_series_ms),
+        "",
+        f"delay ratio JMF/NB: measured {jmf.avg_delay_ms / narada.avg_delay_ms:.2f}x,"
+        f" paper {paper_jmf[0] / paper_narada[0]:.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+def capacity_table(media: str, points, claim: str) -> str:
+    lines = [heading(f"Broker capacity — {media} clients (paper claim: {claim})")]
+    lines += [point.row() for point in points]
+    return "\n".join(lines)
+
+
+def simple_table(title: str, rows: List[Sequence[str]], header: Sequence[str]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [heading(title), fmt(header)]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Workload builders shared by the benchmark harnesses.
+
+The Figure 3 testbed, as the paper describes it: "A video client sends a
+video stream to the NaradaBrokering server and 400 receivers receive it.
+12 of these clients run in the same machine as the sender client and the
+rest of the clients run in another machine.  ...  This video stream has
+an average bandwidth of 600Kbps.  So totally it takes up 240Mbps."
+
+Machines (gigabit campus LAN):
+
+* ``sender-machine`` — the video sender and the 12 measured receivers;
+* ``receiver-machine`` — the other receivers (388 in the paper);
+* ``server-machine`` — the broker or the JMF reflector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.rtp.media import VideoSource
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import LinkProfile
+from repro.simnet.network import Network
+from repro.simnet.node import Host
+from repro.simnet.rng import SeededStreams
+
+#: Gigabit campus LAN used in the paper's measurement (240 Mbps flows
+#: through one NIC, so FastEthernet is ruled out).
+GIGABIT_LAN = LinkProfile(
+    bandwidth_bps=1e9, latency_s=0.00015, jitter_s=0.00008
+)
+
+#: Receive-side CPU cost per RTP packet on the client machines (JMF
+#: receive stack: socket read, RTP parse, buffer management).
+CLIENT_RECV_COST_S = 18e-6
+
+#: CPU cost for the sender to produce one packet (capture + packetize).
+SENDER_PACKET_COST_S = 12e-6
+
+
+@dataclass
+class Fig3Testbed:
+    sim: Simulator
+    net: Network
+    sender_machine: Host
+    receiver_machine: Host
+    server_machine: Host
+
+
+def build_fig3_testbed(seed: int = 0) -> Fig3Testbed:
+    """Three machines on a gigabit LAN, per the paper's description."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(seed))
+    sender_machine = net.create_host(
+        "sender-machine", link=GIGABIT_LAN, recv_cpu_cost_s=CLIENT_RECV_COST_S
+    )
+    receiver_machine = net.create_host(
+        "receiver-machine", link=GIGABIT_LAN, recv_cpu_cost_s=CLIENT_RECV_COST_S
+    )
+    server_machine = net.create_host(
+        "server-machine", link=GIGABIT_LAN, recv_cpu_cost_s=6e-6
+    )
+    return Fig3Testbed(sim, net, sender_machine, receiver_machine, server_machine)
+
+
+def make_paper_video_source(
+    sim: Simulator, send, seed: int = 0
+) -> VideoSource:
+    """The 600 kbps test stream (GOP-structured H.261-class video)."""
+    return VideoSource(
+        sim,
+        send,
+        bitrate_bps=600_000.0,
+        fps=30.0,
+        gop=30,
+        i_frame_ratio=6.0,
+        mtu_payload=1250,
+        rng=random.Random(seed + 17),
+    )
+
+
+def colocated_indices(receivers: int, colocated: int) -> List[int]:
+    """Spread the measured (sender-machine) receivers evenly through the
+    receiver index space, so fan-out position does not bias them."""
+    if colocated >= receivers:
+        return list(range(receivers))
+    step = receivers / colocated
+    return [int(i * step) for i in range(colocated)]

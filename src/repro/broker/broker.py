@@ -1,0 +1,482 @@
+"""A single NaradaBrokering-style broker node.
+
+Responsibilities:
+
+* accept client connections over UDP / TCP / SSL / HTTP-tunnel links;
+* maintain the local subscription trie and deliver published events to
+  matching local clients (excluding the publisher — ``noLocal`` semantics,
+  which is what RTP loops through topics require);
+* exchange subscription adverts with peer brokers (flooded, deduplicated)
+  so events are only forwarded toward brokers with matching interest;
+* forward events across the broker graph along shortest-path next hops,
+  carrying an explicit target set so no broker receives a duplicate;
+* sequence ordered topics (this broker is the deterministic "sequencer"
+  for a topic when it hashes lowest among known brokers);
+* track reliable events per datagram client until acknowledged.
+
+Every hop charges the host CPU according to the broker's
+:class:`~repro.broker.profile.BrokerProfile` — routing cost per event,
+send cost and heap allocation per destination copy.  Those constants are
+the knobs the Figure 3 calibration turns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Set
+
+from repro.broker.event import NBEvent
+from repro.broker.links import (
+    ClientLink,
+    Connect,
+    ConnectAck,
+    Disconnect,
+    EventAck,
+    EventDelivery,
+    LinkType,
+    PeerEvent,
+    Publish,
+    SequenceRequest,
+    SslClientLink,
+    SubAdvert,
+    Subscribe,
+    SubscribeAck,
+    TcpClientLink,
+    UdpClientLink,
+    Unsubscribe,
+    message_size,
+)
+from repro.broker.profile import BrokerProfile, NARADA_PROFILE
+from repro.broker.reliable import ReliableOutbox
+from repro.broker.topic import TopicTrie, validate_pattern, validate_topic
+from repro.simnet.node import Host
+from repro.simnet.packet import Address, Datagram
+from repro.simnet.tcp import TcpConnection, TcpListener
+from repro.simnet.udp import UdpSocket
+
+#: Default broker ports.
+PEER_PORT = 3044
+UDP_PORT = 3045
+TCP_PORT = 3046
+SSL_PORT = 3047
+
+
+class _ClientRecord:
+    """Broker-side state for one connected client."""
+
+    __slots__ = ("client_id", "link", "outbox")
+
+    def __init__(self, client_id: str, link: ClientLink, outbox: Optional[ReliableOutbox]):
+        self.client_id = client_id
+        self.link = link
+        self.outbox = outbox
+
+
+class Broker:
+    """One broker node bound to a simulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        broker_id: Optional[str] = None,
+        profile: BrokerProfile = NARADA_PROFILE,
+        udp_port: int = UDP_PORT,
+        tcp_port: int = TCP_PORT,
+        ssl_port: int = SSL_PORT,
+        peer_port: int = PEER_PORT,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.broker_id = broker_id if broker_id is not None else host.name
+        self.profile = profile
+        if profile.gc is not None and host.cpu.gc_profile is None:
+            host.cpu.gc_profile = profile.gc
+
+        self._udp = UdpSocket(host, udp_port)
+        self._udp.on_receive(self._on_udp_message)
+        self._tcp = TcpListener(host, tcp_port, on_connection=self._on_tcp_connection)
+        self._ssl = TcpListener(host, ssl_port, on_connection=self._on_ssl_connection)
+        self._peer_socket = UdpSocket(host, peer_port)
+        self._peer_socket.on_receive(self._on_peer_message)
+
+        self._clients: Dict[str, _ClientRecord] = {}
+        self._local_subs: TopicTrie[str] = TopicTrie()
+        self._remote_interest: TopicTrie[str] = TopicTrie()
+        self._peers: Dict[str, Address] = {}
+        self._routes: Dict[str, str] = {}
+        self._seen_adverts: Set[int] = set()
+        self._sequences: Dict[str, int] = {}
+
+        # Statistics
+        self.events_routed = 0
+        self.events_delivered = 0
+        self.events_forwarded = 0
+        self.control_messages = 0
+
+    # --------------------------------------------------------------- info
+
+    @property
+    def udp_address(self) -> Address:
+        return self._udp.local_address
+
+    @property
+    def tcp_address(self) -> Address:
+        return self._tcp.local_address
+
+    @property
+    def ssl_address(self) -> Address:
+        return self._ssl.local_address
+
+    @property
+    def peer_address(self) -> Address:
+        return self._peer_socket.local_address
+
+    def client_count(self) -> int:
+        return len(self._clients)
+
+    def client_ids(self) -> List[str]:
+        return sorted(self._clients)
+
+    def known_brokers(self) -> List[str]:
+        """Every broker reachable from here (including self)."""
+        return sorted(set(self._routes) | {self.broker_id})
+
+    def has_local_subscription(self, pattern: str, client_id: str) -> bool:
+        return pattern in self._local_subs.patterns_for(client_id)
+
+    # --------------------------------------------------- peer provisioning
+
+    def add_peer(self, peer_id: str, peer_address: Address) -> None:
+        """Register a directly-connected peer broker (both directions are
+        registered by :class:`repro.broker.network.BrokerNetwork`)."""
+        self._peers[peer_id] = peer_address
+
+    def remove_peer(self, peer_id: str) -> None:
+        self._peers.pop(peer_id, None)
+
+    def set_routes(self, routes: Dict[str, str]) -> None:
+        """Install next-hop routing table: destination broker -> peer id."""
+        self._routes = dict(routes)
+
+    def sync_subscriptions_to_peers(self) -> None:
+        """(Re)advertise all known interest — used when topology changes."""
+        for pattern in self._local_subs.all_patterns():
+            self._flood_advert(
+                SubAdvert(origin_broker=self.broker_id, pattern=pattern, add=True),
+                skip_peer=None,
+            )
+        for origin in set(self._remote_interest.values()):
+            for pattern in self._remote_interest.patterns_for(origin):
+                self._flood_advert(
+                    SubAdvert(origin_broker=origin, pattern=pattern, add=True),
+                    skip_peer=None,
+                )
+
+    # --------------------------------------------------------- client I/O
+
+    def _on_udp_message(self, payload: Any, src: Address, datagram: Datagram) -> None:
+        self._dispatch_client_message(payload, src, None)
+
+    def _on_tcp_connection(self, connection: TcpConnection) -> None:
+        connection.on_message = (
+            lambda msg, size, conn: self._dispatch_client_message(msg, None, conn)
+        )
+
+    def _on_ssl_connection(self, connection: TcpConnection) -> None:
+        connection.on_message = (
+            lambda msg, size, conn: self._dispatch_client_message(
+                msg, None, conn, ssl=True
+            )
+        )
+
+    def _dispatch_client_message(
+        self,
+        message: Any,
+        src: Optional[Address],
+        connection: Optional[TcpConnection],
+        ssl: bool = False,
+    ) -> None:
+        if isinstance(message, Publish):
+            self._on_publish(message)
+        elif isinstance(message, EventAck):
+            record = self._clients.get(message.client_id)
+            if record is not None and record.outbox is not None:
+                record.outbox.ack(message.event_id)
+        elif isinstance(message, Connect):
+            self._on_connect(message, src, connection, ssl)
+        elif isinstance(message, Subscribe):
+            self._on_subscribe(message)
+        elif isinstance(message, Unsubscribe):
+            self._on_unsubscribe(message)
+        elif isinstance(message, Disconnect):
+            self._drop_client(message.client_id)
+
+    def _on_connect(
+        self,
+        message: Connect,
+        src: Optional[Address],
+        connection: Optional[TcpConnection],
+        ssl: bool,
+    ) -> None:
+        self.control_messages += 1
+        client_id = message.client_id
+        envelope = self.profile.envelope_bytes
+        if connection is not None:
+            if ssl:
+                link: ClientLink = SslClientLink(
+                    client_id, envelope, connection, self.host
+                )
+            else:
+                link = TcpClientLink(client_id, envelope, connection)
+            outbox = None  # TCP/SSL links are already reliable
+        else:
+            reply_to = message.reply_to if message.reply_to is not None else src
+            if reply_to is None:
+                return
+            link = UdpClientLink(
+                client_id, envelope, self._udp, reply_to, kind=message.link_type
+            )
+            outbox = ReliableOutbox(
+                self.sim, lambda event, l=link: l.send(EventDelivery(event))
+            )
+        previous = self._clients.get(client_id)
+        if previous is not None and previous.outbox is not None:
+            previous.outbox.close()
+        self._clients[client_id] = _ClientRecord(client_id, link, outbox)
+        self.host.cpu.execute(
+            self.profile.control_cost_s,
+            link.send,
+            ConnectAck(client_id=client_id, broker_id=self.broker_id),
+        )
+
+    def _on_subscribe(self, message: Subscribe) -> None:
+        self.control_messages += 1
+        record = self._clients.get(message.client_id)
+        if record is None:
+            return
+        pattern = validate_pattern(message.pattern)
+        had_interest = self._has_local_interest(pattern)
+        self._local_subs.add(pattern, message.client_id)
+        if not had_interest:
+            self._flood_advert(
+                SubAdvert(origin_broker=self.broker_id, pattern=pattern, add=True),
+                skip_peer=None,
+            )
+        self.host.cpu.execute(
+            self.profile.control_cost_s,
+            record.link.send,
+            SubscribeAck(client_id=message.client_id, pattern=pattern),
+        )
+
+    def _on_unsubscribe(self, message: Unsubscribe) -> None:
+        self.control_messages += 1
+        self._local_subs.remove(message.pattern, message.client_id)
+        if not self._has_local_interest(message.pattern):
+            self._flood_advert(
+                SubAdvert(
+                    origin_broker=self.broker_id, pattern=message.pattern, add=False
+                ),
+                skip_peer=None,
+            )
+
+    def _drop_client(self, client_id: str) -> None:
+        record = self._clients.pop(client_id, None)
+        if record is None:
+            return
+        if record.outbox is not None:
+            record.outbox.close()
+        for pattern in self._local_subs.patterns_for(client_id):
+            self._local_subs.remove(pattern, client_id)
+            if not self._has_local_interest(pattern):
+                self._flood_advert(
+                    SubAdvert(
+                        origin_broker=self.broker_id, pattern=pattern, add=False
+                    ),
+                    skip_peer=None,
+                )
+        record.link.close()
+
+    def _has_local_interest(self, pattern: str) -> bool:
+        return pattern in self._local_subs.all_patterns()
+
+    # ----------------------------------------------------------- publish
+
+    def _on_publish(self, message: Publish) -> None:
+        event = message.event
+        if event.ordered:
+            self._sequence_then_disseminate(event, exclude=message.client_id)
+        else:
+            self.host.cpu.execute(
+                self.profile.route_cost_s,
+                self._disseminate,
+                event,
+                message.client_id,
+            )
+
+    def _sequence_then_disseminate(self, event: NBEvent, exclude: Optional[str]) -> None:
+        sequencer = self.sequencer_for(event.topic)
+        if sequencer == self.broker_id:
+            event.sequence = self._sequences.get(event.topic, 0)
+            self._sequences[event.topic] = event.sequence + 1
+            self.host.cpu.execute(
+                self.profile.route_cost_s, self._disseminate, event, exclude
+            )
+        else:
+            request = SequenceRequest(event=event, origin_broker=self.broker_id)
+            self.host.cpu.execute(
+                self.profile.forward_cost_s,
+                self._send_peer_toward,
+                sequencer,
+                request,
+            )
+
+    def sequencer_for(self, topic: str) -> str:
+        """Deterministic sequencer election for an ordered topic."""
+        brokers = self.known_brokers()
+        return min(
+            brokers,
+            key=lambda broker: hashlib.sha256(
+                f"{topic}|{broker}".encode()
+            ).hexdigest(),
+        )
+
+    def _disseminate(self, event: NBEvent, exclude: Optional[str]) -> None:
+        """Deliver locally and forward toward interested remote brokers.
+
+        Runs after the per-event routing cost was charged.
+        """
+        self.events_routed += 1
+        self._deliver_local(event, exclude)
+        remote = self._remote_interest.match(event.topic)
+        remote.discard(self.broker_id)
+        if remote:
+            self._forward_to_targets(event, remote)
+
+    def _deliver_local(self, event: NBEvent, exclude: Optional[str]) -> None:
+        matches = self._local_subs.match(event.topic)
+        if exclude is not None:
+            matches.discard(exclude)
+        if not matches:
+            return
+        cpu = self.host.cpu
+        send_cost = self.profile.send_cost_s(event.size)
+        alloc = self.profile.alloc_bytes_per_send
+        for client_id in sorted(matches):
+            record = self._clients.get(client_id)
+            if record is None:
+                continue
+            self.events_delivered += 1
+            cpu.allocate(alloc)
+            if event.reliable and record.outbox is not None:
+                cpu.execute(send_cost, record.outbox.send, event)
+            else:
+                cpu.execute(send_cost, record.link.send, EventDelivery(event))
+
+    def _forward_to_targets(self, event: NBEvent, targets: Set[str]) -> None:
+        groups: Dict[str, Set[str]] = {}
+        for target in targets:
+            next_hop = self._routes.get(target)
+            if next_hop is None:
+                continue  # unreachable broker; drop silently
+            groups.setdefault(next_hop, set()).add(target)
+        for next_hop in sorted(groups):
+            peer_event = PeerEvent(event=event, targets=frozenset(groups[next_hop]))
+            self.events_forwarded += 1
+            self.host.cpu.execute(
+                self.profile.forward_cost_s, self._send_peer, next_hop, peer_event
+            )
+
+    # --------------------------------------------------------- peer plane
+
+    def _send_peer(self, peer_id: str, message: Any) -> None:
+        address = self._peers.get(peer_id)
+        if address is None:
+            return
+        size = message_size(message, self.profile.envelope_bytes)
+        self._peer_socket.sendto(message, size, address)
+
+    def _send_peer_toward(self, destination: str, message: Any) -> None:
+        """Send toward a (possibly multi-hop) destination broker."""
+        if destination == self.broker_id:
+            return
+        next_hop = self._routes.get(destination)
+        if next_hop is None:
+            return
+        self._send_peer(next_hop, message)
+
+    def _on_peer_message(self, payload: Any, src: Address, datagram: Datagram) -> None:
+        if isinstance(payload, PeerEvent):
+            self._on_peer_event(payload)
+        elif isinstance(payload, SequenceRequest):
+            self._on_sequence_request(payload)
+        elif isinstance(payload, SubAdvert):
+            self._on_sub_advert(payload)
+
+    def _on_peer_event(self, peer_event: PeerEvent) -> None:
+        event = peer_event.event
+        targets = set(peer_event.targets)
+        if self.broker_id in targets:
+            targets.discard(self.broker_id)
+            self.host.cpu.execute(
+                self.profile.route_cost_s, self._deliver_local, event, None
+            )
+            self.events_routed += 1
+        if targets:
+            self._forward_to_targets(event, targets)
+
+    def _on_sequence_request(self, request: SequenceRequest) -> None:
+        event = request.event
+        sequencer = self.sequencer_for(event.topic)
+        if sequencer != self.broker_id:
+            # Not ours (topology may have changed); forward along.
+            self.host.cpu.execute(
+                self.profile.forward_cost_s,
+                self._send_peer_toward,
+                sequencer,
+                request,
+            )
+            return
+        event.sequence = self._sequences.get(event.topic, 0)
+        self._sequences[event.topic] = event.sequence + 1
+        self.host.cpu.execute(
+            self.profile.route_cost_s, self._disseminate, event, None
+        )
+
+    def _on_sub_advert(self, advert: SubAdvert) -> None:
+        if advert.advert_id in self._seen_adverts:
+            return
+        self._seen_adverts.add(advert.advert_id)
+        self.control_messages += 1
+        if advert.origin_broker != self.broker_id:
+            if advert.add:
+                self._remote_interest.add(advert.pattern, advert.origin_broker)
+            else:
+                self._remote_interest.remove(advert.pattern, advert.origin_broker)
+        self._flood_advert(advert, skip_peer=None)
+
+    def _flood_advert(self, advert: SubAdvert, skip_peer: Optional[str]) -> None:
+        self._seen_adverts.add(advert.advert_id)
+        for peer_id in sorted(self._peers):
+            if peer_id == skip_peer:
+                continue
+            self.host.cpu.execute(
+                self.profile.control_cost_s, self._send_peer, peer_id, advert
+            )
+
+    # ------------------------------------------------------------- admin
+
+    def close(self) -> None:
+        for record in list(self._clients.values()):
+            if record.outbox is not None:
+                record.outbox.close()
+        self._clients.clear()
+        self._udp.close()
+        self._tcp.close()
+        self._ssl.close()
+        self._peer_socket.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Broker {self.broker_id} clients={len(self._clients)} "
+            f"peers={sorted(self._peers)}>"
+        )

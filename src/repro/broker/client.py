@@ -1,0 +1,267 @@
+"""Publish/subscribe client API.
+
+A :class:`BrokerClient` is the JMS-like client-server face of the
+middleware: connect to a broker over a chosen link type, subscribe with
+wildcard patterns, publish events.  Operations issued before the connect
+handshake completes are queued and flushed on ``ConnectAck``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.broker.broker import Broker
+from repro.broker.event import NBEvent
+from repro.broker.links import (
+    ClientTransport,
+    Connect,
+    ConnectAck,
+    Disconnect,
+    EventAck,
+    EventDelivery,
+    LinkType,
+    Publish,
+    SslClientTransport,
+    Subscribe,
+    SubscribeAck,
+    TcpClientTransport,
+    TunnelClientTransport,
+    UdpClientTransport,
+    Unsubscribe,
+    message_size,
+)
+from repro.broker.reliable import OrderedInbox, ReliableInbox
+from repro.broker.topic import compile_pattern, match_compiled, validate_topic
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+
+EventHandler = Callable[[NBEvent], None]
+
+#: Control-plane (connect/subscribe) retry interval and budget.  Control
+#: messages over datagram links are retried until acknowledged, so clients
+#: come up even on lossy paths.
+CONTROL_RETRY_S = 0.5
+MAX_CONTROL_RETRIES = 20
+
+
+class BrokerClient:
+    """One collaboration endpoint attached to the broker network."""
+
+    def __init__(
+        self,
+        host: Host,
+        client_id: str,
+        publish_cpu_cost_s: float = 8e-6,
+        envelope_bytes: int = 66,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.client_id = client_id
+        self.publish_cpu_cost_s = publish_cpu_cost_s
+        self.envelope_bytes = envelope_bytes
+        self.connected = False
+        self.broker_id: Optional[str] = None
+        self._transport: Optional[ClientTransport] = None
+        self._handlers: List[Tuple[str, Tuple[str, ...], EventHandler]] = []
+        self._pending: List[Tuple[Any, int]] = []
+        self._on_connected: Optional[Callable[["BrokerClient"], None]] = None
+        self._reliable_inbox = ReliableInbox()
+        self._ordered_inbox = OrderedInbox(self.sim, self._dispatch)
+        self._connect_timer = None
+        self._subscribe_timers = {}  # pattern -> (timer, retries)
+        self.events_published = 0
+        self.events_received = 0
+        self.subscribe_acks = 0
+
+    # ----------------------------------------------------------- connect
+
+    def connect(
+        self,
+        broker: Broker,
+        link_type: LinkType = LinkType.UDP,
+        proxy: Optional[Address] = None,
+        on_connected: Optional[Callable[["BrokerClient"], None]] = None,
+    ) -> None:
+        """Connect to ``broker`` over ``link_type``.
+
+        ``proxy`` is required for :attr:`LinkType.HTTP_TUNNEL` and must be
+        the address of an :class:`repro.simnet.firewall.HttpTunnelProxy`.
+        """
+        if self._transport is not None:
+            raise RuntimeError(f"client {self.client_id} is already connected")
+        self._on_connected = on_connected
+        if link_type == LinkType.UDP:
+            transport: ClientTransport = UdpClientTransport(
+                self.host, broker.udp_address
+            )
+        elif link_type == LinkType.TCP:
+            transport = TcpClientTransport(self.host, broker.tcp_address)
+        elif link_type == LinkType.SSL:
+            transport = SslClientTransport(self.host, broker.ssl_address)
+        elif link_type == LinkType.HTTP_TUNNEL:
+            if proxy is None:
+                raise ValueError("HTTP tunnel links require a proxy address")
+            transport = TunnelClientTransport(self.host, broker.udp_address, proxy)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unsupported link type {link_type}")
+        self._transport = transport
+        transport.on_message = self._on_message
+        transport.on_ready = lambda: self._send_connect(link_type, 0)
+        transport.start()
+
+    def _send_connect(self, link_type: LinkType, attempt: int) -> None:
+        if self.connected or self._transport is None:
+            return
+        if attempt > MAX_CONTROL_RETRIES:
+            return
+        self._send_now(
+            Connect(
+                client_id=self.client_id,
+                link_type=link_type,
+                reply_to=self._transport.reply_address(),
+            )
+        )
+        self._connect_timer = self.sim.schedule(
+            CONTROL_RETRY_S, self._send_connect, link_type, attempt + 1
+        )
+
+    def disconnect(self) -> None:
+        if self._transport is None:
+            return
+        if self._connect_timer is not None:
+            self._connect_timer.cancel()
+            self._connect_timer = None
+        for timer in self._subscribe_timers.values():
+            timer.cancel()
+        self._subscribe_timers.clear()
+        if self.connected:
+            self._send_now(Disconnect(client_id=self.client_id))
+        self.connected = False
+        transport, self._transport = self._transport, None
+        # Give the Disconnect message a moment on the wire before closing.
+        self.sim.schedule(0.05, transport.close)
+
+    # --------------------------------------------------------- pub / sub
+
+    def subscribe(self, pattern: str, handler: EventHandler) -> None:
+        """Subscribe ``handler`` to events matching ``pattern``.
+
+        The subscription request is retried until the broker acknowledges
+        it, so subscriptions survive lossy control paths.
+        """
+        compiled = compile_pattern(pattern)
+        self._handlers.append((pattern, compiled, handler))
+        already_pending = pattern in self._subscribe_timers
+        self._send(Subscribe(client_id=self.client_id, pattern=pattern))
+        if not already_pending:
+            self._arm_subscribe_retry(pattern, 0)
+
+    def _arm_subscribe_retry(self, pattern: str, retries: int) -> None:
+        timer = self.sim.schedule(
+            CONTROL_RETRY_S, self._retry_subscribe, pattern, retries
+        )
+        self._subscribe_timers[pattern] = timer
+
+    def _retry_subscribe(self, pattern: str, retries: int) -> None:
+        if pattern not in self._subscribe_timers:
+            return
+        if retries >= MAX_CONTROL_RETRIES or not any(
+            p == pattern for (p, _c, _h) in self._handlers
+        ):
+            del self._subscribe_timers[pattern]
+            return
+        self._send(Subscribe(client_id=self.client_id, pattern=pattern))
+        self._arm_subscribe_retry(pattern, retries + 1)
+
+    def unsubscribe(self, pattern: str) -> None:
+        self._handlers = [
+            (p, c, h) for (p, c, h) in self._handlers if p != pattern
+        ]
+        timer = self._subscribe_timers.pop(pattern, None)
+        if timer is not None:
+            timer.cancel()
+        self._send(Unsubscribe(client_id=self.client_id, pattern=pattern))
+
+    def publish(
+        self,
+        topic: str,
+        payload: Any,
+        size: int,
+        reliable: bool = False,
+        ordered: bool = False,
+    ) -> NBEvent:
+        """Publish an event; returns the event object (id, timestamps)."""
+        validate_topic(topic)
+        event = NBEvent(
+            topic=topic,
+            payload=payload,
+            size=size,
+            source=self.client_id,
+            published_at=self.sim.now,
+            reliable=reliable,
+            ordered=ordered,
+        )
+        self.events_published += 1
+        self._send(Publish(client_id=self.client_id, event=event))
+        return event
+
+    # ---------------------------------------------------------- internals
+
+    def _send(self, message: Any) -> None:
+        if not self.connected:
+            self._pending.append((message, 0))
+            return
+        self._send_now(message)
+
+    def _send_now(self, message: Any) -> None:
+        if self._transport is None:
+            raise RuntimeError(f"client {self.client_id} is not connected")
+        size = message_size(message, self.envelope_bytes)
+        self.host.cpu.execute(
+            self.publish_cpu_cost_s, self._transport.send, message, size
+        )
+
+    def _on_message(self, message: Any) -> None:
+        if isinstance(message, EventDelivery):
+            self._on_event(message.event)
+        elif isinstance(message, ConnectAck):
+            if self.connected:
+                return  # duplicate ack from a connect retry
+            self.connected = True
+            self.broker_id = message.broker_id
+            if self._connect_timer is not None:
+                self._connect_timer.cancel()
+                self._connect_timer = None
+            pending, self._pending = self._pending, []
+            for queued, _ in pending:
+                self._send_now(queued)
+            if self._on_connected is not None:
+                callback, self._on_connected = self._on_connected, None
+                callback(self)
+        elif isinstance(message, SubscribeAck):
+            self.subscribe_acks += 1
+            timer = self._subscribe_timers.pop(message.pattern, None)
+            if timer is not None:
+                timer.cancel()
+
+    def _on_event(self, event: NBEvent) -> None:
+        if event.reliable:
+            self._send_now(
+                EventAck(client_id=self.client_id, event_id=event.event_id)
+            )
+            if not self._reliable_inbox.accept(event):
+                return
+        if event.sequence is not None:
+            self._ordered_inbox.accept(event)
+        else:
+            self._dispatch(event)
+
+    def _dispatch(self, event: NBEvent) -> None:
+        self.events_received += 1
+        for _pattern, compiled, handler in self._handlers:
+            if match_compiled(compiled, event.topic):
+                handler(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.connected else "down"
+        return f"<BrokerClient {self.client_id} {state}>"

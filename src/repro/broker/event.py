@@ -1,0 +1,75 @@
+"""Broker events.
+
+An :class:`NBEvent` is the unit of publish/subscribe communication: a topic,
+an opaque payload with an explicit wire size, and headers used by the QoS
+services (reliability, ordering).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+_event_ids = itertools.count(1)
+
+
+class NBEvent:
+    """One published event.
+
+    Attributes:
+        topic: hierarchical topic string, e.g. ``/xgsp/session-7/video``.
+        payload: opaque payload object (an RTP packet, an XGSP message...).
+        size: payload wire size in bytes (envelope overhead is added by the
+            transport link).
+        source: client id of the publisher.
+        published_at: virtual time of the original publish call; receivers
+            use ``now - published_at`` as the end-to-end delay.
+        reliable: request acknowledged, redelivered-on-loss delivery.
+        ordered: request per-topic total ordering (broker sequencing).
+        sequence: per-topic sequence number stamped by the sequencing
+            broker when ``ordered`` is set.
+    """
+
+    __slots__ = (
+        "event_id",
+        "topic",
+        "payload",
+        "size",
+        "source",
+        "published_at",
+        "reliable",
+        "ordered",
+        "sequence",
+        "headers",
+    )
+
+    def __init__(
+        self,
+        topic: str,
+        payload: Any,
+        size: int,
+        source: str = "",
+        published_at: float = 0.0,
+        reliable: bool = False,
+        ordered: bool = False,
+        sequence: Optional[int] = None,
+        headers: Optional[Dict[str, Any]] = None,
+    ):
+        self.event_id = next(_event_ids)
+        self.topic = topic
+        self.payload = payload
+        self.size = size
+        self.source = source
+        self.published_at = published_at
+        self.reliable = reliable
+        self.ordered = ordered
+        self.sequence = sequence
+        self.headers = headers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, on in (("R", self.reliable), ("O", self.ordered))
+            if on
+        )
+        return f"<NBEvent #{self.event_id} {self.topic} {self.size}B {flags}>"

@@ -1,0 +1,436 @@
+"""Broker wire protocol and transport links.
+
+NaradaBrokering "is able to provide services for TCP, UDP, Multicast, SSL
+and raw RTP clients" and can communicate "through firewalls and proxies"
+(Section 2.3).  This module defines:
+
+* the control/data message vocabulary exchanged between clients and
+  brokers and between peer brokers;
+* broker-side **client links** (one per connected client) that know how to
+  push an event copy to that client over its chosen transport;
+* client-side **transports** that mirror them.
+
+SSL is modeled on top of TCP with a record overhead per message and a
+per-byte cryptography CPU cost on both endpoints; the HTTP tunnel link
+rides :class:`repro.simnet.firewall.TunnelClient` through a proxy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, FrozenSet, Optional
+
+from repro.broker.event import NBEvent
+from repro.simnet.firewall import TunnelClient
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+from repro.simnet.tcp import TcpConnection, tcp_connect
+from repro.simnet.udp import UdpSocket
+
+
+class LinkType(str, Enum):
+    """Client link flavours supported by a broker."""
+
+    UDP = "udp"
+    TCP = "tcp"
+    SSL = "ssl"
+    HTTP_TUNNEL = "http-tunnel"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Fixed wire overhead of a broker control message.
+CONTROL_BYTES = 64
+#: Extra bytes per SSL record.
+SSL_RECORD_OVERHEAD = 29
+#: CPU cost per byte of SSL encryption/decryption.
+SSL_CRYPTO_COST_PER_BYTE = 6e-9
+
+_advert_ids = itertools.count(1)
+
+
+# --------------------------------------------------------------------------
+# Wire messages
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Connect:
+    client_id: str
+    link_type: LinkType
+    reply_to: Optional[Address] = None  # UDP-style links only
+
+
+@dataclass
+class ConnectAck:
+    client_id: str
+    broker_id: str
+
+
+@dataclass
+class Disconnect:
+    client_id: str
+
+
+@dataclass
+class Subscribe:
+    client_id: str
+    pattern: str
+
+
+@dataclass
+class SubscribeAck:
+    client_id: str
+    pattern: str
+
+
+@dataclass
+class Unsubscribe:
+    client_id: str
+    pattern: str
+
+
+@dataclass
+class Publish:
+    client_id: str
+    event: NBEvent
+
+
+@dataclass
+class EventDelivery:
+    event: NBEvent
+
+
+@dataclass
+class EventAck:
+    client_id: str
+    event_id: int
+
+
+@dataclass
+class PeerEvent:
+    """Inter-broker event dissemination toward a set of target brokers."""
+
+    event: NBEvent
+    targets: FrozenSet[str]
+
+
+@dataclass
+class SequenceRequest:
+    """Forward an ordered publish to the topic's sequencing broker."""
+
+    event: NBEvent
+    origin_broker: str
+
+
+@dataclass
+class SubAdvert:
+    """Flooded notice that a broker gained/lost interest in a pattern."""
+
+    advert_id: int = field(default_factory=lambda: next(_advert_ids))
+    origin_broker: str = ""
+    pattern: str = ""
+    add: bool = True
+
+
+def message_size(message: Any, envelope_bytes: int) -> int:
+    """Wire size of a broker message."""
+    if isinstance(message, (Publish, EventDelivery)):
+        event = message.event
+        return envelope_bytes + len(event.topic) + event.size
+    if isinstance(message, PeerEvent):
+        event = message.event
+        return (
+            envelope_bytes
+            + len(event.topic)
+            + event.size
+            + 8 * len(message.targets)
+        )
+    if isinstance(message, SequenceRequest):
+        return envelope_bytes + len(message.event.topic) + message.event.size + 16
+    return CONTROL_BYTES
+
+
+# --------------------------------------------------------------------------
+# Broker-side client links
+# --------------------------------------------------------------------------
+
+
+class ClientLink:
+    """Broker-side handle used to push messages to one connected client."""
+
+    kind: LinkType = LinkType.UDP
+
+    def __init__(self, client_id: str, envelope_bytes: int):
+        self.client_id = client_id
+        self.envelope_bytes = envelope_bytes
+        self.events_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, message: Any) -> None:
+        size = message_size(message, self.envelope_bytes)
+        if isinstance(message, EventDelivery):
+            self.events_sent += 1
+        self.bytes_sent += size
+        self._transmit(message, size)
+
+    def _transmit(self, message: Any, size: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (optional per link type)."""
+
+
+class UdpClientLink(ClientLink):
+    """Datagram link: also used for clients reached through HTTP tunnels,
+    whose datagrams arrive via the proxy relay's address."""
+
+    def __init__(
+        self,
+        client_id: str,
+        envelope_bytes: int,
+        socket: UdpSocket,
+        client_address: Address,
+        kind: LinkType = LinkType.UDP,
+    ):
+        super().__init__(client_id, envelope_bytes)
+        self.kind = kind
+        self._socket = socket
+        self.client_address = client_address
+
+    def _transmit(self, message: Any, size: int) -> None:
+        self._socket.sendto(message, size, self.client_address)
+
+
+class TcpClientLink(ClientLink):
+    kind = LinkType.TCP
+
+    def __init__(self, client_id: str, envelope_bytes: int, connection: TcpConnection):
+        super().__init__(client_id, envelope_bytes)
+        self.connection = connection
+
+    def _transmit(self, message: Any, size: int) -> None:
+        if self.connection.established or self.connection.state in (
+            TcpConnection.SYN_RCVD,
+        ):
+            self.connection.send(message, size)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+class SslClientLink(TcpClientLink):
+    """TCP link plus record overhead and per-byte crypto CPU cost."""
+
+    kind = LinkType.SSL
+
+    def __init__(
+        self,
+        client_id: str,
+        envelope_bytes: int,
+        connection: TcpConnection,
+        host: Host,
+    ):
+        super().__init__(client_id, envelope_bytes, connection)
+        self._host = host
+
+    def _transmit(self, message: Any, size: int) -> None:
+        size += SSL_RECORD_OVERHEAD
+        crypto_cost = size * SSL_CRYPTO_COST_PER_BYTE
+        self._host.cpu.execute(
+            crypto_cost, super()._transmit, message, size
+        )
+
+
+# --------------------------------------------------------------------------
+# Client-side transports
+# --------------------------------------------------------------------------
+
+
+class ClientTransport:
+    """Client-side counterpart of a :class:`ClientLink`."""
+
+    kind: LinkType = LinkType.UDP
+
+    def __init__(self) -> None:
+        self.on_message: Optional[Callable[[Any], None]] = None
+        self.on_ready: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        """Begin connection setup; ``on_ready`` fires when sends may begin."""
+        raise NotImplementedError  # pragma: no cover
+
+    def send(self, message: Any, size: int) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def reply_address(self) -> Optional[Address]:
+        """Address the broker should send to (UDP-style links only)."""
+        return None
+
+    def close(self) -> None:
+        """Release sockets/connections."""
+
+
+class UdpClientTransport(ClientTransport):
+    kind = LinkType.UDP
+
+    def __init__(self, host: Host, broker_udp: Address):
+        super().__init__()
+        self._socket = UdpSocket(host)
+        self._broker = broker_udp
+        self._socket.on_receive(self._on_datagram)
+
+    def start(self) -> None:
+        if self.on_ready is not None:
+            self.on_ready()
+
+    def reply_address(self) -> Optional[Address]:
+        return self._socket.local_address
+
+    def send(self, message: Any, size: int) -> None:
+        self._socket.sendto(message, size, self._broker)
+
+    def _on_datagram(self, payload: Any, src: Address, datagram: Any) -> None:
+        if self.on_message is not None:
+            self.on_message(payload)
+
+    def close(self) -> None:
+        self._socket.close()
+
+
+class TcpClientTransport(ClientTransport):
+    kind = LinkType.TCP
+
+    def __init__(self, host: Host, broker_tcp: Address):
+        super().__init__()
+        self._host = host
+        self._broker = broker_tcp
+        self._connection: Optional[TcpConnection] = None
+
+    def start(self) -> None:
+        self._connection = tcp_connect(
+            self._host,
+            self._broker,
+            on_established=lambda conn: self.on_ready and self.on_ready(),
+            on_message=lambda msg, size, conn: (
+                self.on_message(msg) if self.on_message else None
+            ),
+        )
+
+    def send(self, message: Any, size: int) -> None:
+        if self._connection is None:
+            raise RuntimeError("transport not started")
+        self._connection.send(message, size)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+
+
+class SslClientTransport(TcpClientTransport):
+    """TCP transport plus simulated TLS handshake and record costs."""
+
+    kind = LinkType.SSL
+
+    #: Extra round trips for the TLS handshake after TCP establishment.
+    HANDSHAKE_DELAY_S = 0.004
+
+    def start(self) -> None:
+        inner_ready = self.on_ready
+
+        def after_tcp(conn: TcpConnection) -> None:
+            # Model the TLS handshake as a fixed extra delay before the
+            # transport reports ready.
+            self._host.sim.schedule(
+                self.HANDSHAKE_DELAY_S, lambda: inner_ready and inner_ready()
+            )
+
+        self._connection = tcp_connect(
+            self._host,
+            self._broker,
+            on_established=after_tcp,
+            on_message=self._decrypt,
+        )
+
+    def send(self, message: Any, size: int) -> None:
+        if self._connection is None:
+            raise RuntimeError("transport not started")
+        size += SSL_RECORD_OVERHEAD
+        self._host.cpu.execute(
+            size * SSL_CRYPTO_COST_PER_BYTE,
+            self._connection.send,
+            message,
+            size,
+        )
+
+    def _decrypt(self, message: Any, size: int, conn: TcpConnection) -> None:
+        self._host.cpu.execute(
+            size * SSL_CRYPTO_COST_PER_BYTE,
+            lambda: self.on_message(message) if self.on_message else None,
+        )
+
+
+class TunnelClientTransport(ClientTransport):
+    """UDP-style transport through an HTTP tunnel proxy (firewall escape).
+
+    Sends periodic keepalives toward the proxy so the firewall pinhole for
+    the return path never expires — the datagram-model equivalent of the
+    persistent HTTP connection a real tunnel holds open.
+    """
+
+    kind = LinkType.HTTP_TUNNEL
+
+    KEEPALIVE_INTERVAL_S = 20.0
+    KEEPALIVE_BYTES = 32
+
+    def __init__(self, host: Host, broker_udp: Address, proxy: Address):
+        super().__init__()
+        self._host = host
+        self._tunnel = TunnelClient(host, proxy)
+        self._proxy = proxy
+        self._broker = broker_udp
+        self._tunnel.on_receive(self._on_frame)
+        self._closed = False
+        self._keepalive_timer = None
+
+    def start(self) -> None:
+        self._schedule_keepalive()
+        if self.on_ready is not None:
+            self.on_ready()
+
+    def _schedule_keepalive(self) -> None:
+        self._keepalive_timer = self._host.sim.schedule(
+            self.KEEPALIVE_INTERVAL_S, self._keepalive
+        )
+
+    def _keepalive(self) -> None:
+        if self._closed:
+            return
+        # A bare (non-TunnelFrame) datagram: the proxy discards it, but the
+        # client's firewall refreshes the proxy pinhole on the way out.
+        self._tunnel.socket.sendto(
+            "tunnel-keepalive", self.KEEPALIVE_BYTES, self._proxy
+        )
+        self._schedule_keepalive()
+
+    def reply_address(self) -> Optional[Address]:
+        # The broker replies to the proxy relay; the relay address is only
+        # known proxy-side, so the broker learns it from the datagram source
+        # (handled in Broker._on_udp_message via reply_to=None).
+        return None
+
+    def send(self, message: Any, size: int) -> None:
+        self._tunnel.sendto(message, size, self._broker)
+
+    def _on_frame(self, payload: Any, inner_src: Address) -> None:
+        if self.on_message is not None:
+            self.on_message(payload)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+        self._tunnel.close()

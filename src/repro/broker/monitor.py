@@ -1,0 +1,134 @@
+"""Broker monitoring: management telemetry over the broker itself.
+
+NaradaBrokering ships a management/monitoring service; Global-MMCS
+operators need it to see broker load across the distributed collection.
+A :class:`BrokerMonitor` samples one broker's counters periodically and
+publishes :class:`BrokerSample` events on the management topic
+``/narada/monitor/<broker-id>``; a :class:`MonitoringClient` subscribes
+(wildcard) and keeps per-broker history — the data an admission or
+load-balancing policy would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.event import NBEvent
+from repro.simnet.kernel import Timer
+from repro.simnet.node import Host
+
+MONITOR_TOPIC_PREFIX = "/narada/monitor"
+
+#: Wire size of one encoded sample.
+SAMPLE_BYTES = 120
+
+
+@dataclass
+class BrokerSample:
+    """One telemetry sample from one broker."""
+
+    broker_id: str
+    at: float
+    clients: int
+    events_routed: int
+    events_delivered: int
+    events_forwarded: int
+    cpu_busy_s: float
+    gc_pauses: int
+    nic_sent_packets: int
+    nic_dropped_packets: int
+
+    @staticmethod
+    def capture(broker: Broker) -> "BrokerSample":
+        host = broker.host
+        return BrokerSample(
+            broker_id=broker.broker_id,
+            at=broker.sim.now,
+            clients=broker.client_count(),
+            events_routed=broker.events_routed,
+            events_delivered=broker.events_delivered,
+            events_forwarded=broker.events_forwarded,
+            cpu_busy_s=host.cpu.busy_time,
+            gc_pauses=host.cpu.gc_pauses,
+            nic_sent_packets=host.nic.sent_packets,
+            nic_dropped_packets=host.nic.dropped_packets,
+        )
+
+
+def monitor_topic(broker_id: str) -> str:
+    return f"{MONITOR_TOPIC_PREFIX}/{broker_id}"
+
+
+class BrokerMonitor:
+    """Publishes one broker's telemetry on its management topic."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        interval_s: float = 5.0,
+        monitor_id: Optional[str] = None,
+    ):
+        self.broker = broker
+        self.sim = broker.sim
+        self.interval_s = interval_s
+        self.client = BrokerClient(
+            broker.host,
+            client_id=monitor_id or f"monitor/{broker.broker_id}",
+        )
+        self.client.connect(broker)
+        self._timer: Optional[Timer] = None
+        self.samples_published = 0
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self.sim.schedule(self.interval_s, self._tick)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        sample = BrokerSample.capture(self.broker)
+        self.client.publish(
+            monitor_topic(self.broker.broker_id), sample, SAMPLE_BYTES
+        )
+        self.samples_published += 1
+        self._timer = self.sim.schedule(self.interval_s, self._tick)
+
+
+class MonitoringClient:
+    """Collects samples from every monitored broker (wildcard subscribe)."""
+
+    def __init__(self, host: Host, broker: Broker,
+                 client_id: str = "monitoring-console"):
+        self.client = BrokerClient(host, client_id=client_id)
+        self.client.connect(broker)
+        self.history: Dict[str, List[BrokerSample]] = {}
+        self.client.subscribe(f"{MONITOR_TOPIC_PREFIX}/#", self._on_sample)
+
+    def _on_sample(self, event: NBEvent) -> None:
+        sample = event.payload
+        if isinstance(sample, BrokerSample):
+            self.history.setdefault(sample.broker_id, []).append(sample)
+
+    def brokers_seen(self) -> List[str]:
+        return sorted(self.history)
+
+    def latest(self, broker_id: str) -> Optional[BrokerSample]:
+        samples = self.history.get(broker_id)
+        return samples[-1] if samples else None
+
+    def delivery_rate(self, broker_id: str) -> float:
+        """Events delivered per second over the sampled window."""
+        samples = self.history.get(broker_id, [])
+        if len(samples) < 2:
+            return 0.0
+        first, last = samples[0], samples[-1]
+        window = last.at - first.at
+        if window <= 0:
+            return 0.0
+        return (last.events_delivered - first.events_delivered) / window

@@ -1,0 +1,180 @@
+"""Broker network assembly: the "distributed sets of NaradaBrokering nodes".
+
+Builds a graph of brokers over simulated hosts, wires peer links, computes
+shortest-path next-hop routing tables (via networkx), and keeps
+subscription adverts synchronized when topology changes — the "dynamic
+collection of brokers" of Section 2.3.
+
+Topology builders cover the shapes used by the benchmarks: a single
+broker, a chain, a star, and the hierarchical cluster/super-cluster layout
+NaradaBrokering favours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+
+from repro.broker.broker import Broker
+from repro.broker.profile import BrokerProfile, NARADA_PROFILE
+from repro.simnet.link import LAN_1G, LinkProfile
+from repro.simnet.network import Network
+from repro.simnet.node import Host
+
+
+class BrokerNetwork:
+    """A dynamic collection of interconnected brokers."""
+
+    def __init__(self, network: Network, profile: BrokerProfile = NARADA_PROFILE):
+        self.network = network
+        self.profile = profile
+        self.graph = nx.Graph()
+        self._brokers: Dict[str, Broker] = {}
+
+    # ----------------------------------------------------------- topology
+
+    def add_broker(
+        self,
+        name: str,
+        host: Optional[Host] = None,
+        link: LinkProfile = LAN_1G,
+        profile: Optional[BrokerProfile] = None,
+    ) -> Broker:
+        """Create a broker named ``name``; a host is created unless given."""
+        if name in self._brokers:
+            raise ValueError(f"duplicate broker {name!r}")
+        if host is None:
+            host = self.network.create_host(name, link=link)
+        broker = Broker(
+            host,
+            broker_id=name,
+            profile=profile if profile is not None else self.profile,
+        )
+        self._brokers[name] = broker
+        self.graph.add_node(name)
+        return broker
+
+    def connect(self, a: str, b: str) -> None:
+        """Create a peer link between brokers ``a`` and ``b``."""
+        broker_a = self.broker(a)
+        broker_b = self.broker(b)
+        self.graph.add_edge(a, b)
+        broker_a.add_peer(b, broker_b.peer_address)
+        broker_b.add_peer(a, broker_a.peer_address)
+        self._recompute_routes()
+        # Re-advertise interest so the new edge learns existing state.
+        broker_a.sync_subscriptions_to_peers()
+        broker_b.sync_subscriptions_to_peers()
+
+    def disconnect(self, a: str, b: str) -> None:
+        if self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+        self.broker(a).remove_peer(b)
+        self.broker(b).remove_peer(a)
+        self._recompute_routes()
+
+    def _recompute_routes(self) -> None:
+        paths = dict(nx.all_pairs_shortest_path(self.graph))
+        for broker_id, broker in self._brokers.items():
+            routes: Dict[str, str] = {}
+            for destination, path in paths.get(broker_id, {}).items():
+                if destination != broker_id and len(path) >= 2:
+                    routes[destination] = path[1]
+            broker.set_routes(routes)
+
+    # ------------------------------------------------------------- access
+
+    def broker(self, name: str) -> Broker:
+        try:
+            return self._brokers[name]
+        except KeyError:
+            raise KeyError(f"unknown broker {name!r}") from None
+
+    def brokers(self) -> List[Broker]:
+        return [self._brokers[name] for name in sorted(self._brokers)]
+
+    def broker_ids(self) -> List[str]:
+        return sorted(self._brokers)
+
+    def __len__(self) -> int:
+        return len(self._brokers)
+
+    def close(self) -> None:
+        for broker in self._brokers.values():
+            broker.close()
+
+    # -------------------------------------------------------- topologies
+
+    @classmethod
+    def single(
+        cls, network: Network, name: str = "broker", profile: BrokerProfile = NARADA_PROFILE,
+        link: LinkProfile = LAN_1G,
+    ) -> "BrokerNetwork":
+        """One broker — the paper's Figure 3 configuration."""
+        broker_network = cls(network, profile)
+        broker_network.add_broker(name, link=link)
+        return broker_network
+
+    @classmethod
+    def chain(
+        cls,
+        network: Network,
+        count: int,
+        name_prefix: str = "broker",
+        profile: BrokerProfile = NARADA_PROFILE,
+        link: LinkProfile = LAN_1G,
+    ) -> "BrokerNetwork":
+        broker_network = cls(network, profile)
+        names = [f"{name_prefix}-{i}" for i in range(count)]
+        for name in names:
+            broker_network.add_broker(name, link=link)
+        for left, right in zip(names, names[1:]):
+            broker_network.connect(left, right)
+        return broker_network
+
+    @classmethod
+    def star(
+        cls,
+        network: Network,
+        leaves: int,
+        name_prefix: str = "broker",
+        profile: BrokerProfile = NARADA_PROFILE,
+        link: LinkProfile = LAN_1G,
+    ) -> "BrokerNetwork":
+        broker_network = cls(network, profile)
+        hub = f"{name_prefix}-hub"
+        broker_network.add_broker(hub, link=link)
+        for i in range(leaves):
+            leaf = f"{name_prefix}-{i}"
+            broker_network.add_broker(leaf, link=link)
+            broker_network.connect(hub, leaf)
+        return broker_network
+
+    @classmethod
+    def hierarchical(
+        cls,
+        network: Network,
+        cluster_sizes: Iterable[int],
+        name_prefix: str = "broker",
+        profile: BrokerProfile = NARADA_PROFILE,
+        link: LinkProfile = LAN_1G,
+    ) -> "BrokerNetwork":
+        """Clusters of fully-meshed brokers; cluster gateways form a ring —
+        the cluster / super-cluster organization of NaradaBrokering."""
+        broker_network = cls(network, profile)
+        gateways: List[str] = []
+        for c, size in enumerate(cluster_sizes):
+            members = [f"{name_prefix}-c{c}-{i}" for i in range(size)]
+            for name in members:
+                broker_network.add_broker(name, link=link)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    broker_network.connect(a, b)
+            if members:
+                gateways.append(members[0])
+        for left, right in zip(gateways, gateways[1:]):
+            broker_network.connect(left, right)
+        if len(gateways) > 2:
+            broker_network.connect(gateways[-1], gateways[0])
+        return broker_network

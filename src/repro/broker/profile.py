@@ -1,0 +1,77 @@
+"""Broker cost profiles (the calibration surface of the reproduction).
+
+The paper reports that "after we made some optimizations on the message
+transmission of NaradaBrokering system, it shows excellent performance for
+A/V communication".  We capture the optimized and unoptimized transmission
+paths as cost profiles: the per-event routing cost, the per-destination
+send cost, and the heap allocation per send (which drives GC pauses).
+
+``NARADA_PROFILE`` models the optimized system (buffer reuse, cheap
+per-destination send); ``UNOPTIMIZED_PROFILE`` is used by the ablation
+benchmarks to show what the optimizations buy.  The JMF reflector baseline
+has its own, heavier profile in :mod:`repro.baselines.jmf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simnet.cpu import GcProfile
+
+
+@dataclass(frozen=True)
+class BrokerProfile:
+    """CPU/allocation cost model for one broker implementation.
+
+    Attributes:
+        route_cost_s: per-event cost of topic matching + routing decision.
+        send_cost_base_s / send_cost_per_byte_s: per-destination cost of
+            queueing one event copy on a client link — a fixed part
+            (headers, socket call) plus a copy cost per payload byte.
+            With the default calibration the Figure 3 video stream costs
+            33 µs per send on average and an audio packet 18 µs, which makes
+            one broker top out just above 400 video or 1000 audio clients
+            (the paper's Section 3.2 capacity claims).
+        forward_cost_s: per-next-hop cost of forwarding to a peer broker.
+        control_cost_s: cost of processing one control message.
+        alloc_bytes_per_send: heap allocated per destination copy; drives
+            garbage-collection pauses via :class:`GcProfile`.
+        envelope_bytes: wire overhead added to each event payload.
+        gc: garbage-collector behaviour of the broker JVM, or None to
+            disable GC modeling.
+    """
+
+    name: str = "narada"
+    route_cost_s: float = 30e-6
+    send_cost_base_s: float = 15.2e-6
+    send_cost_per_byte_s: float = 16.2e-9
+    forward_cost_s: float = 25e-6
+    control_cost_s: float = 80e-6
+    alloc_bytes_per_send: int = 160
+    envelope_bytes: int = 66
+    gc: Optional[GcProfile] = GcProfile(
+        young_gen_bytes=32 * 1024 * 1024,
+        base_pause_s=0.006,
+        pause_per_mb_s=0.0006,
+        max_pause_s=0.120,
+    )
+
+    def send_cost_s(self, payload_bytes: int) -> float:
+        """Per-destination send cost for one event of ``payload_bytes``."""
+        return self.send_cost_base_s + self.send_cost_per_byte_s * payload_bytes
+
+
+#: The optimized NaradaBrokering transmission path (Section 3.2).
+NARADA_PROFILE = BrokerProfile()
+
+#: The pre-optimization path: per-send serialization of the whole event
+#: and a fresh byte-buffer allocation per destination copy.
+UNOPTIMIZED_PROFILE = BrokerProfile(
+    name="narada-unoptimized",
+    route_cost_s=45e-6,
+    send_cost_base_s=22e-6,
+    send_cost_per_byte_s=16e-9,
+    forward_cost_s=45e-6,
+    alloc_bytes_per_send=1600,
+)

@@ -1,0 +1,172 @@
+"""Reliable and ordered delivery services (broker QoS).
+
+The paper's messaging middleware "helps to ensure QoS requirements of
+various collaboration applications" (Section 2).  Two services:
+
+* **Reliability** (:class:`ReliableOutbox`): for datagram-style client
+  links, the broker keeps a copy of each reliable event until the client
+  acknowledges it, retransmitting on a timer.  Receivers deduplicate by
+  event id (:class:`ReliableInbox`).
+* **Ordering** (:class:`OrderedInbox`): ordered topics are sequenced by a
+  single sequencer broker; receivers release events in sequence order,
+  buffering gaps briefly before flushing (late events are dropped as
+  duplicates of the flushed range).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set, Tuple
+
+from repro.broker.event import NBEvent
+from repro.simnet.kernel import Simulator, Timer
+
+
+class ReliableOutbox:
+    """Broker-side per-client store of unacknowledged reliable events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: Callable[[NBEvent], None],
+        resend_interval_s: float = 0.25,
+        max_interval_s: float = 2.0,
+        max_retries: int = 8,
+    ):
+        self.sim = sim
+        self._send = send
+        self.resend_interval_s = resend_interval_s
+        self.max_interval_s = max_interval_s
+        self.max_retries = max_retries
+        self._pending: Dict[int, Tuple[NBEvent, Timer, int]] = {}
+        self.retransmissions = 0
+        self.abandoned = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _interval(self, retries: int) -> float:
+        """Exponential backoff: the retry horizon outlives multi-second
+        network blackouts without hammering a dead path."""
+        return min(self.resend_interval_s * (2 ** retries), self.max_interval_s)
+
+    def send(self, event: NBEvent) -> None:
+        """Transmit and track until acknowledged."""
+        self._send(event)
+        timer = self.sim.schedule(self._interval(0), self._resend, event.event_id)
+        self._pending[event.event_id] = (event, timer, 0)
+
+    def ack(self, event_id: int) -> None:
+        entry = self._pending.pop(event_id, None)
+        if entry is not None:
+            entry[1].cancel()
+
+    def _resend(self, event_id: int) -> None:
+        entry = self._pending.pop(event_id, None)
+        if entry is None:
+            return
+        event, _timer, retries = entry
+        if retries >= self.max_retries:
+            self.abandoned += 1
+            return
+        self.retransmissions += 1
+        self._send(event)
+        timer = self.sim.schedule(
+            self._interval(retries + 1), self._resend, event_id
+        )
+        self._pending[event_id] = (event, timer, retries + 1)
+
+    def close(self) -> None:
+        for _event, timer, _retries in self._pending.values():
+            timer.cancel()
+        self._pending.clear()
+
+
+class ReliableInbox:
+    """Client-side dedup of redelivered reliable events."""
+
+    def __init__(self, max_remembered: int = 4096):
+        self._seen: Set[int] = set()
+        self._order: list = []
+        self.max_remembered = max_remembered
+        self.duplicates = 0
+
+    def accept(self, event: NBEvent) -> bool:
+        """True if the event is new; False for a duplicate redelivery."""
+        if event.event_id in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(event.event_id)
+        self._order.append(event.event_id)
+        if len(self._order) > self.max_remembered:
+            oldest = self._order.pop(0)
+            self._seen.discard(oldest)
+        return True
+
+
+class OrderedInbox:
+    """Client-side per-topic resequencer for ordered events.
+
+    Events carry a per-topic sequence stamped by the sequencer broker.
+    Out-of-order arrivals are buffered; a gap older than ``gap_timeout_s``
+    is flushed (delivery continues past the hole, which is counted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: Callable[[NBEvent], None],
+        gap_timeout_s: float = 0.5,
+    ):
+        self.sim = sim
+        self._deliver = deliver
+        self.gap_timeout_s = gap_timeout_s
+        self._expected: Dict[str, int] = {}
+        self._buffer: Dict[str, Dict[int, NBEvent]] = {}
+        self._gap_timers: Dict[str, Timer] = {}
+        self.gaps_flushed = 0
+        self.stale_dropped = 0
+
+    def accept(self, event: NBEvent) -> None:
+        if event.sequence is None:
+            self._deliver(event)
+            return
+        topic = event.topic
+        expected = self._expected.get(topic, 0)
+        if event.sequence < expected:
+            self.stale_dropped += 1
+            return
+        buffer = self._buffer.setdefault(topic, {})
+        buffer[event.sequence] = event
+        self._release(topic)
+        if buffer and topic not in self._gap_timers:
+            self._gap_timers[topic] = self.sim.schedule(
+                self.gap_timeout_s, self._flush_gap, topic
+            )
+
+    def _release(self, topic: str) -> None:
+        buffer = self._buffer.get(topic, {})
+        expected = self._expected.get(topic, 0)
+        while expected in buffer:
+            event = buffer.pop(expected)
+            expected += 1
+            self._deliver(event)
+        self._expected[topic] = expected
+        if not buffer:
+            timer = self._gap_timers.pop(topic, None)
+            if timer is not None:
+                timer.cancel()
+
+    def _flush_gap(self, topic: str) -> None:
+        self._gap_timers.pop(topic, None)
+        buffer = self._buffer.get(topic)
+        if not buffer:
+            return
+        # Skip to the oldest buffered sequence and deliver from there.
+        self.gaps_flushed += 1
+        self._expected[topic] = min(buffer)
+        self._release(topic)
+        if buffer:
+            self._gap_timers[topic] = self.sim.schedule(
+                self.gap_timeout_s, self._flush_gap, topic
+            )

@@ -1,0 +1,101 @@
+"""RTP proxies: native RTP endpoints ↔ broker topics.
+
+Section 3.2: "Any RTP client or server who wants to join in this session,
+it can 'subscribe' to this topic and 'publish' its RTP messages through
+RTP Proxies in the NaradaBrokering system."
+
+An :class:`RtpProxy` is deployed next to a broker (typically on the same
+host, reached over loopback).  It terminates raw RTP/UDP on local ports
+and re-publishes packets onto a topic (inbound bridge), and/or subscribes
+to a topic and emits raw RTP datagrams to a native endpoint (outbound
+bridge).  The H.323 and SIP gateways use these bridges to redirect their
+endpoints' RTP channels into the broker network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.event import NBEvent
+from repro.broker.links import LinkType
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+from repro.simnet.transport import UDP_HEADER_BYTES
+from repro.simnet.udp import UdpSocket
+
+
+class RtpProxy:
+    """Bridges raw RTP traffic to and from broker topics."""
+
+    def __init__(
+        self,
+        host: Host,
+        broker: Broker,
+        proxy_id: str,
+        link_type: LinkType = LinkType.UDP,
+    ):
+        self.host = host
+        self.proxy_id = proxy_id
+        self.client = BrokerClient(host, client_id=f"rtp-proxy/{proxy_id}")
+        self.client.connect(broker, link_type=link_type)
+        self._inbound: Dict[int, Tuple[UdpSocket, str]] = {}
+        self._outbound: Dict[Tuple[str, Address], UdpSocket] = {}
+        self.packets_in = 0
+        self.packets_out = 0
+
+    # ------------------------------------------------------------ inbound
+
+    def bridge_inbound(self, topic: str, port: Optional[int] = None) -> Address:
+        """Open a local RTP port; packets received there are published on
+        ``topic``.  Returns the address native endpoints should send to."""
+        socket = UdpSocket(self.host, port)
+
+        def on_packet(payload, src, datagram, topic=topic):
+            self.packets_in += 1
+            self.client.publish(
+                topic, payload, max(1, datagram.size - UDP_HEADER_BYTES)
+            )
+
+        socket.on_receive(on_packet)
+        self._inbound[socket.port] = (socket, topic)
+        return socket.local_address
+
+    def close_inbound(self, port: int) -> None:
+        entry = self._inbound.pop(port, None)
+        if entry is not None:
+            entry[0].close()
+
+    # ----------------------------------------------------------- outbound
+
+    def bridge_outbound(self, topic: str, destination: Address) -> None:
+        """Subscribe to ``topic`` and forward each event to ``destination``
+        as a raw RTP datagram (no broker envelope on the last hop)."""
+        key = (topic, destination)
+        if key in self._outbound:
+            return
+        socket = UdpSocket(self.host)
+
+        def on_event(event: NBEvent, dst=destination, sock=socket):
+            if sock.closed:
+                return
+            self.packets_out += 1
+            sock.sendto(event.payload, event.size, dst)
+
+        self.client.subscribe(topic, on_event)
+        self._outbound[key] = socket
+
+    def close_outbound(self, topic: str, destination: Address) -> None:
+        socket = self._outbound.pop((topic, destination), None)
+        if socket is not None:
+            socket.close()
+
+    def close(self) -> None:
+        for socket, _topic in self._inbound.values():
+            socket.close()
+        for socket in self._outbound.values():
+            socket.close()
+        self._inbound.clear()
+        self._outbound.clear()
+        self.client.disconnect()

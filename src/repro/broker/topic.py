@@ -1,0 +1,177 @@
+"""Hierarchical topics and wildcard subscription matching.
+
+Topics are ``/``-separated paths (``/xgsp/session-7/video/ssrc-1``).
+Subscription patterns may use two wildcards, JMS-style:
+
+* ``*`` matches exactly one path segment;
+* ``#`` matches the remaining (zero or more) segments and must be last.
+
+:class:`TopicTrie` stores patterns in a segment trie so matching an event
+topic is O(depth), independent of subscriber count — the property the
+broker's per-event routing cost model assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Set, Tuple, TypeVar
+
+T = TypeVar("T")
+
+SINGLE = "*"
+MULTI = "#"
+
+
+class TopicError(ValueError):
+    """Raised for malformed topics or patterns."""
+
+
+def split_topic(topic: str) -> List[str]:
+    if not topic.startswith("/") or topic == "/":
+        raise TopicError(f"topic must start with '/': {topic!r}")
+    segments = topic[1:].split("/")
+    if any(segment == "" for segment in segments):
+        raise TopicError(f"empty segment in topic {topic!r}")
+    return segments
+
+
+def validate_topic(topic: str) -> str:
+    """Validate a concrete (wildcard-free) topic; returns it unchanged."""
+    for segment in split_topic(topic):
+        if segment in (SINGLE, MULTI):
+            raise TopicError(f"wildcard {segment!r} not allowed in topic {topic!r}")
+    return topic
+
+
+def validate_pattern(pattern: str) -> str:
+    """Validate a subscription pattern; returns it unchanged."""
+    segments = split_topic(pattern)
+    for i, segment in enumerate(segments):
+        if segment == MULTI and i != len(segments) - 1:
+            raise TopicError(f"'#' must be the last segment in {pattern!r}")
+    return pattern
+
+
+def compile_pattern(pattern: str) -> Tuple[str, ...]:
+    """Pre-split a validated pattern for repeated fast matching."""
+    return tuple(split_topic(validate_pattern(pattern)))
+
+
+def match_compiled(pattern_segments: Tuple[str, ...], topic: str) -> bool:
+    """Fast match of a compiled pattern against a concrete topic."""
+    topic_segments = topic[1:].split("/")
+    for i, pattern_segment in enumerate(pattern_segments):
+        if pattern_segment == MULTI:
+            return True
+        if i >= len(topic_segments):
+            return False
+        if pattern_segment != SINGLE and pattern_segment != topic_segments[i]:
+            return False
+    return len(pattern_segments) == len(topic_segments)
+
+
+def match_topic(pattern: str, topic: str) -> bool:
+    """True when ``pattern`` matches the concrete ``topic``."""
+    validate_topic(topic)
+    return match_compiled(compile_pattern(pattern), topic)
+
+
+class _TrieNode(Generic[T]):
+    __slots__ = ("children", "here", "multi")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, _TrieNode[T]] = {}
+        self.here: Set[T] = set()  # subscribers whose pattern ends here
+        self.multi: Set[T] = set()  # subscribers with '#' at this point
+
+
+class TopicTrie(Generic[T]):
+    """Maps subscription patterns to subscriber values with fast matching."""
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[T] = _TrieNode()
+        self._patterns: Dict[Tuple[str, T], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def add(self, pattern: str, value: T) -> bool:
+        """Register ``value`` under ``pattern``; False if already present."""
+        validate_pattern(pattern)
+        key = (pattern, value)
+        if key in self._patterns:
+            return False
+        self._patterns[key] = 1
+        node = self._root
+        segments = split_topic(pattern)
+        for i, segment in enumerate(segments):
+            if segment == MULTI:
+                node.multi.add(value)
+                return True
+            node = node.children.setdefault(segment, _TrieNode())
+        node.here.add(value)
+        return True
+
+    def remove(self, pattern: str, value: T) -> bool:
+        """Remove one registration; False if it was not present."""
+        key = (pattern, value)
+        if key not in self._patterns:
+            return False
+        del self._patterns[key]
+        segments = split_topic(pattern)
+        self._remove(self._root, segments, 0, value)
+        return True
+
+    def _remove(
+        self, node: _TrieNode[T], segments: List[str], i: int, value: T
+    ) -> bool:
+        """Recursive removal; returns True when ``node`` became empty."""
+        if i == len(segments):
+            node.here.discard(value)
+        elif segments[i] == MULTI:
+            node.multi.discard(value)
+        else:
+            child = node.children.get(segments[i])
+            if child is not None and self._remove(child, segments, i + 1, value):
+                del node.children[segments[i]]
+        return not node.children and not node.here and not node.multi
+
+    def remove_value(self, value: T) -> int:
+        """Remove every pattern registered for ``value``; returns count."""
+        patterns = [p for (p, v) in self._patterns if v == value]
+        for pattern in patterns:
+            self.remove(pattern, value)
+        return len(patterns)
+
+    def match(self, topic: str) -> Set[T]:
+        """All values whose pattern matches the concrete ``topic``."""
+        segments = topic[1:].split("/")
+        found: Set[T] = set()
+        self._match(self._root, segments, 0, found)
+        return found
+
+    def _match(
+        self, node: _TrieNode[T], segments: List[str], i: int, found: Set[T]
+    ) -> None:
+        found |= node.multi
+        if i == len(segments):
+            found |= node.here
+            return
+        child = node.children.get(segments[i])
+        if child is not None:
+            self._match(child, segments, i + 1, found)
+        star = node.children.get(SINGLE)
+        if star is not None:
+            self._match(star, segments, i + 1, found)
+
+    def patterns_for(self, value: T) -> List[str]:
+        return [p for (p, v) in self._patterns if v == value]
+
+    def all_patterns(self) -> Set[str]:
+        return {p for (p, _v) in self._patterns}
+
+    def values(self) -> Iterator[T]:
+        seen = set()
+        for _p, v in self._patterns:
+            if v not in seen:
+                seen.add(v)
+                yield v

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``fig3 [--system narada|jmf|both] [--packets N] [--seed N]`` —
+  run the Figure 3 experiment and print the paper-style table.
+* ``capacity --media video|audio [--points 100,200,...]`` —
+  run a broker-capacity sweep.
+* ``demo`` — run the heterogeneous-conference smoke scenario.
+* ``info`` — print the system inventory and calibration constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.bench.figure3 import Fig3Config, run_figure3
+    from repro.bench.reporting import figure3_table
+
+    config = Fig3Config(packets=args.packets, seed=args.seed)
+    systems = ["narada", "jmf"] if args.system == "both" else [args.system]
+    results = {}
+    for system in systems:
+        print(f"running figure-3 workload for {system} "
+              f"({config.receivers} receivers, {config.packets} packets)...")
+        results[system] = run_figure3(system, config)
+        print("  " + results[system].summary_row())
+    if len(results) == 2:
+        print(figure3_table(results["narada"], results["jmf"]))
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.bench.capacity import (
+        CapacityConfig,
+        run_capacity_sweep,
+        supported_clients,
+    )
+    from repro.bench.reporting import capacity_table
+
+    if args.points:
+        points = [int(p) for p in args.points.split(",")]
+    else:
+        points = ([100, 200, 300, 400, 500] if args.media == "video"
+                  else [400, 700, 1000, 1200])
+    config = CapacityConfig(media=args.media, duration_s=args.duration,
+                            seed=args.seed)
+    print(f"sweeping {args.media} capacity at {points} clients...")
+    results = run_capacity_sweep(points, config)
+    claim = ("more than 400" if args.media == "video"
+             else "more than a thousand")
+    print(capacity_table(args.media, results, claim))
+    print(f"supported with good quality: {supported_clients(results)} clients")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    """A compact heterogeneous-conference smoke scenario."""
+    from repro.core.mmcs import GlobalMMCS, MMCSConfig
+    from repro.core.xgsp.translation import conference_alias
+
+    mmcs = GlobalMMCS(MMCSConfig(seed=7))
+    mmcs.start()
+    session = mmcs.create_session("demo")
+    print(f"created {session.session_id}")
+    terminal = mmcs.create_h323_terminal("demo-terminal")
+    mmcs.run_for(2.0)
+    connected = []
+    terminal.call(conference_alias(session.session_id),
+                  on_connected=connected.append)
+    mmcs.run_for(4.0)
+    roster = mmcs.session_server.session(session.session_id).roster
+    print(f"roster: {roster.participants()}")
+    if not connected:
+        print("demo FAILED: H.323 call did not connect")
+        return 1
+    print("demo OK")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.baselines.jmf import JMF_PROFILE
+    from repro.broker.profile import NARADA_PROFILE
+
+    print(f"Global-MMCS reproduction v{repro.__version__}")
+    print("paper: Fox, Wu, Uyar, Bulut, Pallickara — "
+          "'Global Multimedia Collaboration System' (MIDDLEWARE 2003)")
+    print()
+    print("calibration (see EXPERIMENTS.md):")
+    nb, jmf = NARADA_PROFILE, JMF_PROFILE
+    print(f"  broker send cost: {nb.send_cost_base_s * 1e6:.1f} us + "
+          f"{nb.send_cost_per_byte_s * 1e9:.1f} ns/B "
+          f"(video pkt ~{nb.send_cost_s(1262) * 1e6:.1f} us, "
+          f"audio pkt ~{nb.send_cost_s(172) * 1e6:.1f} us)")
+    print(f"  reflector send cost: {jmf.send_cost_base_s * 1e6:.1f} us + "
+          f"{jmf.send_cost_per_byte_s * 1e9:.1f} ns/B, "
+          f"backlog bound {jmf.max_backlog_tasks} tasks")
+    print()
+    print("subsystems: simnet, broker, rtp, soap, sip, h323, streaming, "
+          "communities, core.xgsp, baselines, bench")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Global-MMCS reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = sub.add_parser("fig3", help="run the Figure 3 experiment")
+    fig3.add_argument("--system", choices=("narada", "jmf", "both"),
+                      default="both")
+    fig3.add_argument("--packets", type=int, default=2000)
+    fig3.add_argument("--seed", type=int, default=0)
+    fig3.set_defaults(handler=_cmd_fig3)
+
+    capacity = sub.add_parser("capacity", help="broker capacity sweep")
+    capacity.add_argument("--media", choices=("video", "audio"),
+                          default="video")
+    capacity.add_argument("--points", default="",
+                          help="comma-separated client counts")
+    capacity.add_argument("--duration", type=float, default=6.0)
+    capacity.add_argument("--seed", type=int, default=0)
+    capacity.set_defaults(handler=_cmd_capacity)
+
+    demo = sub.add_parser("demo", help="run the heterogeneous demo")
+    demo.set_defaults(handler=_cmd_demo)
+
+    info = sub.add_parser("info", help="inventory + calibration")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

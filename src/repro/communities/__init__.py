@@ -1,0 +1,26 @@
+"""External collaboration communities bridged into Global-MMCS.
+
+* :mod:`repro.communities.accessgrid` — AccessGrid: multicast "venues"
+  with vic/rat-style clients, bridged onto XGSP session topics.
+* :mod:`repro.communities.admire` — the Admire system (Beihang
+  University): reached through its SOAP web-services; media flows through
+  a negotiated rendezvous point, per Section 3.2.
+"""
+
+from repro.communities.accessgrid import (
+    AccessGridBridge,
+    AccessGridClient,
+    Venue,
+    VenueServer,
+)
+from repro.communities.admire import AdmireClient, AdmireConnector, AdmireSystem
+
+__all__ = [
+    "AccessGridBridge",
+    "AccessGridClient",
+    "Venue",
+    "VenueServer",
+    "AdmireClient",
+    "AdmireConnector",
+    "AdmireSystem",
+]

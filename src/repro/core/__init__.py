@@ -1,0 +1,11 @@
+"""The paper's contribution: XGSP and the Global-MMCS assembly.
+
+:mod:`repro.core.xgsp` implements the XML-based General Session Protocol,
+the session/web/directory servers, WSDL-CI, and the meeting calendar;
+:mod:`repro.core.mmcs` assembles the full Global-MMCS system (brokers,
+gateways, streaming, communities) behind one facade.
+
+Import :class:`repro.core.mmcs.GlobalMMCS` directly for the assembly; this
+package intentionally avoids importing it here so the XGSP layer can be
+used without the gateway stacks.
+"""

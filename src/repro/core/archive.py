@@ -1,0 +1,162 @@
+"""Conference archiving: record and replay sessions.
+
+The Admire prototype the paper builds on provides "a complete conference
+management as well as conference archiving service" (Section 3.1); in
+Global-MMCS the natural place to archive is the broker: a recorder is
+just another subscriber on a session's topics, and replay is publishing
+the stored events back with their original spacing.
+
+* :class:`SessionRecorder` — subscribes to every media topic and the
+  control topic of a session and stores timestamped
+  :class:`ArchivedEvent` entries.
+* :class:`SessionArchive` — the recording: an ordered event log plus
+  metadata; supports duration/count queries and per-topic filtering.
+* :class:`SessionReplayer` — plays an archive back onto new (or the
+  original) topics, preserving inter-event timing, optionally
+  time-scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.event import NBEvent
+from repro.core.xgsp.messages import SessionCreated
+from repro.simnet.node import Host
+
+
+@dataclass
+class ArchivedEvent:
+    """One recorded event: when it happened and what it carried."""
+
+    offset_s: float  # relative to recording start
+    topic: str
+    payload: Any
+    size: int
+    source: str
+
+
+@dataclass
+class SessionArchive:
+    """A completed (or in-progress) recording of one session."""
+
+    session_id: str
+    started_at: float
+    events: List[ArchivedEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        return self.events[-1].offset_s if self.events else 0.0
+
+    def topics(self) -> List[str]:
+        return sorted({event.topic for event in self.events})
+
+    def events_for(self, topic: str) -> List[ArchivedEvent]:
+        return [event for event in self.events if event.topic == topic]
+
+
+class SessionRecorder:
+    """Records a session's media + control traffic from the broker."""
+
+    def __init__(self, host: Host, broker: Broker, recorder_id: str = "recorder"):
+        self.host = host
+        self.sim = host.sim
+        self.client = BrokerClient(host, client_id=recorder_id)
+        self.client.connect(broker)
+        self._archive: Optional[SessionArchive] = None
+        self._recording = False
+
+    def start(self, session: SessionCreated) -> SessionArchive:
+        """Begin recording all media topics + the control topic."""
+        if self._recording:
+            raise RuntimeError("recorder is already recording")
+        archive = SessionArchive(
+            session_id=session.session_id, started_at=self.sim.now
+        )
+        self._archive = archive
+        self._recording = True
+        for media in session.media:
+            self.client.subscribe(media.topic, self._on_event)
+        self.client.subscribe(session.control_topic, self._on_event)
+        return archive
+
+    def stop(self) -> SessionArchive:
+        if self._archive is None:
+            raise RuntimeError("recorder was never started")
+        self._recording = False
+        return self._archive
+
+    @property
+    def recording(self) -> bool:
+        return self._recording
+
+    def _on_event(self, event: NBEvent) -> None:
+        if not self._recording or self._archive is None:
+            return
+        self._archive.events.append(
+            ArchivedEvent(
+                offset_s=self.sim.now - self._archive.started_at,
+                topic=event.topic,
+                payload=event.payload,
+                size=event.size,
+                source=event.source,
+            )
+        )
+
+
+class SessionReplayer:
+    """Publishes an archive back onto broker topics with original timing."""
+
+    def __init__(self, host: Host, broker: Broker, replayer_id: str = "replayer"):
+        self.host = host
+        self.sim = host.sim
+        self.client = BrokerClient(host, client_id=replayer_id)
+        self.client.connect(broker)
+        self.events_replayed = 0
+        self._on_finished: Optional[Callable[[], None]] = None
+
+    def replay(
+        self,
+        archive: SessionArchive,
+        topic_map: Optional[Dict[str, str]] = None,
+        speed: float = 1.0,
+        on_finished: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Schedule every archived event; ``topic_map`` rewrites topics
+        (e.g. onto a new session's media topics), ``speed`` > 1 replays
+        faster than real time."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self._on_finished = on_finished
+        topic_map = topic_map or {}
+        remaining = len(archive.events)
+        if remaining == 0:
+            if on_finished is not None:
+                on_finished()
+            return
+        for archived in archive.events:
+            topic = topic_map.get(archived.topic, archived.topic)
+            self.sim.schedule(
+                archived.offset_s / speed,
+                self._publish_one,
+                topic,
+                archived,
+            )
+        self.sim.schedule(
+            archive.duration_s / speed + 1e-9, self._finished
+        )
+
+    def _publish_one(self, topic: str, archived: ArchivedEvent) -> None:
+        self.events_replayed += 1
+        self.client.publish(topic, archived.payload, archived.size)
+
+    def _finished(self) -> None:
+        if self._on_finished is not None:
+            callback, self._on_finished = self._on_finished, None
+            callback()

@@ -1,0 +1,154 @@
+"""Meeting calendar: the *scheduled* collaboration pattern.
+
+"Scheduled mode needs meeting calendar to prepare the formal
+collaboration.  People have to log into some web site or use emails to
+make reservation of some virtual meeting room, send invitations to other
+attendee in advance" (Section 2.1).
+
+A reservation books a virtual room for a time window; at the start time
+the calendar *activates* the meeting — it creates the XGSP session through
+the session server and sends an XGSP invitation to every attendee.
+Combined with ad-hoc creation through :class:`XgspClient`, this gives the
+paper's "hybrid collaboration pattern".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.xgsp.client import XgspClient
+from repro.core.xgsp.messages import SessionCreated
+from repro.core.xgsp.session import SessionMode
+
+_reservation_ids = itertools.count(1)
+
+
+class CalendarError(ValueError):
+    """Reservation conflicts and invalid bookings."""
+
+
+@dataclass
+class Reservation:
+    reservation_id: int
+    room: str
+    title: str
+    organizer: str
+    start_s: float
+    duration_s: float
+    invitees: List[str] = field(default_factory=list)
+    media_kinds: List[str] = field(default_factory=lambda: ["audio", "video"])
+    session_id: Optional[str] = None
+    cancelled: bool = False
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def overlaps(self, other: "Reservation") -> bool:
+        return (
+            self.room == other.room
+            and not other.cancelled
+            and self.start_s < other.end_s
+            and other.start_s < self.end_s
+        )
+
+
+class MeetingCalendar:
+    """Reservations + automatic activation through the session server."""
+
+    def __init__(self, client: XgspClient):
+        self.client = client
+        self.sim = client.sim
+        self._reservations: Dict[int, Reservation] = {}
+        self.activated: List[int] = []
+        self.on_activated: Optional[Callable[[Reservation, SessionCreated], None]] = None
+
+    # --------------------------------------------------------- reservation
+
+    def reserve(
+        self,
+        room: str,
+        title: str,
+        organizer: str,
+        start_s: float,
+        duration_s: float,
+        invitees: Optional[List[str]] = None,
+        media_kinds: Optional[List[str]] = None,
+    ) -> Reservation:
+        """Book a virtual room; raises :class:`CalendarError` on conflict."""
+        if duration_s <= 0:
+            raise CalendarError("duration must be positive")
+        if start_s < self.sim.now:
+            raise CalendarError("cannot reserve in the past")
+        candidate = Reservation(
+            reservation_id=next(_reservation_ids),
+            room=room,
+            title=title,
+            organizer=organizer,
+            start_s=start_s,
+            duration_s=duration_s,
+            invitees=list(invitees or []),
+            media_kinds=list(media_kinds or ["audio", "video"]),
+        )
+        for existing in self._reservations.values():
+            if candidate.overlaps(existing):
+                raise CalendarError(
+                    f"room {room!r} already booked "
+                    f"[{existing.start_s}, {existing.end_s})"
+                )
+        self._reservations[candidate.reservation_id] = candidate
+        self.sim.schedule_at(start_s, self._activate, candidate.reservation_id)
+        return candidate
+
+    def cancel(self, reservation_id: int) -> bool:
+        reservation = self._reservations.get(reservation_id)
+        if reservation is None or reservation.cancelled:
+            return False
+        reservation.cancelled = True
+        return True
+
+    def reservation(self, reservation_id: int) -> Optional[Reservation]:
+        return self._reservations.get(reservation_id)
+
+    def upcoming(self, room: Optional[str] = None) -> List[Reservation]:
+        now = self.sim.now
+        return sorted(
+            (
+                r
+                for r in self._reservations.values()
+                if not r.cancelled and r.end_s > now
+                and (room is None or r.room == room)
+            ),
+            key=lambda r: r.start_s,
+        )
+
+    # ---------------------------------------------------------- activation
+
+    def _activate(self, reservation_id: int) -> None:
+        reservation = self._reservations.get(reservation_id)
+        if reservation is None or reservation.cancelled:
+            return
+
+        def created(response) -> None:
+            if not isinstance(response, SessionCreated):
+                return
+            reservation.session_id = response.session_id
+            self.activated.append(reservation.reservation_id)
+            for invitee in reservation.invitees:
+                self.client.invite(
+                    response.session_id,
+                    invitee,
+                    note=f"scheduled meeting {reservation.title!r} "
+                         f"in room {reservation.room!r}",
+                )
+            if self.on_activated is not None:
+                self.on_activated(reservation, response)
+
+        self.client.create_session(
+            title=reservation.title,
+            media_kinds=reservation.media_kinds,
+            mode=SessionMode.SCHEDULED,
+            on_created=created,
+        )

@@ -1,0 +1,248 @@
+"""XGSP signaling client.
+
+Used by gateways, community adapters, and native Global-MMCS clients to
+talk to the session server over the broker: send a request, get the
+correlated response, subscribe to announcements and per-session control
+events.  All signaling is XGSP XML in event payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.event import NBEvent
+from repro.broker.links import LinkType
+from repro.core.xgsp import xml_codec
+from repro.core.xgsp.messages import (
+    CreateSession,
+    FloorControl,
+    InviteUser,
+    JoinSession,
+    LeaveSession,
+    ListSessions,
+    MuteMember,
+    SessionAnnouncement,
+    TerminateSession,
+)
+from repro.core.xgsp.session_server import (
+    ANNOUNCEMENTS_TOPIC,
+    SERVER_TOPIC,
+    WRAPPER_BYTES,
+    client_topic,
+)
+from repro.simnet.kernel import Timer
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+
+ResponseCallback = Callable[[Any], None]
+AnnouncementCallback = Callable[[SessionAnnouncement], None]
+
+#: How long a signaling request may stay unanswered.
+REQUEST_TIMEOUT_S = 10.0
+
+
+class XgspClient:
+    """One signaling participant (a user client or a community gateway)."""
+
+    def __init__(
+        self,
+        host: Host,
+        broker: Broker,
+        participant_id: str,
+        link_type: LinkType = LinkType.UDP,
+        proxy: Optional[Address] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.participant_id = participant_id
+        self.reply_topic = client_topic(participant_id)
+        self.broker_client = BrokerClient(
+            host, client_id=f"xgsp/{participant_id}"
+        )
+        self.broker_client.connect(broker, link_type=link_type, proxy=proxy)
+        self.broker_client.subscribe(self.reply_topic, self._on_reply_event)
+        self._pending: Dict[int, tuple] = {}  # request_id -> (cb, timer)
+        self._announcement_handlers: List[AnnouncementCallback] = []
+        self.timeouts = 0
+
+    # ----------------------------------------------------------- requests
+
+    def request(
+        self,
+        message: Any,
+        on_response: Optional[ResponseCallback] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
+        timeout_s: float = REQUEST_TIMEOUT_S,
+    ) -> int:
+        """Send one XGSP request; the correlated response fires the callback."""
+        timer: Optional[Timer] = None
+        if on_response is not None or on_timeout is not None:
+            timer = self.sim.schedule(
+                timeout_s, self._on_timeout, message.request_id, on_timeout
+            )
+            self._pending[message.request_id] = (on_response, timer)
+        text = xml_codec.encode(message)
+        self.broker_client.publish(
+            SERVER_TOPIC,
+            {"xml": text, "reply_to": self.reply_topic},
+            len(text) + WRAPPER_BYTES,
+            reliable=True,
+        )
+        return message.request_id
+
+    def _on_timeout(self, request_id: int, on_timeout) -> None:
+        if self._pending.pop(request_id, None) is not None:
+            self.timeouts += 1
+            if on_timeout is not None:
+                on_timeout()
+
+    def _on_reply_event(self, event: NBEvent) -> None:
+        payload = event.payload
+        if not isinstance(payload, dict) or "xml" not in payload:
+            return
+        try:
+            message = xml_codec.decode(payload["xml"])
+        except Exception:
+            return
+        if isinstance(message, SessionAnnouncement) and message.event == "invitation":
+            for handler in self._announcement_handlers:
+                handler(message)
+            return
+        entry = self._pending.pop(getattr(message, "request_id", -1), None)
+        if entry is None:
+            return
+        on_response, timer = entry
+        if timer is not None:
+            timer.cancel()
+        if on_response is not None:
+            on_response(message)
+
+    # ------------------------------------------------------ announcements
+
+    def watch_announcements(self, handler: AnnouncementCallback) -> None:
+        """Global announcements (session created/terminated everywhere)."""
+        self._announcement_handlers.append(handler)
+        self.broker_client.subscribe(
+            ANNOUNCEMENTS_TOPIC, self._make_announcement_dispatch(handler)
+        )
+
+    def watch_session(self, control_topic: str, handler: AnnouncementCallback) -> None:
+        """Per-session control events (joins/leaves/floor/mute)."""
+        self.broker_client.subscribe(
+            control_topic, self._make_announcement_dispatch(handler)
+        )
+
+    def _make_announcement_dispatch(self, handler: AnnouncementCallback):
+        def dispatch(event: NBEvent) -> None:
+            payload = event.payload
+            if not isinstance(payload, dict) or "xml" not in payload:
+                return
+            try:
+                message = xml_codec.decode(payload["xml"])
+            except Exception:
+                return
+            if isinstance(message, SessionAnnouncement):
+                handler(message)
+
+        return dispatch
+
+    # -------------------------------------------------------- convenience
+
+    def create_session(
+        self,
+        title: str,
+        media_kinds: Optional[List[str]] = None,
+        mode: str = "adhoc",
+        community: str = "global",
+        on_created: Optional[ResponseCallback] = None,
+    ) -> int:
+        return self.request(
+            CreateSession(
+                title=title,
+                creator=self.participant_id,
+                media_kinds=media_kinds or ["audio", "video"],
+                mode=mode,
+                community=community,
+            ),
+            on_created,
+        )
+
+    def join(
+        self,
+        session_id: str,
+        community: str = "global",
+        terminal: str = "",
+        media_kinds: Optional[List[str]] = None,
+        on_result: Optional[ResponseCallback] = None,
+    ) -> int:
+        return self.request(
+            JoinSession(
+                session_id=session_id,
+                participant=self.participant_id,
+                community=community,
+                terminal=terminal,
+                media_kinds=media_kinds or ["audio", "video"],
+            ),
+            on_result,
+        )
+
+    def leave(self, session_id: str, on_result=None) -> int:
+        return self.request(
+            LeaveSession(session_id=session_id, participant=self.participant_id),
+            on_result,
+        )
+
+    def terminate(self, session_id: str, on_result=None) -> int:
+        return self.request(
+            TerminateSession(session_id=session_id, requester=self.participant_id),
+            on_result,
+        )
+
+    def invite(self, session_id: str, invitee: str, note: str = "", on_result=None) -> int:
+        return self.request(
+            InviteUser(
+                session_id=session_id,
+                inviter=self.participant_id,
+                invitee=invitee,
+                note=note,
+            ),
+            on_result,
+        )
+
+    def floor(self, session_id: str, action: str, on_result=None) -> int:
+        return self.request(
+            FloorControl(
+                session_id=session_id,
+                participant=self.participant_id,
+                action=action,
+            ),
+            on_result,
+        )
+
+    def mute(self, session_id: str, target: str, muted: bool = True, on_result=None) -> int:
+        return self.request(
+            MuteMember(
+                session_id=session_id,
+                requester=self.participant_id,
+                target=target,
+                muted=muted,
+            ),
+            on_result,
+        )
+
+    def list_sessions(self, community: str = "", on_result=None) -> int:
+        return self.request(ListSessions(community=community), on_result)
+
+    # -------------------------------------------------------------- media
+
+    def publish_media(self, topic: str, payload: Any, size: int) -> None:
+        """Publish one media packet on a session media topic."""
+        self.broker_client.publish(topic, payload, size)
+
+    def subscribe_media(self, topic: str, handler: Callable[[NBEvent], None]) -> None:
+        self.broker_client.subscribe(topic, handler)
+
+    def disconnect(self) -> None:
+        self.broker_client.disconnect()

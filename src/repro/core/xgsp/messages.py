@@ -1,0 +1,163 @@
+"""XGSP message vocabulary.
+
+Every message is a dataclass that serializes to XML (see
+:mod:`repro.core.xgsp.xml_codec`) — XGSP "defines a general session
+protocol in XML".  The vocabulary covers the three WSDL-CI areas the paper
+names: *session establishment* (create/terminate), *session membership*
+(join/leave/invite), and *session collaboration control* (floor, mute).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+_request_ids = itertools.count(1)
+
+
+class XgspError(RuntimeError):
+    """Protocol-level error (bad session id, unauthorized action...)."""
+
+
+def new_request_id() -> int:
+    return next(_request_ids)
+
+
+@dataclass
+class XgspMessage:
+    """Base: all XGSP messages carry a correlation id."""
+
+    request_id: int = field(default_factory=new_request_id, kw_only=True)
+
+
+@dataclass
+class MediaDescription:
+    """One media stream of a session and the broker topic carrying it."""
+
+    kind: str  # "audio" | "video" | "chat" | "app"
+    codec: str = ""
+    topic: str = ""
+    bandwidth_bps: float = 0.0
+
+
+# ----------------------------------------------------- session establishment
+
+
+@dataclass
+class CreateSession(XgspMessage):
+    title: str = ""
+    creator: str = ""
+    media_kinds: List[str] = field(default_factory=lambda: ["audio", "video"])
+    mode: str = "adhoc"  # "adhoc" | "scheduled"
+    community: str = "global"
+
+
+@dataclass
+class SessionCreated(XgspMessage):
+    session_id: str = ""
+    title: str = ""
+    media: List[MediaDescription] = field(default_factory=list)
+    control_topic: str = ""
+
+
+@dataclass
+class TerminateSession(XgspMessage):
+    session_id: str = ""
+    requester: str = ""
+
+
+@dataclass
+class SessionTerminated(XgspMessage):
+    session_id: str = ""
+    reason: str = ""
+
+
+# -------------------------------------------------------- session membership
+
+
+@dataclass
+class JoinSession(XgspMessage):
+    session_id: str = ""
+    participant: str = ""  # user id or gateway participant id
+    community: str = "global"  # h323 | sip | accessgrid | admire | global
+    terminal: str = ""  # terminal description ("h323:polycom", ...)
+    media_kinds: List[str] = field(default_factory=lambda: ["audio", "video"])
+
+
+@dataclass
+class JoinAccepted(XgspMessage):
+    session_id: str = ""
+    participant: str = ""
+    media: List[MediaDescription] = field(default_factory=list)
+    control_topic: str = ""
+
+
+@dataclass
+class JoinRejected(XgspMessage):
+    session_id: str = ""
+    participant: str = ""
+    reason: str = ""
+
+
+@dataclass
+class LeaveSession(XgspMessage):
+    session_id: str = ""
+    participant: str = ""
+
+
+@dataclass
+class InviteUser(XgspMessage):
+    session_id: str = ""
+    inviter: str = ""
+    invitee: str = ""
+    note: str = ""
+
+
+# ------------------------------------------------------ collaboration control
+
+
+@dataclass
+class FloorControl(XgspMessage):
+    session_id: str = ""
+    participant: str = ""
+    action: str = "request"  # request | release | grant | deny
+
+
+class FloorAction:
+    REQUEST = "request"
+    RELEASE = "release"
+    GRANT = "grant"
+    DENY = "deny"
+
+
+@dataclass
+class MuteMember(XgspMessage):
+    session_id: str = ""
+    requester: str = ""
+    target: str = ""
+    muted: bool = True
+
+
+# ------------------------------------------------------------- notifications
+
+
+@dataclass
+class SessionAnnouncement(XgspMessage):
+    """Broadcast on the global announcements topic and per-session control
+    topic: membership changes, floor changes, session lifecycle."""
+
+    session_id: str = ""
+    event: str = ""  # created | terminated | joined | left | floor | mute
+    participant: str = ""
+    detail: str = ""
+
+
+@dataclass
+class ListSessions(XgspMessage):
+    community: str = ""
+
+
+@dataclass
+class SessionList(XgspMessage):
+    sessions: List[Dict] = field(default_factory=list)

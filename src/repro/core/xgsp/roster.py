@@ -1,0 +1,56 @@
+"""Session rosters: who is in a session, through which community."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Member:
+    """One participant of a session."""
+
+    participant: str
+    community: str = "global"
+    terminal: str = ""
+    joined_at: float = 0.0
+    media_kinds: List[str] = field(default_factory=list)
+    muted: bool = False
+
+
+class Roster:
+    """Membership of one session."""
+
+    def __init__(self) -> None:
+        self._members: Dict[str, Member] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, participant: str) -> bool:
+        return participant in self._members
+
+    def add(self, member: Member) -> bool:
+        """False if the participant was already present (rejoin updates)."""
+        fresh = member.participant not in self._members
+        self._members[member.participant] = member
+        return fresh
+
+    def remove(self, participant: str) -> Optional[Member]:
+        return self._members.pop(participant, None)
+
+    def get(self, participant: str) -> Optional[Member]:
+        return self._members.get(participant)
+
+    def members(self) -> List[Member]:
+        return [self._members[name] for name in sorted(self._members)]
+
+    def participants(self) -> List[str]:
+        return sorted(self._members)
+
+    def communities(self) -> Dict[str, int]:
+        """Member count per community — the paper's heterogeneity metric."""
+        counts: Dict[str, int] = {}
+        for member in self._members.values():
+            counts[member.community] = counts.get(member.community, 0) + 1
+        return counts

@@ -1,0 +1,368 @@
+"""The XGSP Session Server.
+
+"The XGSP Session Server translates the high-level command from the XGSP
+Web Server into signaling messages of XGSP, and sends these signaling
+messages to the NaradaBrokering servers to create a publish/subscribe
+session" (Section 3.2).
+
+Signaling plane (all XGSP XML over broker topics):
+
+* requests:       ``/xgsp/signaling/server`` (this server subscribes)
+* responses:      ``/xgsp/signaling/client/<participant>``
+* announcements:  ``/xgsp/announcements`` and each session's control topic
+
+Requests arrive as ``{"xml": <encoded message>, "reply_to": <topic>}``
+events; the reply_to wrapper is transport addressing (the XGSP equivalent
+of a UDP source address), not protocol content.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.event import NBEvent
+from repro.broker.links import LinkType
+from repro.core.xgsp import xml_codec
+from repro.core.xgsp.messages import (
+    CreateSession,
+    FloorAction,
+    FloorControl,
+    InviteUser,
+    JoinAccepted,
+    JoinRejected,
+    JoinSession,
+    LeaveSession,
+    ListSessions,
+    MuteMember,
+    SessionAnnouncement,
+    SessionCreated,
+    SessionList,
+    SessionTerminated,
+    TerminateSession,
+    XgspError,
+)
+from repro.core.xgsp.roster import Member
+from repro.core.xgsp.session import Session, SessionState, allocate_session_id
+from repro.simnet.node import Host
+
+SERVER_TOPIC = "/xgsp/signaling/server"
+ANNOUNCEMENTS_TOPIC = "/xgsp/announcements"
+
+
+def client_topic(participant: str) -> str:
+    """The reply topic of one signaling participant."""
+    return f"/xgsp/signaling/client/{participant.replace('/', '-')}"
+
+
+#: Wire overhead of the signaling event wrapper.
+WRAPPER_BYTES = 32
+
+
+class XgspSessionServer:
+    """Session management + signaling endpoint on the broker network."""
+
+    def __init__(
+        self,
+        host: Host,
+        broker: Broker,
+        server_id: str = "xgsp-session-server",
+        link_type: LinkType = LinkType.TCP,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.server_id = server_id
+        self._sessions: Dict[str, Session] = {}
+        self._observers: List[Callable[[SessionAnnouncement], None]] = []
+        self.client = BrokerClient(host, client_id=server_id)
+        self.client.connect(broker, link_type=link_type)
+        self.client.subscribe(SERVER_TOPIC, self._on_request_event)
+        self.requests_handled = 0
+
+    # ----------------------------------------------------------- queries
+
+    def session(self, session_id: str) -> Optional[Session]:
+        return self._sessions.get(session_id)
+
+    def sessions(self) -> List[Session]:
+        return [self._sessions[sid] for sid in sorted(self._sessions)]
+
+    def active_sessions(self) -> List[Session]:
+        return [
+            session
+            for session in self.sessions()
+            if session.state == SessionState.ACTIVE
+        ]
+
+    def add_observer(self, observer: Callable[[SessionAnnouncement], None]) -> None:
+        """In-process observer of every announcement (used by the MMCS
+        assembly for logging/metrics)."""
+        self._observers.append(observer)
+
+    # --------------------------------------------------- request handling
+
+    def _on_request_event(self, event: NBEvent) -> None:
+        payload = event.payload
+        if not isinstance(payload, dict) or "xml" not in payload:
+            return
+        try:
+            message = xml_codec.decode(payload["xml"])
+        except Exception:
+            return
+        reply_to = payload.get("reply_to")
+        response = self.handle_message(message)
+        if response is not None and reply_to:
+            self._publish_xml(reply_to, response)
+
+    def handle_message(self, message: Any) -> Optional[Any]:
+        """Process one XGSP request; returns the response message.
+
+        Public so the Web Server (or tests) can drive the server
+        in-process; the broker path funnels here too.
+        """
+        self.requests_handled += 1
+        if isinstance(message, CreateSession):
+            return self._handle_create(message)
+        if isinstance(message, TerminateSession):
+            return self._handle_terminate(message)
+        if isinstance(message, JoinSession):
+            return self._handle_join(message)
+        if isinstance(message, LeaveSession):
+            return self._handle_leave(message)
+        if isinstance(message, InviteUser):
+            return self._handle_invite(message)
+        if isinstance(message, FloorControl):
+            return self._handle_floor(message)
+        if isinstance(message, MuteMember):
+            return self._handle_mute(message)
+        if isinstance(message, ListSessions):
+            return self._handle_list(message)
+        return None
+
+    # ------------------------------------------------------ establishment
+
+    def _handle_create(self, message: CreateSession) -> SessionCreated:
+        session = Session(
+            session_id=allocate_session_id(),
+            title=message.title,
+            creator=message.creator,
+            media_kinds=list(message.media_kinds),
+            mode=message.mode,
+            community=message.community,
+        )
+        self._sessions[session.session_id] = session
+        self._announce(
+            session,
+            SessionAnnouncement(
+                session_id=session.session_id,
+                event="created",
+                participant=message.creator,
+                detail=message.title,
+            ),
+            include_control=False,  # nobody subscribed yet
+        )
+        return SessionCreated(
+            request_id=message.request_id,
+            session_id=session.session_id,
+            title=session.title,
+            media=session.media_list(),
+            control_topic=session.control_topic,
+        )
+
+    def _handle_terminate(self, message: TerminateSession) -> SessionTerminated:
+        session = self._sessions.get(message.session_id)
+        if session is None:
+            return SessionTerminated(
+                request_id=message.request_id,
+                session_id=message.session_id,
+                reason="unknown-session",
+            )
+        session.terminate()
+        self._announce(
+            session,
+            SessionAnnouncement(
+                session_id=session.session_id,
+                event="terminated",
+                participant=message.requester,
+            ),
+        )
+        return SessionTerminated(
+            request_id=message.request_id,
+            session_id=session.session_id,
+            reason="ok",
+        )
+
+    # -------------------------------------------------------- membership
+
+    def _handle_join(self, message: JoinSession):
+        session = self._sessions.get(message.session_id)
+        if session is None or session.state != SessionState.ACTIVE:
+            return JoinRejected(
+                request_id=message.request_id,
+                session_id=message.session_id,
+                participant=message.participant,
+                reason="no-such-active-session",
+            )
+        member = Member(
+            participant=message.participant,
+            community=message.community,
+            terminal=message.terminal,
+            joined_at=self.sim.now,
+            media_kinds=list(message.media_kinds),
+        )
+        session.join(member)
+        self._announce(
+            session,
+            SessionAnnouncement(
+                session_id=session.session_id,
+                event="joined",
+                participant=message.participant,
+                detail=message.community,
+            ),
+        )
+        return JoinAccepted(
+            request_id=message.request_id,
+            session_id=session.session_id,
+            participant=message.participant,
+            media=session.media_for(message.media_kinds),
+            control_topic=session.control_topic,
+        )
+
+    def _handle_leave(self, message: LeaveSession) -> Optional[SessionAnnouncement]:
+        session = self._sessions.get(message.session_id)
+        if session is None:
+            return None
+        member = session.leave(message.participant)
+        if member is not None:
+            self._announce(
+                session,
+                SessionAnnouncement(
+                    session_id=session.session_id,
+                    event="left",
+                    participant=message.participant,
+                ),
+            )
+        return SessionAnnouncement(
+            request_id=message.request_id,
+            session_id=message.session_id,
+            event="left",
+            participant=message.participant,
+        )
+
+    def _handle_invite(self, message: InviteUser) -> SessionAnnouncement:
+        session = self._sessions.get(message.session_id)
+        acknowledgement = SessionAnnouncement(
+            request_id=message.request_id,
+            session_id=message.session_id,
+            event="invited",
+            participant=message.invitee,
+            detail="unknown-session" if session is None else "delivered",
+        )
+        if session is not None:
+            invitation = SessionAnnouncement(
+                session_id=session.session_id,
+                event="invitation",
+                participant=message.invitee,
+                detail=f"from {message.inviter}: {message.note}",
+            )
+            self._publish_xml(client_topic(message.invitee), invitation)
+        return acknowledgement
+
+    # ------------------------------------------------------------ control
+
+    def _handle_floor(self, message: FloorControl) -> FloorControl:
+        session = self._sessions.get(message.session_id)
+        if session is None:
+            return FloorControl(
+                request_id=message.request_id,
+                session_id=message.session_id,
+                participant=message.participant,
+                action=FloorAction.DENY,
+            )
+        try:
+            if message.action == FloorAction.REQUEST:
+                granted = session.request_floor(message.participant)
+            elif message.action == FloorAction.RELEASE:
+                granted = session.release_floor(message.participant)
+            else:
+                granted = False
+        except XgspError:
+            granted = False
+        action = FloorAction.GRANT if granted else FloorAction.DENY
+        if granted:
+            self._announce(
+                session,
+                SessionAnnouncement(
+                    session_id=session.session_id,
+                    event="floor",
+                    participant=message.participant,
+                    detail=message.action,
+                ),
+            )
+        return FloorControl(
+            request_id=message.request_id,
+            session_id=message.session_id,
+            participant=message.participant,
+            action=action,
+        )
+
+    def _handle_mute(self, message: MuteMember) -> SessionAnnouncement:
+        session = self._sessions.get(message.session_id)
+        detail = "ok"
+        if session is None:
+            detail = "unknown-session"
+        elif message.requester not in (session.creator, message.target):
+            detail = "not-authorized"
+        else:
+            try:
+                session.set_muted(message.target, message.muted)
+            except XgspError:
+                detail = "unknown-member"
+        if session is not None and detail == "ok":
+            self._announce(
+                session,
+                SessionAnnouncement(
+                    session_id=session.session_id,
+                    event="mute" if message.muted else "unmute",
+                    participant=message.target,
+                ),
+            )
+        return SessionAnnouncement(
+            request_id=message.request_id,
+            session_id=message.session_id,
+            event="mute-result",
+            participant=message.target,
+            detail=detail,
+        )
+
+    def _handle_list(self, message: ListSessions) -> SessionList:
+        sessions = [
+            session.describe()
+            for session in self.active_sessions()
+            if not message.community or session.community == message.community
+        ]
+        return SessionList(request_id=message.request_id, sessions=sessions)
+
+    # ------------------------------------------------------ announcements
+
+    def _announce(
+        self,
+        session: Session,
+        announcement: SessionAnnouncement,
+        include_control: bool = True,
+    ) -> None:
+        for observer in self._observers:
+            observer(announcement)
+        self._publish_xml(ANNOUNCEMENTS_TOPIC, announcement)
+        if include_control:
+            self._publish_xml(session.control_topic, announcement)
+
+    def _publish_xml(self, topic: str, message: Any) -> None:
+        text = xml_codec.encode(message)
+        self.client.publish(
+            topic,
+            {"xml": text},
+            len(text) + WRAPPER_BYTES,
+            reliable=False,  # TCP server link is already reliable
+        )

@@ -1,0 +1,137 @@
+"""XGSP ↔ community-protocol translation helpers.
+
+XGSP is "one session protocol which can be translated into AccessGrid,
+H.323, SIP messages and vice versa".  This module centralizes the pure
+translation functions the gateways use, so the mapping is testable on its
+own:
+
+* Conference addressing: an XGSP session ``session-N`` appears to SIP
+  endpoints as ``sip:conf-session-N@<domain>`` and to H.323 endpoints as
+  the alias ``conf-session-N``.
+* SIP INVITE → :class:`JoinSession`, and JoinAccepted + proxy RTP
+  addresses → the SDP answer.
+* H.323 Setup/OLC → :class:`JoinSession` and back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.xgsp.messages import JoinAccepted, JoinSession
+from repro.h323.pdu import MediaCapability, Setup
+from repro.rtp.packet import PayloadType
+from repro.simnet.packet import Address
+from repro.sip.message import SipRequest, parse_name_addr, parse_uri
+from repro.sip.sdp import SessionDescription
+
+#: Prefix that marks a URI/alias as an XGSP conference.
+CONFERENCE_PREFIX = "conf-"
+
+#: SDP payload-type numbers per XGSP media kind (the session defaults).
+PAYLOAD_TYPES = {"audio": int(PayloadType.PCMU), "video": int(PayloadType.H261)}
+MEDIA_BY_PAYLOAD = {int(PayloadType.PCMU): "audio", int(PayloadType.H261): "video"}
+
+
+# ------------------------------------------------------------- addressing
+
+
+def conference_alias(session_id: str) -> str:
+    return f"{CONFERENCE_PREFIX}{session_id}"
+
+
+def conference_sip_uri(session_id: str, domain: str) -> str:
+    return f"sip:{conference_alias(session_id)}@{domain}"
+
+
+def session_id_from_alias(alias: str) -> Optional[str]:
+    """``conf-session-3`` -> ``session-3`` (None if not a conference)."""
+    if alias.startswith(CONFERENCE_PREFIX):
+        return alias[len(CONFERENCE_PREFIX):]
+    return None
+
+
+def session_id_from_sip_uri(uri: str) -> Optional[str]:
+    try:
+        user, _domain = parse_uri(uri)
+    except Exception:
+        return None
+    return session_id_from_alias(user)
+
+
+# ------------------------------------------------------------ SIP mapping
+
+
+def join_for_sip_invite(request: SipRequest, offer: Optional[SessionDescription]) -> Optional[JoinSession]:
+    """Translate an INVITE to a conference URI into an XGSP JoinSession."""
+    session_id = session_id_from_sip_uri(request.uri)
+    if session_id is None:
+        return None
+    caller_uri, _tag = parse_name_addr(request.get("From") or "")
+    media_kinds: List[str] = []
+    if offer is not None:
+        for line in offer.media:
+            if line.kind in ("audio", "video"):
+                media_kinds.append(line.kind)
+    if not media_kinds:
+        media_kinds = ["audio", "video"]
+    return JoinSession(
+        session_id=session_id,
+        participant=caller_uri,
+        community="sip",
+        terminal=f"sip:{request.get('Contact') or caller_uri}",
+        media_kinds=media_kinds,
+    )
+
+
+def sdp_answer_for_join(
+    accepted: JoinAccepted,
+    rtp_addresses: Dict[str, Address],
+    origin: str = "xgsp-gateway",
+) -> SessionDescription:
+    """Build the SDP answer pointing the endpoint's RTP at the broker's
+    RTP proxy ports (``rtp_addresses`` maps media kind -> proxy address)."""
+    hosts = {address.host for address in rtp_addresses.values()}
+    if len(hosts) != 1:
+        raise ValueError("all proxy RTP addresses must share one host")
+    answer = SessionDescription(
+        origin_user=origin,
+        connection_host=next(iter(hosts)),
+        session_name=accepted.session_id,
+    )
+    for media in accepted.media:
+        address = rtp_addresses.get(media.kind)
+        if address is None:
+            continue
+        answer.add_media(
+            media.kind, address.port, [PAYLOAD_TYPES.get(media.kind, 0)]
+        )
+    return answer
+
+
+# ----------------------------------------------------------- H.323 mapping
+
+
+def join_for_h323_setup(setup: Setup) -> Optional[JoinSession]:
+    """Translate an H.225 Setup to a conference alias into JoinSession."""
+    session_id = session_id_from_alias(setup.callee_alias)
+    if session_id is None:
+        return None
+    return JoinSession(
+        session_id=session_id,
+        participant=f"h323:{setup.caller_alias}",
+        community="h323",
+        terminal=f"h323:{setup.caller_alias}",
+        media_kinds=["audio", "video"],
+    )
+
+
+def capabilities_for_join(accepted: JoinAccepted) -> List[MediaCapability]:
+    """The capability set the gateway offers in H.245, matching the
+    session's media kinds."""
+    capabilities = []
+    for media in accepted.media:
+        if media.kind == "audio":
+            capabilities.append(MediaCapability.default_audio())
+        elif media.kind == "video":
+            capabilities.append(MediaCapability.default_video())
+    return capabilities

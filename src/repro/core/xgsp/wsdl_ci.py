@@ -1,0 +1,152 @@
+"""WSDL-CI — the WSDL Collaboration Interface.
+
+"WSDL-CI gives an interface definition of any collaboration server ...
+including the methods of session establishment, session membership and
+session collaboration control" (Section 2.2).  Any third-party server
+that publishes this interface can be scheduled into an XGSP session —
+the paper's example is a third-party H.323 MCU.
+
+This module defines the canonical CI document, a helper to check that a
+server's WSDL conforms, and :class:`McuCollaborationService`, which wraps
+:class:`repro.h323.mcu.H323Mcu` behind the CI exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.h323.mcu import H323Mcu
+from repro.soap.service import SoapService
+from repro.soap.wsdl import Operation, WsdlDocument, WsdlError
+
+#: Operation names every collaboration server must implement, grouped by
+#: the paper's three areas.
+SESSION_ESTABLISHMENT_OPS = ("createSession", "terminateSession")
+SESSION_MEMBERSHIP_OPS = ("addMember", "removeMember", "listMembers")
+SESSION_CONTROL_OPS = ("muteMember", "grantFloor")
+REQUIRED_CI_OPS = (
+    SESSION_ESTABLISHMENT_OPS + SESSION_MEMBERSHIP_OPS + SESSION_CONTROL_OPS
+)
+
+
+def make_ci_wsdl(service_name: str, doc: str = "") -> WsdlDocument:
+    """The canonical WSDL-CI port type for one collaboration server."""
+    return (
+        WsdlDocument(service=service_name, doc=doc or "WSDL-CI collaboration server")
+        .add(Operation.make("createSession", required=["session_id"],
+                            optional=["title", "media"]))
+        .add(Operation.make("terminateSession", required=["session_id"]))
+        .add(Operation.make("addMember", required=["session_id", "member"],
+                            optional=["terminal"]))
+        .add(Operation.make("removeMember", required=["session_id", "member"]))
+        .add(Operation.make("listMembers", required=["session_id"]))
+        .add(Operation.make("muteMember", required=["session_id", "member"],
+                            optional=["muted"]))
+        .add(Operation.make("grantFloor", required=["session_id", "member"]))
+    )
+
+
+def conforms_to_ci(wsdl: WsdlDocument) -> bool:
+    """True when a WSDL declares every required CI operation."""
+    return all(name in wsdl.operations for name in REQUIRED_CI_OPS)
+
+
+def validate_ci(wsdl: WsdlDocument) -> None:
+    missing = [name for name in REQUIRED_CI_OPS if name not in wsdl.operations]
+    if missing:
+        raise WsdlError(
+            f"service {wsdl.service!r} is not WSDL-CI: missing {missing}"
+        )
+
+
+class McuCollaborationService:
+    """A third-party H.323 MCU published through WSDL-CI.
+
+    The MCU's native world is H.323 calls; this adapter maps CI operations
+    onto it: ``addMember`` records the expected participant alias (the
+    member still *calls in* over H.323 — that is how MCUs work), and
+    membership/control queries reflect the MCU's live call table.
+    """
+
+    def __init__(self, mcu: H323Mcu, service_name: str = "ThirdPartyMCU"):
+        self.mcu = mcu
+        self.service_name = service_name
+        self._sessions: Dict[str, Dict] = {}
+
+    def wsdl(self) -> WsdlDocument:
+        return make_ci_wsdl(self.service_name, doc="H.323 MCU bridge")
+
+    def expose(self, soap: SoapService) -> None:
+        wsdl = self.wsdl()
+        validate_ci(wsdl)
+        soap.register(wsdl)
+        bind = lambda op, fn: soap.bind(self.service_name, op, fn)  # noqa: E731
+        bind("createSession", self._create_session)
+        bind("terminateSession", self._terminate_session)
+        bind("addMember", self._add_member)
+        bind("removeMember", self._remove_member)
+        bind("listMembers", self._list_members)
+        bind("muteMember", self._mute_member)
+        bind("grantFloor", self._grant_floor)
+
+    # ------------------------------------------------------ CI operations
+
+    def _create_session(self, session_id, title="", media=None):
+        self._sessions[session_id] = {
+            "title": title,
+            "expected": [],
+            "muted": set(),
+            "floor": None,
+        }
+        return {"session_id": session_id, "mcu_alias": self.mcu.alias}
+
+    def _terminate_session(self, session_id):
+        self._sessions.pop(session_id, None)
+        for call in list(self.mcu.calls()):
+            call.hangup()
+        return {"session_id": session_id}
+
+    def _require(self, session_id) -> Dict:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown MCU session {session_id!r}")
+        return session
+
+    def _add_member(self, session_id, member, terminal=""):
+        session = self._require(session_id)
+        session["expected"].append(member)
+        return {
+            "session_id": session_id,
+            "member": member,
+            "dial_alias": self.mcu.alias,
+        }
+
+    def _remove_member(self, session_id, member):
+        session = self._require(session_id)
+        if member in session["expected"]:
+            session["expected"].remove(member)
+        for call in list(self.mcu.calls()):
+            if call.remote_alias == member:
+                call.hangup()
+        return {"session_id": session_id, "member": member}
+
+    def _list_members(self, session_id):
+        self._require(session_id)
+        return {
+            "connected": self.mcu.participants(),
+            "expected": list(self._require(session_id)["expected"]),
+        }
+
+    def _mute_member(self, session_id, member, muted=True):
+        session = self._require(session_id)
+        if muted:
+            session["muted"].add(member)
+        else:
+            session["muted"].discard(member)
+        return {"member": member, "muted": muted}
+
+    def _grant_floor(self, session_id, member):
+        session = self._require(session_id)
+        session["floor"] = member
+        return {"floor": member}

@@ -1,0 +1,92 @@
+"""XML wire form of XGSP messages.
+
+Messages encode as ``<xgsp type="JoinSession">...</xgsp>`` with the
+dataclass fields as an XML value tree (reusing the SOAP value codec).
+``encode``/``decode`` are total inverses for every registered message
+type; the byte length of the encoded form is what the signaling transport
+charges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Type
+
+from repro.core.xgsp import messages as m
+from repro.soap.xmlutil import (
+    XmlCodecError,
+    element_to_string,
+    from_xml_value,
+    string_to_element,
+    to_xml_value,
+)
+
+ROOT_TAG = "xgsp"
+
+#: Registry of every wire-visible XGSP message type.
+MESSAGE_TYPES: Dict[str, Type] = {
+    cls.__name__: cls
+    for cls in (
+        m.CreateSession,
+        m.SessionCreated,
+        m.TerminateSession,
+        m.SessionTerminated,
+        m.JoinSession,
+        m.JoinAccepted,
+        m.JoinRejected,
+        m.LeaveSession,
+        m.InviteUser,
+        m.FloorControl,
+        m.MuteMember,
+        m.SessionAnnouncement,
+        m.ListSessions,
+        m.SessionList,
+    )
+}
+
+
+def encode(message: Any) -> str:
+    """Serialize an XGSP message to XML text."""
+    name = type(message).__name__
+    if name not in MESSAGE_TYPES:
+        raise XmlCodecError(f"{name} is not a registered XGSP message")
+    body = dataclasses.asdict(message)
+    element = to_xml_value(ROOT_TAG, body)
+    element.set("msg", name)
+    return element_to_string(element)
+
+
+def decode(text: str) -> Any:
+    """Parse XML text back into the XGSP message dataclass."""
+    element = string_to_element(text)
+    if element.tag != ROOT_TAG:
+        raise XmlCodecError(f"not an XGSP message: <{element.tag}>")
+    name = element.get("msg", "")
+    cls = MESSAGE_TYPES.get(name)
+    if cls is None:
+        raise XmlCodecError(f"unknown XGSP message type {name!r}")
+    body = from_xml_value(element)
+    if not isinstance(body, dict):
+        raise XmlCodecError("XGSP body must decode to a dict")
+    return _build(cls, body)
+
+
+def _build(cls: Type, body: Dict[str, Any]) -> Any:
+    """Rebuild a dataclass, recursing into MediaDescription lists."""
+    kwargs: Dict[str, Any] = {}
+    for field_info in dataclasses.fields(cls):
+        if field_info.name not in body:
+            continue
+        value = body[field_info.name]
+        if field_info.name == "media" and isinstance(value, list):
+            value = [
+                m.MediaDescription(**item) if isinstance(item, dict) else item
+                for item in value
+            ]
+        kwargs[field_info.name] = value
+    return cls(**kwargs)
+
+
+def wire_size(message: Any) -> int:
+    """Encoded byte length (the signaling transport's charge)."""
+    return len(encode(message))

@@ -1,0 +1,74 @@
+"""H.323 community substrate.
+
+The paper's "H.323 Servers" are "a H.323 Gatekeeper and H.323 gateway"
+that "create a new H.323 administration domain for individual H.323
+endpoints, translate H.225 and H.245 signaling from these endpoints into
+XGSP signaling messages, and redirect their RTP channels to the
+NaradaBrokering servers."
+
+This package implements the endpoint-facing half: RAS (registration and
+admission over UDP), H.225 call signaling (Setup/Alerting/Connect over
+TCP), H.245 control (capability exchange, master/slave, logical channels
+over TCP), terminals, a gatekeeper with bandwidth management, and a
+classic MCU.  Messages are dataclasses with calibrated ASN.1-PER-like wire
+sizes (real PER encoding is a paper-external detail; see DESIGN.md).
+"""
+
+from repro.h323.pdu import (
+    AdmissionConfirm,
+    AdmissionReject,
+    AdmissionRequest,
+    Alerting,
+    BandwidthConfirm,
+    BandwidthReject,
+    BandwidthRequest,
+    CallProceeding,
+    Connect,
+    DisengageConfirm,
+    DisengageRequest,
+    GatekeeperConfirm,
+    GatekeeperRequest,
+    MediaCapability,
+    OpenLogicalChannel,
+    OpenLogicalChannelAck,
+    RegistrationConfirm,
+    RegistrationReject,
+    RegistrationRequest,
+    ReleaseComplete,
+    Setup,
+    TerminalCapabilitySet,
+    TerminalCapabilitySetAck,
+)
+from repro.h323.gatekeeper import Gatekeeper
+from repro.h323.terminal import H323Call, H323Terminal
+from repro.h323.mcu import H323Mcu
+
+__all__ = [
+    "AdmissionConfirm",
+    "AdmissionReject",
+    "AdmissionRequest",
+    "Alerting",
+    "BandwidthConfirm",
+    "BandwidthReject",
+    "BandwidthRequest",
+    "CallProceeding",
+    "Connect",
+    "DisengageConfirm",
+    "DisengageRequest",
+    "GatekeeperConfirm",
+    "GatekeeperRequest",
+    "MediaCapability",
+    "OpenLogicalChannel",
+    "OpenLogicalChannelAck",
+    "RegistrationConfirm",
+    "RegistrationReject",
+    "RegistrationRequest",
+    "ReleaseComplete",
+    "Setup",
+    "TerminalCapabilitySet",
+    "TerminalCapabilitySetAck",
+    "Gatekeeper",
+    "H323Call",
+    "H323Terminal",
+    "H323Mcu",
+]

@@ -1,0 +1,262 @@
+"""H.323 protocol data units (RAS / H.225.0 / H.245), message level.
+
+Real H.323 encodes these with ASN.1 PER; the reproduction models them as
+dataclasses with representative wire sizes (PER is compact — tens of
+bytes per PDU).  The *message flows* — which PDU follows which, and what
+state they carry — are what the gateway translation logic in the paper
+exercises, and those are faithful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.simnet.packet import Address
+
+_call_ids = itertools.count(1)
+_crv = itertools.count(1)
+
+
+def new_call_id() -> str:
+    return f"h323-call-{next(_call_ids)}"
+
+
+#: RAS well-known UDP port.
+RAS_PORT = 1719
+#: H.225 call signaling well-known TCP port.
+H225_PORT = 1720
+
+
+class H323Pdu:
+    """Base: every PDU carries an approximate PER wire size."""
+
+    #: Base encoded size; subclasses add per-field costs.
+    BASE_SIZE = 24
+
+    @property
+    def wire_size(self) -> int:
+        return self.BASE_SIZE
+
+
+# --------------------------------------------------------------------- RAS
+
+
+@dataclass
+class GatekeeperRequest(H323Pdu):
+    """GRQ: endpoint discovers a gatekeeper."""
+
+    endpoint_alias: str
+    reply_to: Address
+
+
+@dataclass
+class GatekeeperConfirm(H323Pdu):
+    gatekeeper_id: str
+
+
+@dataclass
+class RegistrationRequest(H323Pdu):
+    """RRQ: register aliases + call signaling address."""
+
+    endpoint_alias: str
+    call_signaling_address: Address
+    reply_to: Address
+
+
+@dataclass
+class RegistrationConfirm(H323Pdu):
+    endpoint_alias: str
+    gatekeeper_id: str
+
+
+@dataclass
+class RegistrationReject(H323Pdu):
+    endpoint_alias: str
+    reason: str
+
+
+@dataclass
+class AdmissionRequest(H323Pdu):
+    """ARQ: permission (and routing) for a call, with bandwidth."""
+
+    call_id: str
+    caller_alias: str
+    callee_alias: str
+    bandwidth_bps: float
+    reply_to: Address
+
+
+@dataclass
+class AdmissionConfirm(H323Pdu):
+    call_id: str
+    callee_signaling_address: Address
+    granted_bandwidth_bps: float
+
+
+@dataclass
+class AdmissionReject(H323Pdu):
+    call_id: str
+    reason: str
+
+
+@dataclass
+class BandwidthRequest(H323Pdu):
+    """BRQ: change a call's reserved bandwidth mid-call."""
+
+    call_id: str
+    bandwidth_bps: float
+    reply_to: Address
+
+
+@dataclass
+class BandwidthConfirm(H323Pdu):
+    call_id: str
+    granted_bandwidth_bps: float
+
+
+@dataclass
+class BandwidthReject(H323Pdu):
+    call_id: str
+    reason: str
+
+
+@dataclass
+class DisengageRequest(H323Pdu):
+    call_id: str
+    reply_to: Address
+
+
+@dataclass
+class DisengageConfirm(H323Pdu):
+    call_id: str
+
+
+# ------------------------------------------------------------------- H.225
+
+
+@dataclass
+class Setup(H323Pdu):
+    BASE_SIZE = 64
+
+    call_id: str
+    caller_alias: str
+    callee_alias: str
+    crv: int = field(default_factory=lambda: next(_crv))
+
+
+@dataclass
+class CallProceeding(H323Pdu):
+    call_id: str
+
+
+@dataclass
+class Alerting(H323Pdu):
+    call_id: str
+
+
+@dataclass
+class Connect(H323Pdu):
+    BASE_SIZE = 48
+
+    call_id: str
+    h245_address: Address
+
+
+@dataclass
+class ReleaseComplete(H323Pdu):
+    call_id: str
+    reason: str = "normal"
+
+
+# ------------------------------------------------------------------- H.245
+
+
+@dataclass(frozen=True)
+class MediaCapability:
+    """One entry of a terminal capability set."""
+
+    media: str  # "audio" | "video"
+    codec: str  # "g711u", "h261", ...
+    max_bitrate_bps: float
+
+    @staticmethod
+    def default_audio() -> "MediaCapability":
+        return MediaCapability("audio", "g711u", 64_000.0)
+
+    @staticmethod
+    def default_video() -> "MediaCapability":
+        return MediaCapability("video", "h261", 768_000.0)
+
+
+@dataclass
+class TerminalCapabilitySet(H323Pdu):
+    BASE_SIZE = 96
+
+    capabilities: List[MediaCapability] = field(default_factory=list)
+
+    @property
+    def wire_size(self) -> int:
+        return self.BASE_SIZE + 12 * len(self.capabilities)
+
+
+@dataclass
+class TerminalCapabilitySetAck(H323Pdu):
+    pass
+
+
+@dataclass
+class MasterSlaveDetermination(H323Pdu):
+    terminal_type: int = 50
+    determination_number: int = 0
+
+
+@dataclass
+class MasterSlaveDeterminationAck(H323Pdu):
+    decision: str = "master"  # what the *recipient* should be
+
+
+@dataclass
+class OpenLogicalChannel(H323Pdu):
+    BASE_SIZE = 48
+
+    channel: int
+    media: str
+    codec: str
+    rtp_address: Address  # where the opener will *receive* RTCP/RTP
+
+
+@dataclass
+class OpenLogicalChannelAck(H323Pdu):
+    channel: int
+    rtp_address: Address  # where the opener should *send* RTP
+
+
+@dataclass
+class CloseLogicalChannel(H323Pdu):
+    channel: int
+
+
+@dataclass
+class EndSessionCommand(H323Pdu):
+    pass
+
+
+def intersect_capabilities(
+    ours: List[MediaCapability], theirs: List[MediaCapability]
+) -> List[MediaCapability]:
+    """Common (media, codec) pairs at the minimum bitrate."""
+    theirs_by_key = {(c.media, c.codec): c for c in theirs}
+    common = []
+    for capability in ours:
+        other = theirs_by_key.get((capability.media, capability.codec))
+        if other is not None:
+            common.append(
+                MediaCapability(
+                    capability.media,
+                    capability.codec,
+                    min(capability.max_bitrate_bps, other.max_bitrate_bps),
+                )
+            )
+    return common

@@ -1,0 +1,33 @@
+"""RTP/RTCP media substrate.
+
+Message-level RTP (RFC 3550): packets with sequence numbers, media
+timestamps and SSRCs; RTCP sender/receiver reports; the interarrival
+jitter estimator used for the paper's Figure 3 jitter plot; playout
+buffering; and the audio/video traffic models that drive every media
+experiment (the 600 kbps bursty video stream of Figure 3 and the 64 kbps
+audio of the capacity claims).
+"""
+
+from repro.rtp.packet import RTP_HEADER_BYTES, RtpPacket, PayloadType
+from repro.rtp.jitter import InterarrivalJitter
+from repro.rtp.playout import PlayoutBuffer
+from repro.rtp.media import AudioSource, VideoSource
+from repro.rtp.stats import ReceiverStats
+from repro.rtp.session import RtpSession
+from repro.rtp.rtcp import ReceiverReport, SenderReport
+from repro.rtp.endpoint import MediaEndpoint
+
+__all__ = [
+    "RTP_HEADER_BYTES",
+    "RtpPacket",
+    "PayloadType",
+    "InterarrivalJitter",
+    "PlayoutBuffer",
+    "AudioSource",
+    "VideoSource",
+    "ReceiverStats",
+    "RtpSession",
+    "ReceiverReport",
+    "SenderReport",
+    "MediaEndpoint",
+]

@@ -1,0 +1,43 @@
+"""RFC 3550 interarrival jitter estimator.
+
+This is the statistic plotted in the bottom half of the paper's Figure 3.
+For packets i and j: ``D(i,j) = (Rj - Ri) - (Sj - Si)`` (receipt spacing
+minus send spacing) and ``J += (|D| - J) / 16``.
+
+We compute in seconds; RFC 3550 specifies timestamp units, which is the
+same estimator scaled by the payload clock rate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class InterarrivalJitter:
+    """Running RFC 3550 jitter for one stream."""
+
+    GAIN = 1.0 / 16.0
+
+    def __init__(self) -> None:
+        self._last_transit: Optional[float] = None
+        self.jitter_s = 0.0
+        self.samples = 0
+
+    def update(self, send_time_s: float, arrival_time_s: float) -> float:
+        """Feed one packet; returns the updated jitter estimate (seconds).
+
+        ``send_time_s`` is the media timestamp (or send wallclock) and
+        ``arrival_time_s`` the receipt time, both in seconds.
+        """
+        transit = arrival_time_s - send_time_s
+        if self._last_transit is not None:
+            delta = abs(transit - self._last_transit)
+            self.jitter_s += (delta - self.jitter_s) * self.GAIN
+        self._last_transit = transit
+        self.samples += 1
+        return self.jitter_s
+
+    def reset(self) -> None:
+        self._last_transit = None
+        self.jitter_s = 0.0
+        self.samples = 0

@@ -1,0 +1,89 @@
+"""RTP packets (RFC 3550 §5.1, message level).
+
+Sequence numbers are 16-bit and wrap; media timestamps are 32-bit in the
+payload type's clock rate.  ``wallclock_sent`` carries the sender's
+virtual-time send instant — the reproduction's stand-in for the NTP-synced
+clocks the paper's delay measurements require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+#: RTP fixed header size in bytes.
+RTP_HEADER_BYTES = 12
+
+SEQ_MOD = 1 << 16
+TS_MOD = 1 << 32
+
+
+class PayloadType(IntEnum):
+    """The payload types Global-MMCS communities use."""
+
+    PCMU = 0  # 8 kHz ULAW audio (H.323/SIP audio)
+    GSM = 3
+    G723 = 4
+    H261 = 31  # video (AccessGrid's vic default)
+    MPV = 32
+    H263 = 34
+
+    @property
+    def clock_rate(self) -> int:
+        if self in (PayloadType.PCMU, PayloadType.GSM, PayloadType.G723):
+            return 8000
+        return 90000  # video payload types
+
+
+@dataclass
+class RtpPacket:
+    """One RTP packet.
+
+    Attributes:
+        ssrc: synchronization source id of the stream.
+        sequence: 16-bit sequence number (wraps at 65536).
+        timestamp: 32-bit media timestamp in clock-rate units.
+        payload_type: :class:`PayloadType`.
+        marker: frame-boundary marker bit.
+        payload_size: media payload bytes (wire size adds the header).
+        wallclock_sent: sender virtual time, for delay measurement.
+    """
+
+    ssrc: int
+    sequence: int
+    timestamp: int
+    payload_type: PayloadType
+    payload_size: int
+    marker: bool = False
+    wallclock_sent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence < SEQ_MOD:
+            raise ValueError(f"sequence {self.sequence} out of 16-bit range")
+        if not 0 <= self.timestamp < TS_MOD:
+            raise ValueError(f"timestamp {self.timestamp} out of 32-bit range")
+        if self.payload_size < 0:
+            raise ValueError("payload_size must be non-negative")
+
+    @property
+    def wire_size(self) -> int:
+        return RTP_HEADER_BYTES + self.payload_size
+
+    def media_time(self) -> float:
+        """Media timestamp in seconds of the payload clock."""
+        return self.timestamp / self.payload_type.clock_rate
+
+
+def seq_after(seq: int, n: int = 1) -> int:
+    """Sequence number ``n`` after ``seq`` (mod 2^16)."""
+    return (seq + n) % SEQ_MOD
+
+
+def seq_distance(a: int, b: int) -> int:
+    """Smallest forward distance from ``a`` to ``b`` (mod 2^16)."""
+    return (b - a) % SEQ_MOD
+
+
+def seq_less(a: int, b: int) -> bool:
+    """RFC 1982 serial-number comparison: True when ``a`` precedes ``b``."""
+    return a != b and seq_distance(a, b) < SEQ_MOD // 2

@@ -1,0 +1,66 @@
+"""RTCP sender/receiver reports (RFC 3550 §6, message level).
+
+Senders emit :class:`SenderReport` periodically; receivers respond with
+:class:`ReceiverReport` carrying fraction-lost and jitter — the feedback
+the streaming producer and conference monitors consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+#: RTCP packets share the session's port + 1 by convention.
+RTCP_SR_BYTES = 28 + 24  # header + one sender info block
+RTCP_RR_BYTES = 8 + 24  # header + one report block
+
+#: Fraction of the session bandwidth RTCP may consume (RFC 3550: 5%).
+RTCP_BANDWIDTH_FRACTION = 0.05
+#: Minimum RTCP interval.
+RTCP_MIN_INTERVAL_S = 5.0
+
+
+@dataclass
+class SenderReport:
+    """Sender report: what and how much has been sent."""
+
+    ssrc: int
+    ntp_time: float  # wallclock at report generation
+    rtp_timestamp: int
+    packet_count: int
+    octet_count: int
+
+
+@dataclass
+class ReportBlock:
+    """Per-source reception quality block inside an RR."""
+
+    ssrc: int
+    fraction_lost: float
+    cumulative_lost: int
+    highest_seq: int
+    jitter_s: float
+
+
+@dataclass
+class ReceiverReport:
+    """Receiver report: reception quality for each heard source."""
+
+    reporter_ssrc: int
+    blocks: List[ReportBlock] = field(default_factory=list)
+
+
+def rtcp_interval_s(
+    session_bandwidth_bps: float,
+    members: int,
+    average_packet_bytes: float = 52.0,
+) -> float:
+    """Deterministic RFC 3550-style report interval (no dithering; the
+    simulation wants reproducibility)."""
+    if members <= 0:
+        return RTCP_MIN_INTERVAL_S
+    rtcp_bandwidth = session_bandwidth_bps * RTCP_BANDWIDTH_FRACTION
+    if rtcp_bandwidth <= 0:
+        return RTCP_MIN_INTERVAL_S
+    interval = members * average_packet_bytes * 8.0 / rtcp_bandwidth
+    return max(RTCP_MIN_INTERVAL_S, interval)

@@ -1,0 +1,130 @@
+"""Receiver-side stream statistics.
+
+Collects exactly what the paper's Figure 3 plots: per-packet one-way delay
+and the running RFC 3550 jitter, plus loss derived from sequence gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.rtp.jitter import InterarrivalJitter
+from repro.rtp.packet import RtpPacket, seq_less
+
+
+@dataclass
+class StatsSummary:
+    """Aggregate view of one receiver's stream."""
+
+    packets: int
+    lost: int
+    loss_rate: float
+    avg_delay_s: float
+    max_delay_s: float
+    p99_delay_s: float
+    avg_jitter_s: float
+    max_jitter_s: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "packets": self.packets,
+            "lost": self.lost,
+            "loss_rate": self.loss_rate,
+            "avg_delay_ms": self.avg_delay_s * 1000.0,
+            "max_delay_ms": self.max_delay_s * 1000.0,
+            "p99_delay_ms": self.p99_delay_s * 1000.0,
+            "avg_jitter_ms": self.avg_jitter_s * 1000.0,
+            "max_jitter_ms": self.max_jitter_s * 1000.0,
+        }
+
+
+class ReceiverStats:
+    """Per-packet delay/jitter/loss tracker for one received stream."""
+
+    def __init__(self, record_series: bool = True):
+        self.record_series = record_series
+        self.delays_s: List[float] = []
+        self.jitters_s: List[float] = []
+        self.packet_count = 0
+        self.duplicates = 0
+        self.reordered = 0
+        self._jitter = InterarrivalJitter()
+        self._delay_sum = 0.0
+        self._delay_max = 0.0
+        self._jitter_sum = 0.0
+        self._jitter_max = 0.0
+        self._highest_seq: Optional[int] = None
+        self._seq_cycles = 0
+        self._first_seq: Optional[int] = None
+        self._received_unique = 0
+
+    def on_packet(self, packet: RtpPacket, arrival_s: float) -> None:
+        """Record one arrival (delay = arrival - send wallclock)."""
+        delay = arrival_s - packet.wallclock_sent
+        jitter = self._jitter.update(packet.wallclock_sent, arrival_s)
+        self.packet_count += 1
+        self._received_unique += 1
+        self._delay_sum += delay
+        self._jitter_sum += jitter
+        if delay > self._delay_max:
+            self._delay_max = delay
+        if jitter > self._jitter_max:
+            self._jitter_max = jitter
+        if self.record_series:
+            self.delays_s.append(delay)
+            self.jitters_s.append(jitter)
+        seq = packet.sequence
+        if self._first_seq is None:
+            self._first_seq = seq
+            self._highest_seq = seq
+        else:
+            assert self._highest_seq is not None
+            if seq_less(self._highest_seq, seq):
+                if seq < self._highest_seq:
+                    self._seq_cycles += 1  # wrapped into a new cycle
+                self._highest_seq = seq
+            else:
+                self.reordered += 1
+
+    @property
+    def expected(self) -> int:
+        """Packets expected from first to highest (extended) sequence."""
+        if self._first_seq is None or self._highest_seq is None:
+            return 0
+        extended_highest = self._seq_cycles * (1 << 16) + self._highest_seq
+        return extended_highest - self._first_seq + 1
+
+    @property
+    def lost(self) -> int:
+        return max(0, self.expected - self._received_unique)
+
+    @property
+    def avg_delay_s(self) -> float:
+        return self._delay_sum / self.packet_count if self.packet_count else 0.0
+
+    @property
+    def avg_jitter_s(self) -> float:
+        return self._jitter_sum / self.packet_count if self.packet_count else 0.0
+
+    @property
+    def current_jitter_s(self) -> float:
+        return self._jitter.jitter_s
+
+    def summary(self) -> StatsSummary:
+        if self.record_series and self.delays_s:
+            ordered = sorted(self.delays_s)
+            p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        else:
+            p99 = self._delay_max
+        expected = self.expected
+        return StatsSummary(
+            packets=self.packet_count,
+            lost=self.lost,
+            loss_rate=self.lost / expected if expected else 0.0,
+            avg_delay_s=self.avg_delay_s,
+            max_delay_s=self._delay_max,
+            p99_delay_s=p99,
+            avg_jitter_s=self.avg_jitter_s,
+            max_jitter_s=self._jitter_max,
+        )

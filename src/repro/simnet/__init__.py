@@ -1,0 +1,51 @@
+"""Deterministic discrete-event network simulation substrate.
+
+Everything in the reproduction runs on this kernel: simulated hosts with a
+CPU model (including garbage-collection pauses, which drive the jitter
+spikes visible in the paper's Figure 3), NICs with finite serialization
+bandwidth and drop-tail queues, links with latency/jitter/loss, and
+UDP/TCP/multicast transports plus firewall/NAT traversal.
+"""
+
+from repro.simnet.kernel import Simulator, Timer, SimulationError
+from repro.simnet.rng import SeededStreams
+from repro.simnet.packet import Address, Datagram
+from repro.simnet.link import LinkProfile
+from repro.simnet.cpu import Cpu, GcProfile
+from repro.simnet.nic import Nic
+from repro.simnet.node import Host
+from repro.simnet.network import Network
+from repro.simnet.udp import UdpSocket
+from repro.simnet.tcp import TcpListener, TcpConnection, tcp_connect
+from repro.simnet.multicast import MulticastGroupAddress, is_multicast
+from repro.simnet.firewall import (
+    Firewall,
+    FirewallPolicy,
+    HttpTunnelProxy,
+    TunnelClient,
+)
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "SimulationError",
+    "SeededStreams",
+    "Address",
+    "Datagram",
+    "LinkProfile",
+    "Cpu",
+    "GcProfile",
+    "Nic",
+    "Host",
+    "Network",
+    "UdpSocket",
+    "TcpListener",
+    "TcpConnection",
+    "tcp_connect",
+    "MulticastGroupAddress",
+    "is_multicast",
+    "Firewall",
+    "FirewallPolicy",
+    "HttpTunnelProxy",
+    "TunnelClient",
+]

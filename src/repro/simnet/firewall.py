@@ -1,0 +1,176 @@
+"""Firewalls and HTTP-tunnel traversal.
+
+The paper highlights NaradaBrokering's ability to reach "remote resources
+behind of a firewall" via "communication through firewalls and proxies".
+We model a stateful firewall attached to a host: outbound traffic always
+passes and creates a flow pinhole; inbound traffic passes only through an
+explicitly opened port or an established pinhole.
+
+:class:`HttpTunnelProxy` is the traversal mechanism: a client behind a
+firewall sends outbound frames to the proxy, which relays them to the real
+destination from a per-flow relay port and tunnels responses back through
+the pinhole the client opened.  Each tunneled frame pays HTTP encapsulation
+overhead bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.simnet.node import Host
+from repro.simnet.packet import Address, Datagram
+from repro.simnet.transport import HTTP_TUNNEL_OVERHEAD_BYTES
+from repro.simnet.udp import UdpSocket
+
+
+@dataclass
+class FirewallPolicy:
+    """Configuration of a stateful firewall.
+
+    Attributes:
+        open_ports: inbound destination ports always allowed.
+        allow_established: permit inbound packets matching an outbound flow.
+        pinhole_timeout_s: idle lifetime of an outbound flow pinhole.
+    """
+
+    open_ports: Set[int] = field(default_factory=set)
+    allow_established: bool = True
+    pinhole_timeout_s: float = 120.0
+
+
+class Firewall:
+    """Stateful packet filter attached to one host."""
+
+    def __init__(self, policy: Optional[FirewallPolicy] = None):
+        self.policy = policy if policy is not None else FirewallPolicy()
+        # (local_port, remote_host, remote_port) -> expiry time
+        self._pinholes: Dict[Tuple[int, str, int], float] = {}
+        self._host: Optional[Host] = None
+        self.blocked = 0
+        self.passed = 0
+
+    def attach(self, host: Host) -> "Firewall":
+        """Install this firewall on ``host`` and return self."""
+        host.firewall = self
+        self._host = host
+        return self
+
+    def note_outbound(self, datagram: Datagram) -> None:
+        """Record a pinhole for the outbound flow."""
+        if self._host is None:
+            return
+        key = (datagram.src.port, datagram.dst.host, datagram.dst.port)
+        self._pinholes[key] = self._host.sim.now + self.policy.pinhole_timeout_s
+
+    def allows_inbound(self, datagram: Datagram) -> bool:
+        if datagram.dst.port in self.policy.open_ports:
+            self.passed += 1
+            return True
+        if self.policy.allow_established:
+            key = (datagram.dst.port, datagram.src.host, datagram.src.port)
+            expiry = self._pinholes.get(key)
+            if expiry is not None:
+                if self._host is not None and self._host.sim.now <= expiry:
+                    self.passed += 1
+                    return True
+                del self._pinholes[key]
+        self.blocked += 1
+        return False
+
+
+@dataclass
+class TunnelFrame:
+    """HTTP-encapsulated datagram relayed by :class:`HttpTunnelProxy`."""
+
+    inner_dst: Address
+    payload: Any
+    size: int
+
+
+class HttpTunnelProxy:
+    """Application-level relay for firewall traversal.
+
+    Clients behind firewalls talk *outbound* to the proxy; the proxy opens a
+    relay socket per client flow and forwards in both directions, charging
+    ``HTTP_TUNNEL_OVERHEAD_BYTES`` per frame on the tunneled leg.
+    """
+
+    def __init__(self, host: Host, port: int = 8080):
+        self.host = host
+        self.socket = UdpSocket(host, port)
+        self.socket.on_receive(self._on_client_frame)
+        # client address -> relay socket for return traffic
+        self._relays: Dict[Address, UdpSocket] = {}
+        self.frames_relayed = 0
+
+    @property
+    def address(self) -> Address:
+        return self.socket.local_address
+
+    def _relay_for(self, client: Address) -> UdpSocket:
+        relay = self._relays.get(client)
+        if relay is None:
+            relay = UdpSocket(self.host)
+            relay.on_receive(
+                lambda payload, src, dgram, client=client: self._on_server_reply(
+                    client, payload, src, dgram.size
+                )
+            )
+            self._relays[client] = relay
+        return relay
+
+    def _on_client_frame(self, payload: Any, src: Address, datagram: Datagram) -> None:
+        if not isinstance(payload, TunnelFrame):
+            return
+        self.frames_relayed += 1
+        relay = self._relay_for(src)
+        relay.sendto(payload.payload, payload.size, payload.inner_dst)
+
+    def _on_server_reply(
+        self, client: Address, payload: Any, src: Address, size: int
+    ) -> None:
+        self.frames_relayed += 1
+        # In the reply direction ``inner_dst`` carries the *remote peer* the
+        # reply came from, so the tunnel client can report the true source.
+        frame = TunnelFrame(inner_dst=src, payload=payload, size=size)
+        # The reply rides back through the client's pinhole: the client sent
+        # outbound to proxy:port, so proxy:port -> client passes the firewall.
+        self.socket.sendto(frame, size + HTTP_TUNNEL_OVERHEAD_BYTES, client)
+
+    def close(self) -> None:
+        self.socket.close()
+        for relay in self._relays.values():
+            relay.close()
+        self._relays.clear()
+
+
+class TunnelClient:
+    """Client-side helper that sends datagrams through an HTTP tunnel proxy."""
+
+    def __init__(self, host: Host, proxy: Address):
+        self.socket = UdpSocket(host)
+        self.proxy = proxy
+        self._callback = None
+        self.socket.on_receive(self._on_frame)
+
+    @property
+    def local_address(self) -> Address:
+        return self.socket.local_address
+
+    def on_receive(self, callback) -> None:
+        """Register ``(payload, inner_src)`` callback for tunneled replies."""
+        self._callback = callback
+
+    def sendto(self, payload: Any, size: int, dst: Address) -> bool:
+        frame = TunnelFrame(inner_dst=dst, payload=payload, size=size)
+        return self.socket.sendto(
+            frame, size + HTTP_TUNNEL_OVERHEAD_BYTES, self.proxy
+        )
+
+    def _on_frame(self, payload: Any, src: Address, datagram: Datagram) -> None:
+        if isinstance(payload, TunnelFrame) and self._callback is not None:
+            self._callback(payload.payload, payload.inner_dst)
+
+    def close(self) -> None:
+        self.socket.close()

@@ -1,0 +1,140 @@
+"""Discrete-event simulation kernel.
+
+A single :class:`Simulator` owns virtual time and a priority queue of
+scheduled callbacks.  All components in the reproduction (NICs, CPUs,
+protocol timers, media sources) schedule work through it, which makes every
+experiment fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Timer:
+    """A cancellable handle for a scheduled callback.
+
+    Timers are ordered by ``(time, seq)`` so that events scheduled for the
+    same instant fire in scheduling order — important for determinism.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (O(1); the heap entry is lazily
+        discarded when popped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<Timer t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Simulator:
+    """Event-driven virtual-time scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(0.5, fire_probe)
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Timer] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}; current time is {self._now}"
+            )
+        timer = Timer(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, timer)
+        return timer
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) timers."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        while self._queue:
+            timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = timer.time
+            self._events_processed += 1
+            timer.fn(*timer.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number executed.
+
+        When ``until`` is given, virtual time is advanced to exactly
+        ``until`` even if the queue drains earlier.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return executed
+            timer = self._queue[0]
+            if timer.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and timer.time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = timer.time
+            self._events_processed += 1
+            timer.fn(*timer.args)
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return executed
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration`` seconds of virtual time."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

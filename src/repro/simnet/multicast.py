@@ -1,0 +1,42 @@
+"""Multicast group addressing helpers.
+
+Group addresses use the conventional dotted class-D style (``"224.x.y.z"``
+through ``"239.x.y.z"``); any host name whose first dotted component parses
+into [224, 239] is treated as a group.  AccessGrid venues allocate their
+media groups from :class:`MulticastGroupAddress`.
+"""
+
+from __future__ import annotations
+
+
+_MULTICAST_LOW = 224
+_MULTICAST_HIGH = 239
+
+
+def is_multicast(host: str) -> bool:
+    """True when ``host`` is a class-D style group address."""
+    first, _, _ = host.partition(".")
+    try:
+        value = int(first)
+    except ValueError:
+        return False
+    return _MULTICAST_LOW <= value <= _MULTICAST_HIGH
+
+
+class MulticastGroupAddress:
+    """Deterministic allocator of fresh multicast group addresses."""
+
+    def __init__(self, base: str = "233.2"):
+        first = int(base.split(".")[0])
+        if not _MULTICAST_LOW <= first <= _MULTICAST_HIGH:
+            raise ValueError(f"base {base!r} is not in the class-D range")
+        self._base = base
+        self._next = 0
+
+    def allocate(self) -> str:
+        """Return the next unused group address under the base prefix."""
+        n = self._next
+        self._next += 1
+        if n >= 256 * 256:
+            raise RuntimeError("multicast address space exhausted")
+        return f"{self._base}.{n // 256}.{n % 256}"

@@ -1,0 +1,152 @@
+"""The network fabric connecting hosts.
+
+Routing model: each host has an access link (latency/jitter/loss sampled on
+both the sending and receiving side) and the fabric adds a base latency,
+optionally overridden per host pair — that is how the US↔China wide-area
+paths in the deployment examples are expressed.  Multicast groups deliver
+to every joined (host, port) member, honoring per-member path properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import LinkProfile, LAN_100M
+from repro.simnet.multicast import is_multicast
+from repro.simnet.node import Host
+from repro.simnet.packet import Address, Datagram
+from repro.simnet.rng import SeededStreams
+
+
+class UnknownHostError(KeyError):
+    """Raised when routing to a host that was never added."""
+
+
+class Network:
+    """Container for hosts plus the unicast/multicast delivery logic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: Optional[SeededStreams] = None,
+        base_latency_s: float = 0.0003,
+    ):
+        self.sim = sim
+        self.streams = streams if streams is not None else SeededStreams(0)
+        self.base_latency_s = base_latency_s
+        self._rng = self.streams.stream("network")
+        self._hosts: Dict[str, Host] = {}
+        self._path_latency: Dict[Tuple[str, str], float] = {}
+        self._groups: Dict[str, Set[Address]] = {}
+        self._taps: List[Callable[[Datagram], None]] = []
+        self.delivered_packets = 0
+        self.lost_packets = 0
+
+    # ------------------------------------------------------------- hosts
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self._hosts[host.name] = host
+        return host
+
+    def create_host(self, name: str, link: LinkProfile = LAN_100M, **kwargs) -> Host:
+        """Create, register, and return a new :class:`Host`."""
+        return self.add_host(Host(self, name, link=link, **kwargs))
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise UnknownHostError(name) from None
+
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    # -------------------------------------------------------------- paths
+
+    def set_path_latency(self, a: str, b: str, latency_s: float) -> None:
+        """Override fabric latency between hosts ``a`` and ``b`` (symmetric)."""
+        self._path_latency[(a, b)] = latency_s
+        self._path_latency[(b, a)] = latency_s
+
+    def fabric_latency(self, src: str, dst: str) -> float:
+        return self._path_latency.get((src, dst), self.base_latency_s)
+
+    # ---------------------------------------------------------- multicast
+
+    def join_group(self, group: str, member: Address) -> None:
+        if not is_multicast(group):
+            raise ValueError(f"{group!r} is not a multicast group address")
+        host = self.host(member.host)
+        if not host.multicast_enabled:
+            raise RuntimeError(
+                f"host {member.host!r} has no multicast connectivity "
+                "(the paper notes IP multicast is not ubiquitously available)"
+            )
+        self._groups.setdefault(group, set()).add(member)
+
+    def leave_group(self, group: str, member: Address) -> None:
+        members = self._groups.get(group)
+        if members is not None:
+            members.discard(member)
+            if not members:
+                del self._groups[group]
+
+    def group_members(self, group: str) -> Set[Address]:
+        return set(self._groups.get(group, ()))
+
+    # ------------------------------------------------------------ routing
+
+    def add_tap(self, tap: Callable[[Datagram], None]) -> None:
+        """Register a passive observer called for every routed datagram."""
+        self._taps.append(tap)
+
+    def route(self, datagram: Datagram) -> None:
+        """Entry point from a sending NIC after serialization completes."""
+        for tap in self._taps:
+            tap(datagram)
+        if is_multicast(datagram.dst.host):
+            self._route_multicast(datagram)
+        else:
+            self._route_unicast(datagram, datagram.dst)
+
+    def _route_multicast(self, datagram: Datagram) -> None:
+        members = self._groups.get(datagram.dst.host)
+        if not members:
+            return
+        src = datagram.src
+        for member in sorted(members):
+            if member.host == src.host and member.port == src.port:
+                continue  # no loopback to the sending socket
+            copy = datagram.clone()
+            copy.dst = member
+            self._route_unicast(copy, member, group=datagram.dst.host)
+
+    def _route_unicast(
+        self, datagram: Datagram, dst: Address, group: Optional[str] = None
+    ) -> None:
+        src_host = self._hosts.get(datagram.src.host)
+        dst_host = self._hosts.get(dst.host)
+        if dst_host is None:
+            raise UnknownHostError(dst.host)
+        rng = self._rng
+        if src_host is not None and src_host.link.drops(rng):
+            self.lost_packets += 1
+            return
+        if dst_host.link.drops(rng):
+            self.lost_packets += 1
+            return
+        latency = self.fabric_latency(datagram.src.host, dst.host)
+        if src_host is not None:
+            latency += src_host.link.sample_latency(rng)
+        latency += dst_host.link.sample_latency(rng)
+        self.delivered_packets += 1
+        self.sim.schedule(latency, dst_host.deliver, datagram)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network hosts={len(self._hosts)} groups={len(self._groups)}>"

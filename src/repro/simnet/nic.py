@@ -1,0 +1,78 @@
+"""Network interface with finite serialization bandwidth.
+
+The NIC is a single transmit queue: datagrams serialize at the link rate
+and excess packets wait; when the buffer is full, arrivals are tail-dropped.
+For the Figure 3 experiment this models the 240 Mbps aggregate the paper's
+reflector host pushes through its interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.packet import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.link import LinkProfile
+
+
+class Nic:
+    """Transmit-side interface queue for one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: "LinkProfile",
+        deliver: Callable[[Datagram], None],
+        queue_limit_bytes: int = 2 * 1024 * 1024,
+    ):
+        self.sim = sim
+        self.link = link
+        self._deliver = deliver
+        self.queue_limit_bytes = queue_limit_bytes
+        self._queue: Deque[Datagram] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.dropped_packets = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def enqueue(self, datagram: Datagram) -> bool:
+        """Queue a datagram for transmission; False if tail-dropped."""
+        if self._queued_bytes + datagram.size > self.queue_limit_bytes:
+            self.dropped_packets += 1
+            return False
+        self._queue.append(datagram)
+        self._queued_bytes += datagram.size
+        if not self._busy:
+            self._busy = True
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        datagram = self._queue.popleft()
+        self._queued_bytes -= datagram.size
+        tx_time = datagram.size * 8.0 / self.link.bandwidth_bps
+        self.sim.schedule(tx_time, self._transmitted, datagram)
+
+    def _transmitted(self, datagram: Datagram) -> None:
+        self.sent_packets += 1
+        self.sent_bytes += datagram.size
+        self._deliver(datagram)
+        self._transmit_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic depth={len(self._queue)} sent={self.sent_packets} dropped={self.dropped_packets}>"

@@ -1,0 +1,62 @@
+"""Datagrams and addressing.
+
+An :class:`Address` is ``(host, port)`` where ``host`` is the simulated
+host's name (or a multicast group string).  A :class:`Datagram` carries an
+arbitrary Python payload plus an explicit wire size in bytes; the size — not
+the payload object — is what NICs and links account against bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, NamedTuple
+
+_datagram_ids = itertools.count(1)
+
+
+class Address(NamedTuple):
+    """A network endpoint: simulated host name (or multicast group) + port."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class Datagram:
+    """A unit of network transmission.
+
+    Attributes:
+        src: sender endpoint.
+        dst: destination endpoint (unicast host or multicast group).
+        payload: arbitrary payload object (protocol message, bytes, ...).
+        size: wire size in bytes, charged against NIC/link bandwidth.
+        sent_at: virtual time the datagram entered the sender's NIC queue.
+    """
+
+    __slots__ = ("id", "src", "dst", "payload", "size", "sent_at")
+
+    def __init__(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        size: int,
+        sent_at: float = 0.0,
+    ):
+        if size <= 0:
+            raise ValueError(f"datagram size must be positive, got {size}")
+        self.id = next(_datagram_ids)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.sent_at = sent_at
+
+    def clone(self) -> "Datagram":
+        """Copy the datagram (fresh id), sharing the payload object."""
+        return Datagram(self.src, self.dst, self.payload, self.size, self.sent_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Datagram #{self.id} {self.src}->{self.dst} {self.size}B>"

@@ -1,0 +1,24 @@
+"""Shared transport-layer definitions.
+
+Wire-size accounting: payloads are Python objects, so each transport adds
+an explicit per-datagram header overhead to the payload's declared size.
+"""
+
+from __future__ import annotations
+
+#: IPv4 + UDP header bytes charged per UDP datagram.
+UDP_HEADER_BYTES = 28
+
+#: IPv4 + TCP header bytes charged per TCP segment.
+TCP_HEADER_BYTES = 40
+
+#: Maximum TCP segment payload (Ethernet MTU 1500 - 40).
+TCP_MSS_BYTES = 1460
+
+#: Extra bytes per message when tunneled through an HTTP proxy
+#: (request line + headers, as NaradaBrokering's HTTP transport does).
+HTTP_TUNNEL_OVERHEAD_BYTES = 180
+
+
+class TransportError(RuntimeError):
+    """Raised on transport misuse (send on closed socket, etc.)."""

@@ -1,0 +1,38 @@
+"""SIP community substrate (RFC 3261, message level).
+
+Provides what the paper's "SIP Servers" require: a text message codec,
+client/server transactions with retransmission, dialogs, a registrar, a
+stateful proxy, user agents, SDP offer/answer, and the instant-messaging
+and chat-room services the SIP proxy/gateway expose to IM-capable clients
+(Windows Messenger in the paper).  The XGSP gateway for SIP lives in
+:mod:`repro.sip.gateway`.
+"""
+
+from repro.sip.message import (
+    SipMessage,
+    SipRequest,
+    SipResponse,
+    SipParseError,
+    parse_message,
+)
+from repro.sip.sdp import MediaLine, SessionDescription
+from repro.sip.useragent import SipUserAgent
+from repro.sip.registrar import SipRegistrar
+from repro.sip.proxy import SipProxy
+from repro.sip.im import ChatRoomService
+from repro.sip.presence import PresenceService
+
+__all__ = [
+    "SipMessage",
+    "SipRequest",
+    "SipResponse",
+    "SipParseError",
+    "parse_message",
+    "MediaLine",
+    "SessionDescription",
+    "SipUserAgent",
+    "SipRegistrar",
+    "SipProxy",
+    "ChatRoomService",
+    "PresenceService",
+]

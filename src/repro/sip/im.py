@@ -1,0 +1,109 @@
+"""Instant messaging and chat rooms over SIP MESSAGE.
+
+"The SIP Proxy and SIP Gateway provide the services of Instant Messaging
+and Chat room for IM capable clients such as Windows Messenger" (§3.2).
+
+Point-to-point IM is plain proxy routing of MESSAGE (already handled by
+:class:`~repro.sip.proxy.SipProxy`).  This module adds multi-party chat
+rooms: a room lives at ``sip:room-<name>@<domain>``; members join/leave
+with command messages and every other MESSAGE is fanned out to the
+current membership.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.simnet.packet import Address
+from repro.sip.message import (
+    SipRequest,
+    new_call_id,
+    new_tag,
+    parse_name_addr,
+    parse_uri,
+    response_for,
+)
+from repro.sip.proxy import SipProxy
+from repro.sip.transaction import ServerTransaction
+
+ROOM_PREFIX = "room-"
+JOIN_COMMAND = "/join"
+LEAVE_COMMAND = "/leave"
+
+
+class ChatRoomService:
+    """Chat rooms attached to a SIP proxy under ``room-*`` URIs."""
+
+    def __init__(self, proxy: SipProxy):
+        self.proxy = proxy
+        self._rooms: Dict[str, Set[str]] = {}  # room user -> member URIs
+        self.messages_fanned_out = 0
+        proxy.register_app_prefix(ROOM_PREFIX, self._on_room_request)
+
+    def members(self, room: str) -> Set[str]:
+        return set(self._rooms.get(room, ()))
+
+    def rooms(self):
+        return sorted(self._rooms)
+
+    def room_uri(self, room: str) -> str:
+        return f"sip:{ROOM_PREFIX}{room}@{self.proxy.domain}"
+
+    def _on_room_request(
+        self,
+        request: SipRequest,
+        source: Address,
+        transaction: Optional[ServerTransaction],
+    ) -> bool:
+        if request.method != "MESSAGE":
+            if transaction is not None:
+                transaction.respond(
+                    response_for(request, 405, "Method Not Allowed")
+                )
+            return True
+        user, _domain = parse_uri(request.uri)
+        room = user[len(ROOM_PREFIX):]
+        sender_uri, _tag = parse_name_addr(request.get("From") or "")
+        body = request.body.strip()
+        if body == JOIN_COMMAND:
+            self._rooms.setdefault(room, set()).add(sender_uri)
+            if transaction is not None:
+                transaction.respond(response_for(request, 200, "OK"))
+            return True
+        if body == LEAVE_COMMAND:
+            members = self._rooms.get(room)
+            if members is not None:
+                members.discard(sender_uri)
+                if not members:
+                    del self._rooms[room]
+            if transaction is not None:
+                transaction.respond(response_for(request, 200, "OK"))
+            return True
+        members = self._rooms.get(room)
+        if members is None or sender_uri not in members:
+            if transaction is not None:
+                transaction.respond(response_for(request, 403, "Not A Member"))
+            return True
+        if transaction is not None:
+            transaction.respond(response_for(request, 200, "OK"))
+        self._fan_out(room, sender_uri, request.body)
+        return True
+
+    def _fan_out(self, room: str, sender_uri: str, text: str) -> None:
+        """Relay the message to every other member via the proxy's routing."""
+        for member_uri in sorted(self._rooms.get(room, ())):
+            if member_uri == sender_uri:
+                continue
+            contact = self.proxy.location.lookup(member_uri, self.proxy.sim.now)
+            if contact is None:
+                continue
+            relayed = SipRequest("MESSAGE", member_uri, body=text)
+            relayed.set("To", f"<{member_uri}>")
+            # Fan-out preserves the original sender so clients can display it.
+            relayed.set("From", f"<{sender_uri}>;{new_tag()}")
+            relayed.set("X-Room", self.room_uri(room))
+            relayed.set("Call-Id", new_call_id(self.proxy.address.host))
+            relayed.set("Cseq", "1 MESSAGE")
+            relayed.set("Content-Type", "text/plain")
+            self.messages_fanned_out += 1
+            self.proxy.send_request(relayed, contact)

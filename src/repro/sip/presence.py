@@ -1,0 +1,165 @@
+"""Remote presence service for IM clients.
+
+Section 2.1: "Ad-hoc [mode] needs Instant Messenger to provide chat and
+remote presence services."  The presence service lives next to the SIP
+proxy at ``sip:presence@<domain>`` and speaks MESSAGE, so every IM-capable
+client can use it:
+
+* ``/status <state> [note]`` — publish your own presence;
+* ``/watch sip:user@dom``   — subscribe to a user's presence changes
+  (an immediate snapshot is delivered, then a notification per change);
+* ``/unwatch sip:user@dom`` — stop watching;
+* ``/get sip:user@dom``     — one-shot query (reply in the 200 body).
+
+A user with no published status is reported by registration state:
+``online`` if the location service holds a live binding, else
+``offline``.  Notifications are MESSAGEs from the presence URI with body
+``presence: <uri> <state> [note]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.simnet.packet import Address
+from repro.sip.message import (
+    SipRequest,
+    new_call_id,
+    new_tag,
+    parse_name_addr,
+    response_for,
+)
+from repro.sip.proxy import SipProxy
+from repro.sip.transaction import ServerTransaction
+
+PRESENCE_USER = "presence"
+
+STATUS_COMMAND = "/status"
+WATCH_COMMAND = "/watch"
+UNWATCH_COMMAND = "/unwatch"
+GET_COMMAND = "/get"
+
+KNOWN_STATES = ("online", "away", "busy", "offline")
+
+
+@dataclass
+class PresenceRecord:
+    state: str = "online"
+    note: str = ""
+
+
+class PresenceService:
+    """Presence agent attached to a SIP proxy."""
+
+    def __init__(self, proxy: SipProxy):
+        self.proxy = proxy
+        self._published: Dict[str, PresenceRecord] = {}
+        self._watchers: Dict[str, Set[str]] = {}  # target uri -> watcher uris
+        self.notifications_sent = 0
+        proxy.register_app(PRESENCE_USER, self._on_request)
+
+    @property
+    def uri(self) -> str:
+        return f"sip:{PRESENCE_USER}@{self.proxy.domain}"
+
+    # ------------------------------------------------------------- state
+
+    def presence_of(self, uri: str) -> PresenceRecord:
+        """Published status, falling back to registration state."""
+        record = self._published.get(uri)
+        if record is not None:
+            return record
+        registered = self.proxy.location.lookup(uri, self.proxy.sim.now)
+        return PresenceRecord(state="online" if registered else "offline")
+
+    def watchers_of(self, uri: str) -> Set[str]:
+        return set(self._watchers.get(uri, ()))
+
+    # ----------------------------------------------------------- handling
+
+    def _on_request(
+        self,
+        request: SipRequest,
+        source: Address,
+        transaction: Optional[ServerTransaction],
+    ) -> bool:
+        if request.method != "MESSAGE":
+            if transaction is not None:
+                transaction.respond(
+                    response_for(request, 405, "Method Not Allowed")
+                )
+            return True
+        sender_uri, _tag = parse_name_addr(request.get("From") or "")
+        body = request.body.strip()
+        command, _, argument = body.partition(" ")
+        argument = argument.strip()
+        if command == STATUS_COMMAND:
+            self._handle_status(sender_uri, argument, request, transaction)
+        elif command == WATCH_COMMAND:
+            self._handle_watch(sender_uri, argument, request, transaction)
+        elif command == UNWATCH_COMMAND:
+            self._watchers.get(argument, set()).discard(sender_uri)
+            self._ok(request, transaction)
+        elif command == GET_COMMAND:
+            record = self.presence_of(argument)
+            self._ok(request, transaction,
+                     body=self._render(argument, record))
+        else:
+            if transaction is not None:
+                transaction.respond(
+                    response_for(request, 400, "Unknown Presence Command")
+                )
+        return True
+
+    def _handle_status(self, sender_uri, argument, request, transaction) -> None:
+        state, _, note = argument.partition(" ")
+        if state not in KNOWN_STATES:
+            if transaction is not None:
+                transaction.respond(
+                    response_for(request, 400, "Unknown Presence State")
+                )
+            return
+        self._published[sender_uri] = PresenceRecord(state=state,
+                                                     note=note.strip())
+        self._ok(request, transaction)
+        self._notify_watchers(sender_uri)
+
+    def _handle_watch(self, sender_uri, target, request, transaction) -> None:
+        if not target.startswith("sip:"):
+            if transaction is not None:
+                transaction.respond(response_for(request, 400, "Bad Target"))
+            return
+        self._watchers.setdefault(target, set()).add(sender_uri)
+        self._ok(request, transaction)
+        # Immediate snapshot so the watcher starts consistent.
+        self._notify_one(sender_uri, target)
+
+    def _ok(self, request, transaction, body: str = "") -> None:
+        if transaction is not None:
+            transaction.respond(response_for(request, 200, "OK", body=body))
+
+    # -------------------------------------------------------- notifying
+
+    def _render(self, uri: str, record: PresenceRecord) -> str:
+        note = f" {record.note}" if record.note else ""
+        return f"presence: {uri} {record.state}{note}"
+
+    def _notify_watchers(self, target: str) -> None:
+        for watcher in sorted(self._watchers.get(target, ())):
+            self._notify_one(watcher, target)
+
+    def _notify_one(self, watcher: str, target: str) -> None:
+        contact = self.proxy.location.lookup(watcher, self.proxy.sim.now)
+        if contact is None:
+            return
+        record = self.presence_of(target)
+        notification = SipRequest("MESSAGE", watcher,
+                                  body=self._render(target, record))
+        notification.set("To", f"<{watcher}>")
+        notification.set("From", f"<{self.uri}>;{new_tag()}")
+        notification.set("Call-Id", new_call_id(self.proxy.address.host))
+        notification.set("Cseq", "1 MESSAGE")
+        notification.set("Content-Type", "text/plain")
+        self.notifications_sent += 1
+        self.proxy.send_request(notification, contact)

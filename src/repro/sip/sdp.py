@@ -1,0 +1,102 @@
+"""SDP session descriptions (offer/answer bodies for INVITE).
+
+Minimal but real: ``v=/o=/s=/c=/m=`` lines render to text and parse back.
+A media line carries the transport address and RTP payload types; the
+gateway rewrites these to point endpoints' RTP at the broker's RTP proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+class SdpError(ValueError):
+    """Raised on malformed SDP text."""
+
+
+@dataclass
+class MediaLine:
+    """One ``m=`` line: media kind, port, payload type list."""
+
+    kind: str  # "audio" | "video"
+    port: int
+    payload_types: List[int] = field(default_factory=list)
+
+    def render(self) -> str:
+        formats = " ".join(str(pt) for pt in self.payload_types)
+        return f"m={self.kind} {self.port} RTP/AVP {formats}".rstrip()
+
+
+@dataclass
+class SessionDescription:
+    """A (very small) SDP document."""
+
+    origin_user: str
+    connection_host: str
+    session_name: str = "-"
+    media: List[MediaLine] = field(default_factory=list)
+
+    def add_media(self, kind: str, port: int, payload_types: List[int]) -> "SessionDescription":
+        self.media.append(MediaLine(kind, port, list(payload_types)))
+        return self
+
+    def media_for(self, kind: str) -> MediaLine:
+        for line in self.media:
+            if line.kind == kind:
+                return line
+        raise SdpError(f"no {kind!r} media line")
+
+    def has_media(self, kind: str) -> bool:
+        return any(line.kind == kind for line in self.media)
+
+    def render(self) -> str:
+        lines = [
+            "v=0",
+            f"o={self.origin_user} 0 0 IN IP4 {self.connection_host}",
+            f"s={self.session_name}",
+            f"c=IN IP4 {self.connection_host}",
+            "t=0 0",
+        ]
+        lines.extend(line.render() for line in self.media)
+        return "\r\n".join(lines) + "\r\n"
+
+
+def parse_sdp(text: str) -> SessionDescription:
+    origin_user = ""
+    connection_host = ""
+    session_name = "-"
+    media: List[MediaLine] = []
+    for raw in text.split("\r\n"):
+        if not raw:
+            continue
+        if "=" not in raw:
+            raise SdpError(f"malformed SDP line {raw!r}")
+        key, _, value = raw.partition("=")
+        if key == "o":
+            origin_user = value.split(" ")[0]
+        elif key == "s":
+            session_name = value
+        elif key == "c":
+            parts = value.split(" ")
+            if len(parts) != 3:
+                raise SdpError(f"malformed c= line {raw!r}")
+            connection_host = parts[2]
+        elif key == "m":
+            parts = value.split(" ")
+            if len(parts) < 3:
+                raise SdpError(f"malformed m= line {raw!r}")
+            try:
+                port = int(parts[1])
+                payload_types = [int(pt) for pt in parts[3:]]
+            except ValueError:
+                raise SdpError(f"bad numbers in m= line {raw!r}") from None
+            media.append(MediaLine(parts[0], port, payload_types))
+    if not connection_host:
+        raise SdpError("SDP missing c= line")
+    return SessionDescription(
+        origin_user=origin_user,
+        connection_host=connection_host,
+        session_name=session_name,
+        media=media,
+    )

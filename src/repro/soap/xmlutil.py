@@ -1,0 +1,129 @@
+"""XML encoding of Python values.
+
+SOAP bodies and XGSP messages carry structured values; this module maps a
+JSON-like Python subset (str, int, float, bool, None, list, dict with
+string keys) to XML elements and back, losslessly.  The ``type`` attribute
+disambiguates scalars; dict keys become child element names when they are
+valid XML names, otherwise an ``entry key=...`` form is used.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Any
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+# Characters XML 1.0 cannot represent even escaped (control chars other
+# than tab/newline/carriage-return).  Strings containing them are stored
+# unicode-escaped with an ``esc="1"`` marker.
+_INVALID_XML_RE = re.compile(
+    # \r is *valid* XML but parsers normalize it to \n, so escape it too.
+    "[\x00-\x08\x0b-\x0c\x0d\x0e-\x1f\x7f-\x84\x86-\x9f﷐-﷯￾￿]"
+)
+
+
+def _needs_escape(text: str) -> bool:
+    return _INVALID_XML_RE.search(text) is not None
+
+
+def _escape(text: str) -> str:
+    return text.encode("unicode_escape").decode("ascii")
+
+
+def _unescape(text: str) -> str:
+    return text.encode("ascii").decode("unicode_escape")
+
+
+class XmlCodecError(ValueError):
+    """Raised when a value cannot be encoded or an element decoded."""
+
+
+def to_xml_value(tag: str, value: Any) -> ET.Element:
+    """Encode ``value`` as an element named ``tag``."""
+    if not _NAME_RE.match(tag):
+        raise XmlCodecError(f"invalid element name {tag!r}")
+    element = ET.Element(tag)
+    _encode_into(element, value)
+    return element
+
+
+def _encode_into(element: ET.Element, value: Any) -> None:
+    if value is None:
+        element.set("type", "null")
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        element.set("type", "bool")
+        element.text = "true" if value else "false"
+    elif isinstance(value, int):
+        element.set("type", "int")
+        element.text = str(value)
+    elif isinstance(value, float):
+        element.set("type", "float")
+        element.text = repr(value)
+    elif isinstance(value, str):
+        element.set("type", "str")
+        if _needs_escape(value):
+            element.set("esc", "1")
+            element.text = _escape(value)
+        else:
+            element.text = value
+    elif isinstance(value, (list, tuple)):
+        element.set("type", "list")
+        for item in value:
+            element.append(to_xml_value("item", item))
+    elif isinstance(value, dict):
+        element.set("type", "dict")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise XmlCodecError(f"dict keys must be str, got {key!r}")
+            if _NAME_RE.match(key):
+                element.append(to_xml_value(key, item))
+            else:
+                entry = to_xml_value("entry", item)
+                if _needs_escape(key):
+                    entry.set("key-esc", "1")
+                    entry.set("key", _escape(key))
+                else:
+                    entry.set("key", key)
+                element.append(entry)
+    else:
+        raise XmlCodecError(f"cannot encode {type(value).__name__}")
+
+
+def from_xml_value(element: ET.Element) -> Any:
+    """Decode an element produced by :func:`to_xml_value`."""
+    kind = element.get("type")
+    text = element.text or ""
+    if kind == "null":
+        return None
+    if kind == "bool":
+        return text == "true"
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    if kind == "str":
+        return _unescape(text) if element.get("esc") == "1" else text
+    if kind == "list":
+        return [from_xml_value(child) for child in element]
+    if kind == "dict":
+        result = {}
+        for child in element:
+            key = child.get("key", child.tag)
+            if child.get("key-esc") == "1":
+                key = _unescape(key)
+            result[key] = from_xml_value(child)
+        return result
+    raise XmlCodecError(f"unknown type attribute {kind!r} on <{element.tag}>")
+
+
+def element_to_string(element: ET.Element) -> str:
+    return ET.tostring(element, encoding="unicode")
+
+
+def string_to_element(text: str) -> ET.Element:
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlCodecError(f"malformed XML: {exc}") from exc

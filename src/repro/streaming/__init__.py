@@ -1,0 +1,36 @@
+"""Streaming service: RealProducer + Helix Server + RTSP players.
+
+Section 3.2: "The Real Servers including a Real Producer and a Helix
+Server provide a streaming service to real-player and windows media
+player.  Enhanced with customer input plug in, our Real Producer can
+receive RTP audio and video packets from network, encode them into Real
+format and submit them to the Helix Server.  Real-players as well as
+windows media players can use RTSP to connect the Helix Server and
+choose the multimedia streams that they are interested in."
+"""
+
+from repro.streaming.formats import RealChunk, TranscodeProfile, REAL_300K, WM_250K
+from repro.streaming.rtsp import (
+    RtspParseError,
+    RtspRequest,
+    RtspResponse,
+    parse_rtsp,
+)
+from repro.streaming.producer import RealProducer
+from repro.streaming.helix import HelixServer
+from repro.streaming.player import RealPlayer, WindowsMediaPlayer
+
+__all__ = [
+    "RealChunk",
+    "TranscodeProfile",
+    "REAL_300K",
+    "WM_250K",
+    "RtspParseError",
+    "RtspRequest",
+    "RtspResponse",
+    "parse_rtsp",
+    "RealProducer",
+    "HelixServer",
+    "RealPlayer",
+    "WindowsMediaPlayer",
+]

@@ -1,0 +1,61 @@
+"""Stream formats and transcode profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TranscodeProfile:
+    """How the producer re-encodes RTP into a streaming format.
+
+    Attributes:
+        name: profile id ("real-300k", "wm-250k").
+        container: "real" or "wm" (what player kinds can decode it).
+        video_bitrate_bps / audio_bitrate_bps: target rates.
+        chunk_duration_s: media time per emitted chunk.
+        encode_latency_s: algorithmic look-ahead delay of the encoder.
+        cpu_cost_per_input_packet_s: producer CPU per input RTP packet.
+    """
+
+    name: str
+    container: str
+    video_bitrate_bps: float
+    audio_bitrate_bps: float
+    chunk_duration_s: float = 0.5
+    encode_latency_s: float = 1.0
+    cpu_cost_per_input_packet_s: float = 40e-6
+
+    def chunk_bytes(self, kind: str) -> int:
+        rate = (
+            self.video_bitrate_bps if kind == "video" else self.audio_bitrate_bps
+        )
+        return max(64, int(rate * self.chunk_duration_s / 8.0))
+
+
+REAL_300K = TranscodeProfile(
+    name="real-300k",
+    container="real",
+    video_bitrate_bps=260_000.0,
+    audio_bitrate_bps=32_000.0,
+)
+
+WM_250K = TranscodeProfile(
+    name="wm-250k",
+    container="wm",
+    video_bitrate_bps=220_000.0,
+    audio_bitrate_bps=32_000.0,
+)
+
+
+@dataclass
+class RealChunk:
+    """One encoded media chunk pushed from producer to server to player."""
+
+    stream: str  # mount point, e.g. "session-3"
+    kind: str  # "audio" | "video"
+    sequence: int
+    size: int
+    duration_s: float
+    media_time_s: float  # position in the stream
+    encoded_at: float  # producer wallclock (for end-to-end latency)

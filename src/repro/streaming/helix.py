@@ -1,0 +1,181 @@
+"""Helix streaming server.
+
+Accepts chunk feeds from producers (TCP ingest port), mounts them as
+live streams, and serves players over RTSP: DESCRIBE lists the stream's
+tracks, SETUP binds the client's UDP data port, PLAY starts relaying live
+chunks, PAUSE stops them, TEARDOWN releases the session.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+from repro.simnet.tcp import TcpConnection, TcpListener
+from repro.simnet.udp import UdpSocket
+from repro.streaming.formats import RealChunk
+from repro.streaming.rtsp import (
+    RtspParseError,
+    RtspRequest,
+    RtspResponse,
+    parse_rtsp,
+)
+
+RTSP_PORT = 554
+INGEST_PORT = 4040
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class _PlayerSession:
+    session_id: str
+    stream: str
+    data_address: Address
+    playing: bool = False
+    chunks_sent: int = 0
+
+
+@dataclass
+class _Mount:
+    stream: str
+    kinds: Set[str] = field(default_factory=set)
+    chunks_received: int = 0
+    last_media_time_s: float = 0.0
+
+
+class HelixServer:
+    """The streaming distribution server."""
+
+    def __init__(self, host: Host, rtsp_port: int = RTSP_PORT,
+                 ingest_port: int = INGEST_PORT):
+        self.host = host
+        self.sim = host.sim
+        self._rtsp = TcpListener(host, rtsp_port, on_connection=self._on_rtsp_conn)
+        self._ingest = TcpListener(host, ingest_port,
+                                   on_connection=self._on_ingest_conn)
+        self._data = UdpSocket(host)  # chunk delivery to players
+        self._mounts: Dict[str, _Mount] = {}
+        self._sessions: Dict[str, _PlayerSession] = {}
+        self.chunks_relayed = 0
+
+    @property
+    def rtsp_address(self) -> Address:
+        return self._rtsp.local_address
+
+    @property
+    def ingest_address(self) -> Address:
+        return self._ingest.local_address
+
+    def streams(self) -> List[str]:
+        return sorted(self._mounts)
+
+    def mount_info(self, stream: str) -> Optional[_Mount]:
+        return self._mounts.get(stream)
+
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    # -------------------------------------------------------------- ingest
+
+    def _on_ingest_conn(self, connection: TcpConnection) -> None:
+        connection.on_message = (
+            lambda chunk, size, conn: self._on_chunk(chunk)
+        )
+
+    def _on_chunk(self, chunk) -> None:
+        if not isinstance(chunk, RealChunk):
+            return
+        mount = self._mounts.get(chunk.stream)
+        if mount is None:
+            mount = _Mount(chunk.stream)
+            self._mounts[chunk.stream] = mount
+        mount.kinds.add(chunk.kind)
+        mount.chunks_received += 1
+        mount.last_media_time_s = max(mount.last_media_time_s, chunk.media_time_s)
+        for session in self._sessions.values():
+            if session.playing and session.stream == chunk.stream:
+                session.chunks_sent += 1
+                self.chunks_relayed += 1
+                self._data.sendto(chunk, chunk.size, session.data_address)
+
+    # ---------------------------------------------------------------- rtsp
+
+    def _on_rtsp_conn(self, connection: TcpConnection) -> None:
+        connection.on_message = (
+            lambda text, size, conn: self._on_rtsp_text(text, conn)
+        )
+
+    def _on_rtsp_text(self, text, connection: TcpConnection) -> None:
+        try:
+            request = parse_rtsp(text)
+        except (RtspParseError, TypeError):
+            return
+        if not isinstance(request, RtspRequest):
+            return
+        response = self._dispatch(request)
+        response.set("Cseq", request.get("Cseq", "0"))
+        if connection.established:
+            connection.send(response.render(), response.wire_size)
+
+    def _dispatch(self, request: RtspRequest) -> RtspResponse:
+        stream = request.url.rsplit("/", 1)[-1]
+        if request.method == "OPTIONS":
+            response = RtspResponse(200, "OK")
+            response.set("Public", ", ".join(
+                ("DESCRIBE", "SETUP", "PLAY", "PAUSE", "TEARDOWN")
+            ))
+            return response
+        if request.method == "DESCRIBE":
+            mount = self._mounts.get(stream)
+            if mount is None:
+                return RtspResponse(404, "Stream Not Found")
+            body = "".join(
+                f"m={kind}\r\n" for kind in sorted(mount.kinds)
+            )
+            response = RtspResponse(200, "OK", body=body)
+            response.set("Content-Type", "application/sdp")
+            return response
+        if request.method == "SETUP":
+            if stream not in self._mounts:
+                return RtspResponse(404, "Stream Not Found")
+            transport = request.get("Transport", "")
+            client_spec = ""
+            for part in transport.split(";"):
+                if part.startswith("client_addr="):
+                    client_spec = part[len("client_addr="):]
+            if not client_spec:
+                return RtspResponse(461, "Unsupported Transport")
+            host_part, _, port_part = client_spec.partition(":")
+            session = _PlayerSession(
+                session_id=f"rtsp-{next(_session_ids)}",
+                stream=stream,
+                data_address=Address(host_part, int(port_part)),
+            )
+            self._sessions[session.session_id] = session
+            response = RtspResponse(200, "OK")
+            response.set("Session", session.session_id)
+            return response
+        # PLAY/PAUSE/TEARDOWN need a session.
+        session_id = request.get("Session", "") or ""
+        session = self._sessions.get(session_id)
+        if session is None:
+            return RtspResponse(454, "Session Not Found")
+        if request.method == "PLAY":
+            session.playing = True
+            return RtspResponse(200, "OK")
+        if request.method == "PAUSE":
+            session.playing = False
+            return RtspResponse(200, "OK")
+        if request.method == "TEARDOWN":
+            del self._sessions[session_id]
+            return RtspResponse(200, "OK")
+        return RtspResponse(501, "Not Implemented")
+
+    def close(self) -> None:
+        self._rtsp.close()
+        self._ingest.close()
+        self._data.close()

@@ -1,0 +1,142 @@
+"""RealProducer: RTP in, Real-format chunks out.
+
+The producer's "customer input plug in" subscribes to a session's media
+topics on the broker (that is how it "receive[s] RTP audio and video
+packets from network"), re-encodes them into fixed-duration chunks at
+the profile's target bitrate — paying an encoder look-ahead delay and a
+per-packet CPU cost — and submits the chunks to a Helix server over TCP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
+from repro.broker.event import NBEvent
+from repro.broker.links import LinkType
+from repro.rtp.packet import RtpPacket
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+from repro.simnet.tcp import TcpConnection, tcp_connect
+from repro.streaming.formats import REAL_300K, RealChunk, TranscodeProfile
+
+
+class _KindEncoder:
+    """Tracks input media time and emits one chunk per chunk duration.
+
+    The encoder re-rates the stream to the profile's target bitrate: one
+    fixed-size output chunk per ``chunk_duration_s`` of *media time* (from
+    the RTP timestamps), regardless of input packetization or bitrate.
+    """
+
+    def __init__(self, kind: str, profile: TranscodeProfile):
+        self.kind = kind
+        self.profile = profile
+        self._first_media_time: float = -1.0
+        self._emitted_chunks = 0
+        self.sequence = 0
+
+    def push(self, media_time_s: float) -> int:
+        """Feed one input packet's media time; returns how many chunk
+        boundaries it crossed (usually 0 or 1)."""
+        if self._first_media_time < 0:
+            self._first_media_time = media_time_s
+            return 0
+        elapsed = media_time_s - self._first_media_time
+        due = int(elapsed / self.profile.chunk_duration_s)
+        ready = max(0, due - self._emitted_chunks)
+        self._emitted_chunks = max(self._emitted_chunks, due)
+        return ready
+
+    def next_chunk(self, stream: str, now: float) -> RealChunk:
+        chunk = RealChunk(
+            stream=stream,
+            kind=self.kind,
+            sequence=self.sequence,
+            size=self.profile.chunk_bytes(self.kind),
+            duration_s=self.profile.chunk_duration_s,
+            media_time_s=self.sequence * self.profile.chunk_duration_s,
+            encoded_at=now,
+        )
+        self.sequence += 1
+        return chunk
+
+
+class RealProducer:
+    """One producer instance encoding one session into one mount point."""
+
+    def __init__(
+        self,
+        host: Host,
+        broker: Broker,
+        helix_ingest: Address,
+        stream: str,
+        profile: TranscodeProfile = REAL_300K,
+        producer_id: Optional[str] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.stream = stream
+        self.profile = profile
+        self.producer_id = producer_id or f"producer-{stream}"
+        self.client = BrokerClient(host, client_id=self.producer_id)
+        self.client.connect(broker, link_type=LinkType.TCP)
+        self._encoders: Dict[str, _KindEncoder] = {}
+        self._helix: Optional[TcpConnection] = None
+        self._helix_ready = False
+        self._queued_chunks: list = []
+        self.packets_in = 0
+        self.chunks_out = 0
+        self._helix = tcp_connect(
+            host, helix_ingest, on_established=self._on_helix_up
+        )
+
+    def _on_helix_up(self, connection: TcpConnection) -> None:
+        self._helix_ready = True
+        for chunk in self._queued_chunks:
+            connection.send(chunk, chunk.size)
+        self._queued_chunks.clear()
+
+    # ------------------------------------------------------------- input
+
+    def consume_topic(self, topic: str) -> None:
+        """Attach the input plugin to one media topic."""
+        self.client.subscribe(topic, self._on_event)
+
+    def _on_event(self, event: NBEvent) -> None:
+        packet = event.payload
+        if not isinstance(packet, RtpPacket):
+            return
+        kind = "audio" if packet.payload_type.clock_rate == 8000 else "video"
+        self.packets_in += 1
+        # Encoding cost per input packet; the chunk emission happens after
+        # the CPU work completes.
+        self.host.cpu.execute(
+            self.profile.cpu_cost_per_input_packet_s,
+            self._encode,
+            kind,
+            packet.media_time(),
+        )
+
+    def _encode(self, kind: str, media_time_s: float) -> None:
+        encoder = self._encoders.get(kind)
+        if encoder is None:
+            encoder = _KindEncoder(kind, self.profile)
+            self._encoders[kind] = encoder
+        for _ in range(encoder.push(media_time_s)):
+            chunk = encoder.next_chunk(self.stream, self.sim.now)
+            # Encoder look-ahead: the chunk leaves after the latency window.
+            self.sim.schedule(self.profile.encode_latency_s, self._emit, chunk)
+
+    def _emit(self, chunk: RealChunk) -> None:
+        self.chunks_out += 1
+        if self._helix_ready and self._helix is not None:
+            self._helix.send(chunk, chunk.size)
+        else:
+            self._queued_chunks.append(chunk)
+
+    def close(self) -> None:
+        if self._helix is not None:
+            self._helix.close()
+        self.client.disconnect()

@@ -1,0 +1,136 @@
+"""RTSP (RFC 2326) message codec, text level.
+
+Same wire discipline as the SIP codec: requests/responses render to text
+and parse back, and the rendered length is what the TCP transport
+charges.  The server and player implement DESCRIBE / SETUP / PLAY /
+PAUSE / TEARDOWN.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+RTSP_VERSION = "RTSP/1.0"
+
+METHODS = ("DESCRIBE", "SETUP", "PLAY", "PAUSE", "TEARDOWN", "OPTIONS")
+
+
+class RtspParseError(ValueError):
+    """Malformed RTSP text."""
+
+
+class _RtspMessage:
+    def __init__(self, headers: Optional[List[Tuple[str, str]]] = None, body: str = ""):
+        self._headers = list(headers or [])
+        self.body = body
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        wanted = name.lower()
+        for key, value in self._headers:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    def set(self, name: str, value) -> None:
+        wanted = name.lower()
+        self._headers = [
+            (k, v) for k, v in self._headers if k.lower() != wanted
+        ]
+        self._headers.append((name, str(value)))
+
+    def headers(self) -> List[Tuple[str, str]]:
+        return list(self._headers)
+
+    def _start_line(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render(self) -> str:
+        lines = [self._start_line()]
+        headers = list(self._headers)
+        if self.body and self.get("Content-Length") is None:
+            headers.append(("Content-Length", str(len(self.body))))
+        lines.extend(f"{key}: {value}" for key, value in headers)
+        lines.append("")
+        return "\r\n".join(lines) + "\r\n" + self.body
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.render())
+
+    @property
+    def cseq(self) -> int:
+        return int(self.get("Cseq", "0") or 0)
+
+
+class RtspRequest(_RtspMessage):
+    def __init__(self, method: str, url: str,
+                 headers: Optional[List[Tuple[str, str]]] = None, body: str = ""):
+        super().__init__(headers, body)
+        self.method = method.upper()
+        self.url = url
+
+    def _start_line(self) -> str:
+        return f"{self.method} {self.url} {RTSP_VERSION}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RtspRequest {self.method} {self.url}>"
+
+
+class RtspResponse(_RtspMessage):
+    def __init__(self, status: int, reason: str,
+                 headers: Optional[List[Tuple[str, str]]] = None, body: str = ""):
+        super().__init__(headers, body)
+        self.status = status
+        self.reason = reason
+
+    def _start_line(self) -> str:
+        return f"{RTSP_VERSION} {self.status} {self.reason}"
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RtspResponse {self.status}>"
+
+
+def parse_rtsp(text: str):
+    head, separator, body = text.partition("\r\n\r\n")
+    if not separator:
+        raise RtspParseError("missing header/body separator")
+    lines = head.split("\r\n")
+    if not lines or not lines[0]:
+        raise RtspParseError("empty message")
+    start = lines[0]
+    headers: List[Tuple[str, str]] = []
+    for line in lines[1:]:
+        name, colon, value = line.partition(":")
+        if not colon:
+            raise RtspParseError(f"malformed header {line!r}")
+        headers.append((name.strip(), value.strip()))
+    if start.startswith(RTSP_VERSION):
+        parts = start.split(" ", 2)
+        if len(parts) < 3:
+            raise RtspParseError(f"malformed status line {start!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise RtspParseError(f"bad status in {start!r}") from None
+        return RtspResponse(status, parts[2], headers, body)
+    parts = start.split(" ")
+    if len(parts) != 3 or parts[2] != RTSP_VERSION:
+        raise RtspParseError(f"malformed request line {start!r}")
+    if parts[0] not in METHODS:
+        raise RtspParseError(f"unknown method {parts[0]!r}")
+    return RtspRequest(parts[0], parts[1], headers, body)
+
+
+def parse_rtsp_url(url: str) -> Tuple[str, str]:
+    """``rtsp://host:port/stream`` -> (host:port, stream)."""
+    if not url.startswith("rtsp://"):
+        raise RtspParseError(f"not an rtsp URL: {url!r}")
+    rest = url[len("rtsp://"):]
+    authority, slash, stream = rest.partition("/")
+    if not slash or not stream:
+        raise RtspParseError(f"URL missing stream path: {url!r}")
+    return authority, stream

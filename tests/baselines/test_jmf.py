@@ -1,0 +1,118 @@
+"""JMF reflector baseline unit tests."""
+
+import pytest
+
+from repro.baselines.jmf import JmfReflector, ReflectorProfile, join_reflector
+from repro.rtp.packet import PayloadType, RtpPacket
+from repro.simnet import UdpSocket
+
+
+def rtp(seq, size=1000):
+    return RtpPacket(ssrc=1, sequence=seq, timestamp=seq,
+                     payload_type=PayloadType.H261, payload_size=size)
+
+
+@pytest.fixture
+def reflector(net):
+    return JmfReflector(net.create_host("server"))
+
+
+def test_fanout_to_all_receivers(net, sim, reflector):
+    inboxes = {}
+    for index in range(5):
+        socket = UdpSocket(net.create_host(f"r{index}"))
+        inboxes[index] = []
+        socket.on_receive(
+            lambda p, src, d, i=index: inboxes[i].append(p.sequence)
+        )
+        reflector.add_receiver(socket.local_address)
+    sender = UdpSocket(net.create_host("sender"))
+    for seq in range(3):
+        packet = rtp(seq)
+        sender.sendto(packet, packet.wire_size, reflector.address)
+    sim.run_for(2.0)
+    for index in range(5):
+        assert sorted(inboxes[index]) == [0, 1, 2]
+    assert reflector.packets_in == 3
+    assert reflector.packets_out == 15
+
+
+def test_no_echo_to_sending_receiver(net, sim, reflector):
+    host = net.create_host("member")
+    socket = UdpSocket(host)
+    got = []
+    socket.on_receive(lambda p, src, d: got.append(p))
+    reflector.add_receiver(socket.local_address)
+    other = UdpSocket(net.create_host("other"))
+    reflector.add_receiver(other.local_address)
+    other_got = []
+    other.on_receive(lambda p, src, d: other_got.append(p))
+    packet = rtp(0)
+    socket.sendto(packet, packet.wire_size, reflector.address)
+    sim.run_for(1.0)
+    assert got == []  # the sender's own socket is skipped
+    assert len(other_got) == 1
+
+
+def test_join_via_control_message(net, sim, reflector):
+    socket = UdpSocket(net.create_host("r"))
+    join_reflector(socket, reflector.address)
+    sim.run_for(1.0)
+    assert reflector.receiver_count() == 1
+
+
+def test_remove_receiver(net, sim, reflector):
+    socket = UdpSocket(net.create_host("r"))
+    got = []
+    socket.on_receive(lambda p, src, d: got.append(p))
+    reflector.add_receiver(socket.local_address)
+    reflector.remove_receiver(socket.local_address)
+    sender = UdpSocket(net.create_host("s"))
+    packet = rtp(0)
+    sender.sendto(packet, packet.wire_size, reflector.address)
+    sim.run_for(1.0)
+    assert got == []
+
+
+def test_overload_drops_bounded(net, sim):
+    """Past saturation the reflector drops input packets instead of
+    queueing unboundedly — the stabilizer behind Figure 3's plateau."""
+    profile = ReflectorProfile(max_backlog_tasks=50, gc=None)
+    reflector = JmfReflector(net.create_host("server"), profile=profile)
+    receiver_host = net.create_host("r")
+    for index in range(20):
+        socket = UdpSocket(receiver_host)
+        socket.on_receive(lambda p, src, d: None)
+        reflector.add_receiver(socket.local_address)
+    sender = UdpSocket(net.create_host("s"))
+    # A burst far larger than the backlog bound (20 sends each).
+    for seq in range(100):
+        packet = rtp(seq)
+        sender.sendto(packet, packet.wire_size, reflector.address)
+    sim.run_for(5.0)
+    assert reflector.packets_dropped > 0
+    assert reflector.packets_in == 100
+    # The server CPU queue stayed bounded.
+    assert reflector.host.cpu.queue_depth == 0
+
+
+def test_gc_pauses_accumulate_with_allocation(net, sim):
+    reflector = JmfReflector(net.create_host("server"))
+    sockets = []
+    for index in range(50):
+        socket = UdpSocket(net.create_host(f"r{index}"))
+        socket.on_receive(lambda p, src, d: None)
+        reflector.add_receiver(socket.local_address)
+    sender = UdpSocket(net.create_host("s"))
+    # 50 receivers x ~1.5 kB/clone x 400 packets ≈ 30 MB: crosses the
+    # 24 MB young-gen budget at least once.  Paced so the bounded backlog
+    # never drops (50 sends x 36 µs ≈ 1.8 ms of work per packet).
+    def send(seq):
+        packet = rtp(seq % 65536, size=1250)
+        sender.sendto(packet, packet.wire_size, reflector.address)
+
+    for seq in range(400):
+        sim.schedule(seq * 0.01, send, seq)
+    sim.run_for(20.0)
+    assert reflector.packets_dropped == 0
+    assert reflector.host.cpu.gc_pauses >= 1

@@ -1,0 +1,100 @@
+"""Smoke tests of the experiment harnesses (small configurations).
+
+The full-size runs live in benchmarks/; these keep the harness code
+covered by the fast suite and pin the qualitative orderings.
+"""
+
+import pytest
+
+from repro.bench.capacity import CapacityConfig, run_capacity_point
+from repro.bench.figure3 import Fig3Config, run_figure3
+from repro.bench.metrics import average_series, downsample, mean, percentile
+from repro.bench.reporting import capacity_table, figure3_table, simple_table
+from repro.bench.workload import colocated_indices
+
+
+class TestMetrics:
+    def test_average_series_truncates_to_shortest(self):
+        assert average_series([[1.0, 2.0, 3.0], [3.0, 4.0]]) == [2.0, 3.0]
+
+    def test_average_series_skips_empty(self):
+        assert average_series([[], [2.0, 4.0]]) == [2.0, 4.0]
+        assert average_series([[], []]) == []
+
+    def test_mean_and_percentile(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        values = list(range(100))
+        assert percentile(values, 0.99) == 99
+        assert percentile([], 0.5) == 0.0
+
+    def test_downsample(self):
+        series = [float(i) for i in range(100)]
+        buckets = downsample(series, 10)
+        assert len(buckets) == 10
+        assert buckets[0] == pytest.approx(4.5)
+
+    def test_colocated_indices_spread(self):
+        indices = colocated_indices(400, 12)
+        assert len(indices) == 12
+        assert len(set(indices)) == 12
+        assert indices[0] == 0 and indices[-1] < 400
+        # Spread: consecutive measured clients are ~33 apart.
+        gaps = [b - a for a, b in zip(indices, indices[1:])]
+        assert all(30 <= gap <= 37 for gap in gaps)
+
+    def test_colocated_indices_all_when_small(self):
+        assert colocated_indices(5, 10) == [0, 1, 2, 3, 4]
+
+
+class TestFigure3Harness:
+    @pytest.fixture(scope="class")
+    def small_results(self):
+        config = Fig3Config(receivers=40, colocated=4, packets=120,
+                            settle_s=4.0)
+        return {
+            "narada": run_figure3("narada", config),
+            "jmf": run_figure3("jmf", config),
+        }
+
+    def test_collects_full_series(self, small_results):
+        for result in small_results.values():
+            assert result.packets >= 110
+            assert len(result.delay_series_ms) == result.packets
+            assert len(result.jitter_series_ms) == result.packets
+            assert len(result.per_client) == 4
+
+    def test_delays_positive_and_bounded(self, small_results):
+        for result in small_results.values():
+            assert all(0.0 < d < 1000.0 for d in result.delay_series_ms)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure3("webrtc")
+
+    def test_report_renders(self, small_results):
+        text = figure3_table(small_results["narada"], small_results["jmf"])
+        assert "NaradaBrokering" in text and "JMF reflector" in text
+        assert "80.76" in text  # paper reference column
+
+
+class TestCapacityHarness:
+    def test_point_under_load_is_good(self):
+        config = CapacityConfig(media="audio", duration_s=3.0)
+        point = run_capacity_point(50, config)
+        assert point.good_quality
+        assert point.loss_rate == 0.0
+        assert 0.0 < point.avg_delay_ms < 50.0
+
+    def test_report_renders(self):
+        config = CapacityConfig(media="audio", duration_s=2.0)
+        point = run_capacity_point(20, config)
+        text = capacity_table("audio", [point], "claim")
+        assert "20 clients" in text
+
+
+def test_simple_table_alignment():
+    text = simple_table("T", [("a", 1), ("long-name", 22)], ("col", "n"))
+    lines = text.splitlines()
+    assert "T" in lines[1]
+    assert lines[-1].startswith("long-name")

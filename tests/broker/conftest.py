@@ -1,0 +1,23 @@
+"""Broker test fixtures."""
+
+import pytest
+
+from repro.broker import Broker, BrokerClient, BrokerNetwork, LinkType
+
+
+@pytest.fixture
+def single_broker(net):
+    """One broker on its own host."""
+    host = net.create_host("broker-host")
+    return Broker(host, broker_id="b0")
+
+
+def make_client(net, sim, broker, name, link_type=LinkType.UDP, host=None):
+    """Create a connected client and run the handshake to completion."""
+    if host is None:
+        host = net.create_host(name)
+    client = BrokerClient(host, client_id=name)
+    client.connect(broker, link_type=link_type)
+    sim.run_for(1.0)
+    assert client.connected, f"{name} failed to connect over {link_type}"
+    return client

@@ -1,0 +1,69 @@
+"""Broker monitoring service tests."""
+
+import pytest
+
+from repro.broker import Broker, BrokerClient, BrokerNetwork
+from repro.broker.monitor import BrokerMonitor, BrokerSample, MonitoringClient
+
+from tests.broker.conftest import make_client
+
+
+def test_monitor_publishes_samples(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    monitor = BrokerMonitor(broker, interval_s=1.0)
+    console = MonitoringClient(net.create_host("console-host"), broker)
+    sim.run_for(2.0)
+    monitor.start()
+    sim.run_for(5.5)
+    monitor.stop()
+    assert console.brokers_seen() == ["b0"]
+    samples = console.history["b0"]
+    assert len(samples) == 5
+    assert all(isinstance(s, BrokerSample) for s in samples)
+    # Time advances between samples.
+    assert samples[0].at < samples[-1].at
+
+
+def test_samples_reflect_load(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    monitor = BrokerMonitor(broker, interval_s=1.0)
+    console = MonitoringClient(net.create_host("console-host"), broker)
+    publisher = make_client(net, sim, broker, "pub")
+    subscriber = make_client(net, sim, broker, "sub")
+    subscriber.subscribe("/t", lambda e: None)
+    sim.run_for(1.0)
+    monitor.start()
+    for index in range(100):
+        sim.schedule(index * 0.05, lambda: publisher.publish("/t", b"x", 100))
+    sim.run_for(8.0)
+    latest = console.latest("b0")
+    assert latest is not None
+    assert latest.events_delivered >= 100
+    # The console's own client + pub + sub + the monitor's client.
+    assert latest.clients == 4
+    assert console.delivery_rate("b0") > 5.0
+
+
+def test_console_sees_all_brokers_in_network(net, sim):
+    bnet = BrokerNetwork.chain(net, 3)
+    monitors = [BrokerMonitor(b, interval_s=1.0) for b in bnet.brokers()]
+    console = MonitoringClient(net.create_host("console-host"),
+                               bnet.broker("broker-1"))
+    sim.run_for(2.0)
+    for monitor in monitors:
+        monitor.start()
+    sim.run_for(4.0)
+    assert console.brokers_seen() == ["broker-0", "broker-1", "broker-2"]
+
+
+def test_stop_halts_sampling(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    monitor = BrokerMonitor(broker, interval_s=1.0)
+    console = MonitoringClient(net.create_host("console-host"), broker)
+    sim.run_for(1.0)
+    monitor.start()
+    sim.run_for(3.0)
+    monitor.stop()
+    count = monitor.samples_published
+    sim.run_for(3.0)
+    assert monitor.samples_published == count

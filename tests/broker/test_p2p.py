@@ -1,0 +1,150 @@
+"""Peer-to-peer mode and the hybrid (direct + brokered) combination."""
+
+import pytest
+
+from repro.broker import Broker, BrokerClient, P2PGroup, RendezvousService
+from repro.simnet import Firewall
+
+from tests.broker.conftest import make_client
+
+
+@pytest.fixture
+def rendezvous(net):
+    return RendezvousService(net.create_host("rdv-host"))
+
+
+def make_peer(net, sim, rendezvous, name, group="room", **kwargs):
+    host = kwargs.pop("host", None) or net.create_host(f"{name}-host")
+    peer = P2PGroup(host, name, group, rendezvous.address, **kwargs)
+    peer.join()
+    sim.run_for(1.0)
+    assert peer.joined
+    return peer
+
+
+def test_join_discovers_existing_members(net, sim, rendezvous):
+    alice = make_peer(net, sim, rendezvous, "alice")
+    bob = make_peer(net, sim, rendezvous, "bob")
+    assert bob.peers() == ["alice"]
+    # Existing member learns about the newcomer via notify.
+    assert alice.peers() == ["bob"]
+
+
+def test_direct_publish_reaches_all_peers(net, sim, rendezvous):
+    peers = [make_peer(net, sim, rendezvous, f"p{i}") for i in range(4)]
+    got = {}
+    for peer in peers:
+        got[peer.peer_id] = []
+        peer.subscribe("/chat", lambda e, pid=peer.peer_id: got[pid].append(e.payload))
+    peers[0].publish("/chat", "hello mesh", 50)
+    sim.run_for(1.0)
+    assert got["p0"] == []  # no self-delivery
+    for peer_id in ("p1", "p2", "p3"):
+        assert got[peer_id] == ["hello mesh"]
+
+
+def test_leave_stops_notifications(net, sim, rendezvous):
+    alice = make_peer(net, sim, rendezvous, "alice")
+    bob = make_peer(net, sim, rendezvous, "bob")
+    bob.leave()
+    sim.run_for(1.0)
+    assert "bob" not in alice.peers()
+
+
+def test_p2p_lower_latency_than_brokered(net, sim, rendezvous):
+    """The paper's performance-functionality trade-off: direct peering
+    removes the broker hop and its CPU costs."""
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+
+    # Brokered pair.
+    publisher = make_client(net, sim, broker, "pub")
+    subscriber = make_client(net, sim, broker, "sub")
+    brokered_delays = []
+    subscriber.subscribe(
+        "/t", lambda e: brokered_delays.append(sim.now - e.published_at)
+    )
+    sim.run_for(1.0)
+
+    # P2P pair.
+    alice = make_peer(net, sim, rendezvous, "alice")
+    bob = make_peer(net, sim, rendezvous, "bob")
+    p2p_delays = []
+    bob.subscribe("/t", lambda e: p2p_delays.append(sim.now - e.published_at))
+
+    for _ in range(20):
+        publisher.publish("/t", b"x", 500)
+        alice.publish("/t", b"x", 500)
+    sim.run_for(2.0)
+    assert len(brokered_delays) == 20 and len(p2p_delays) == 20
+    assert (sum(p2p_delays) / 20) < (sum(brokered_delays) / 20)
+
+
+def test_firewalled_peer_uses_broker_relay(net, sim, rendezvous):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+
+    inside_host = net.create_host("inside")
+    Firewall().attach(inside_host)
+    relay_client = BrokerClient(inside_host, client_id="carol-relay")
+    relay_client.connect(broker)
+    sim.run_for(1.0)
+
+    carol = make_peer(
+        net,
+        sim,
+        rendezvous,
+        "carol",
+        host=inside_host,
+        broker_client=relay_client,
+        direct=False,
+    )
+    # Alice needs broker access too: reaching a relayed peer goes through
+    # the broker (the hybrid combination of the two models).
+    alice_host = net.create_host("alice-host")
+    alice_client = BrokerClient(alice_host, client_id="alice-relay")
+    alice_client.connect(broker)
+    sim.run_for(1.0)
+    alice = make_peer(
+        net, sim, rendezvous, "alice", host=alice_host, broker_client=alice_client
+    )
+    got = []
+    carol.subscribe("/chat", got.append)
+    sim.run_for(1.0)
+    alice.publish("/chat", "through the relay", 80)
+    sim.run_for(2.0)
+    assert [e.payload for e in got] == ["through the relay"]
+
+
+def test_indirect_peer_without_broker_client_rejected(net, rendezvous):
+    host = net.create_host("h")
+    with pytest.raises(ValueError):
+        P2PGroup(host, "p", "room", rendezvous.address, direct=False)
+
+
+def test_mixed_group_direct_and_relayed(net, sim, rendezvous):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    inside_host = net.create_host("inside")
+    Firewall().attach(inside_host)
+    relay_client = BrokerClient(inside_host, client_id="relay")
+    relay_client.connect(broker)
+    sim.run_for(1.0)
+
+    carol = make_peer(
+        net, sim, rendezvous, "carol",
+        host=inside_host, broker_client=relay_client, direct=False,
+    )
+    alice_host = net.create_host("alice-host")
+    alice_client = BrokerClient(alice_host, client_id="alice-relay")
+    alice_client.connect(broker)
+    sim.run_for(1.0)
+    alice = make_peer(
+        net, sim, rendezvous, "alice", host=alice_host, broker_client=alice_client
+    )
+    bob = make_peer(net, sim, rendezvous, "bob")
+    got = {"alice": [], "bob": [], "carol": []}
+    for peer in (alice, bob, carol):
+        peer.subscribe("/x", lambda e, pid=peer.peer_id: got[pid].append(e.payload))
+    alice.publish("/x", "mixed", 50)
+    sim.run_for(2.0)
+    assert got["bob"] == ["mixed"]  # direct
+    assert got["carol"] == ["mixed"]  # via broker relay
+    assert got["alice"] == []

@@ -1,0 +1,131 @@
+"""Reliable and ordered delivery QoS."""
+
+import pytest
+
+from repro.broker import Broker, BrokerClient, BrokerNetwork
+from repro.simnet import LinkProfile, Network, SeededStreams, Simulator
+
+
+def lossy_setup(seed=11, loss=0.25):
+    sim = Simulator()
+    net = Network(sim, SeededStreams(seed))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    pub_host = net.create_host("pub-host")
+    sub_host = net.create_host("sub-host", link=LinkProfile(loss_rate=loss))
+    publisher = BrokerClient(pub_host, client_id="pub")
+    subscriber = BrokerClient(sub_host, client_id="sub")
+    publisher.connect(broker)
+    subscriber.connect(broker)
+    # The client retries Connect until acknowledged, even on lossy links.
+    sim.run_for(15.0)
+    assert publisher.connected and subscriber.connected
+    return sim, net, broker, publisher, subscriber
+
+
+def test_unreliable_events_lost_on_lossy_link():
+    sim, net, broker, publisher, subscriber = lossy_setup(seed=5, loss=0.3)
+    got = []
+    subscriber.subscribe("/t", got.append)
+    sim.run_for(2.0)
+    for i in range(100):
+        publisher.publish("/t", i, 100)
+    sim.run_for(5.0)
+    assert 30 < len(got) < 95  # substantial loss, no recovery
+
+
+def test_reliable_events_all_arrive_despite_loss():
+    sim, net, broker, publisher, subscriber = lossy_setup(seed=6, loss=0.3)
+    got = []
+    subscriber.subscribe("/t", got.append)
+    sim.run_for(2.0)
+    for i in range(50):
+        publisher.publish("/t", i, 100, reliable=True)
+    sim.run_for(30.0)
+    assert sorted(e.payload for e in got) == list(range(50))
+    # No duplicates delivered to the application.
+    assert len(got) == 50
+
+
+def test_ordered_events_delivered_in_sequence(net, sim, single_broker=None):
+    broker = Broker(net.create_host("bh"), broker_id="b0")
+    publisher = BrokerClient(net.create_host("ph"), client_id="pub")
+    subscriber = BrokerClient(net.create_host("sh"), client_id="sub")
+    publisher.connect(broker)
+    subscriber.connect(broker)
+    sim.run_for(1.0)
+    got = []
+    subscriber.subscribe("/ord", lambda e: got.append(e.sequence))
+    sim.run_for(1.0)
+    for i in range(30):
+        publisher.publish("/ord", i, 50, ordered=True)
+    sim.run_for(2.0)
+    assert got == list(range(30))
+
+
+def test_ordered_across_brokers_single_sequencer(net, sim):
+    bnet = BrokerNetwork.chain(net, 3)
+    pub_a = BrokerClient(net.create_host("pa"), client_id="pa")
+    pub_b = BrokerClient(net.create_host("pb"), client_id="pb")
+    subscriber = BrokerClient(net.create_host("sh"), client_id="sub")
+    pub_a.connect(bnet.broker("broker-0"))
+    pub_b.connect(bnet.broker("broker-2"))
+    subscriber.connect(bnet.broker("broker-1"))
+    sim.run_for(1.0)
+    got = []
+    subscriber.subscribe("/ord", lambda e: got.append(e.sequence))
+    sim.run_for(1.0)
+    # Interleave publishers on different brokers.
+    for i in range(10):
+        pub_a.publish("/ord", ("a", i), 50, ordered=True)
+        pub_b.publish("/ord", ("b", i), 50, ordered=True)
+    sim.run_for(3.0)
+    assert len(got) == 20
+    # A single sequencer stamped a gap-free, strictly increasing sequence,
+    # and the ordered inbox released events in that order.
+    assert got == sorted(got)
+    assert sorted(got) == list(range(20))
+
+
+def test_sequencer_election_is_deterministic(net, sim):
+    bnet = BrokerNetwork.chain(net, 3)
+    brokers = bnet.brokers()
+    choices = {broker.sequencer_for("/some/topic") for broker in brokers}
+    assert len(choices) == 1
+
+
+def test_ordered_inbox_flushes_gaps():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(sim, delivered.append, gap_timeout_s=0.5)
+
+    def event(sequence):
+        return NBEvent("/t", sequence, 10, sequence=sequence)
+
+    inbox.accept(event(0))
+    inbox.accept(event(2))  # gap: 1 missing
+    inbox.accept(event(3))
+    sim.run_for(0.1)
+    assert [e.sequence for e in delivered] == [0]
+    sim.run_for(1.0)  # gap timer fires
+    assert [e.sequence for e in delivered] == [0, 2, 3]
+    assert inbox.gaps_flushed == 1
+    # The straggler shows up late: dropped as stale.
+    inbox.accept(event(1))
+    assert inbox.stale_dropped == 1
+
+
+def test_reliable_outbox_abandons_after_max_retries():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import ReliableOutbox
+
+    sim = Simulator()
+    sent = []
+    outbox = ReliableOutbox(sim, sent.append, resend_interval_s=0.1, max_retries=3)
+    outbox.send(NBEvent("/t", b"", 10))
+    sim.run_for(10.0)
+    assert len(sent) == 4  # initial + 3 retries
+    assert outbox.abandoned == 1
+    assert outbox.pending_count == 0

@@ -1,0 +1,156 @@
+"""Tests for topic validation and wildcard matching."""
+
+import pytest
+
+from repro.broker.topic import (
+    TopicError,
+    TopicTrie,
+    compile_pattern,
+    match_compiled,
+    match_topic,
+    validate_pattern,
+    validate_topic,
+)
+
+
+class TestValidation:
+    def test_topic_must_start_with_slash(self):
+        with pytest.raises(TopicError):
+            validate_topic("no-slash")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("/a//b")
+
+    def test_root_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("/")
+
+    def test_wildcards_not_allowed_in_concrete_topics(self):
+        with pytest.raises(TopicError):
+            validate_topic("/a/*/b")
+        with pytest.raises(TopicError):
+            validate_topic("/a/#")
+
+    def test_multi_wildcard_must_be_last(self):
+        with pytest.raises(TopicError):
+            validate_pattern("/a/#/b")
+        assert validate_pattern("/a/#") == "/a/#"
+
+    def test_valid_patterns_accepted(self):
+        for pattern in ("/a", "/a/b/c", "/a/*/c", "/#", "/a/*"):
+            validate_pattern(pattern)
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("/a/b", "/a/b", True),
+            ("/a/b", "/a/c", False),
+            ("/a/b", "/a/b/c", False),
+            ("/a/*", "/a/b", True),
+            ("/a/*", "/a/b/c", False),
+            ("/a/*/c", "/a/x/c", True),
+            ("/a/*/c", "/a/x/d", False),
+            ("/#", "/anything/at/all", True),
+            ("/a/#", "/a", True),  # '#' matches zero or more segments
+            ("/a/#", "/a/b", True),
+            ("/a/#", "/a/b/c/d", True),
+            ("/*/b", "/a/b", True),
+            ("/*", "/a", True),
+            ("/*", "/a/b", False),
+        ],
+    )
+    def test_match(self, pattern, topic, expected):
+        assert match_topic(pattern, topic) is expected
+
+    def test_compiled_matches_agree_with_match_topic(self):
+        pattern, topic = "/session/*/video/#", "/session/9/video/ssrc/3"
+        assert match_compiled(compile_pattern(pattern), topic) is True
+        assert match_topic(pattern, topic) is True
+
+
+class TestTrie:
+    def test_exact_match(self):
+        trie = TopicTrie()
+        trie.add("/a/b", "s1")
+        trie.add("/a/c", "s2")
+        assert trie.match("/a/b") == {"s1"}
+        assert trie.match("/a/c") == {"s2"}
+        assert trie.match("/a/d") == set()
+
+    def test_single_wildcard(self):
+        trie = TopicTrie()
+        trie.add("/a/*/c", "s1")
+        assert trie.match("/a/x/c") == {"s1"}
+        assert trie.match("/a/x/d") == set()
+        assert trie.match("/a/x/y/c") == set()
+
+    def test_multi_wildcard(self):
+        trie = TopicTrie()
+        trie.add("/a/#", "s1")
+        assert trie.match("/a/b") == {"s1"}
+        assert trie.match("/a/b/c/d") == {"s1"}
+        assert trie.match("/b/a") == set()
+
+    def test_overlapping_patterns_union(self):
+        trie = TopicTrie()
+        trie.add("/a/b", "exact")
+        trie.add("/a/*", "star")
+        trie.add("/#", "all")
+        assert trie.match("/a/b") == {"exact", "star", "all"}
+        assert trie.match("/a/z") == {"star", "all"}
+        assert trie.match("/q") == {"all"}
+
+    def test_same_value_multiple_patterns(self):
+        trie = TopicTrie()
+        trie.add("/a/b", "s")
+        trie.add("/c/*", "s")
+        assert sorted(trie.patterns_for("s")) == ["/a/b", "/c/*"]
+
+    def test_duplicate_add_returns_false(self):
+        trie = TopicTrie()
+        assert trie.add("/a", "s") is True
+        assert trie.add("/a", "s") is False
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = TopicTrie()
+        trie.add("/a/b", "s1")
+        trie.add("/a/b", "s2")
+        assert trie.remove("/a/b", "s1") is True
+        assert trie.match("/a/b") == {"s2"}
+        assert trie.remove("/a/b", "missing") is False
+
+    def test_remove_prunes_empty_nodes(self):
+        trie = TopicTrie()
+        trie.add("/a/b/c/d", "s")
+        trie.remove("/a/b/c/d", "s")
+        assert trie._root.children == {}
+
+    def test_remove_value_clears_all_patterns(self):
+        trie = TopicTrie()
+        trie.add("/a", "s")
+        trie.add("/b/#", "s")
+        trie.add("/c", "other")
+        assert trie.remove_value("s") == 2
+        assert trie.match("/a") == set()
+        assert trie.match("/c") == {"other"}
+
+    def test_all_patterns(self):
+        trie = TopicTrie()
+        trie.add("/a", "x")
+        trie.add("/a", "y")
+        trie.add("/b/*", "x")
+        assert trie.all_patterns() == {"/a", "/b/*"}
+
+    def test_trie_agrees_with_match_topic_on_corpus(self):
+        patterns = ["/a/b", "/a/*", "/a/#", "/*/b", "/#", "/a/b/c", "/x/*/z"]
+        topics = ["/a/b", "/a/c", "/a/b/c", "/x/y/z", "/q", "/x/y/w"]
+        trie = TopicTrie()
+        for pattern in patterns:
+            trie.add(pattern, pattern)
+        for topic in topics:
+            expected = {p for p in patterns if match_topic(p, topic)}
+            assert trie.match(topic) == expected, topic

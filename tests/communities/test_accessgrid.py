@@ -1,0 +1,129 @@
+"""AccessGrid venues, clients, and bridge unit tests."""
+
+import pytest
+
+from repro.communities.accessgrid import (
+    AccessGridClient,
+    VENUE_RTP_PORT,
+    Venue,
+    VenueServer,
+)
+from repro.rtp.packet import PayloadType, RtpPacket
+from repro.simnet.multicast import is_multicast
+
+
+def rtp(seq, ssrc=1):
+    return RtpPacket(ssrc=ssrc, sequence=seq, timestamp=seq * 160,
+                     payload_type=PayloadType.PCMU, payload_size=160)
+
+
+class TestVenueServer:
+    def test_create_allocates_groups_per_media(self):
+        server = VenueServer()
+        venue = server.create_venue("lab", ["audio", "video"])
+        assert set(venue.groups) == {"audio", "video"}
+        assert all(is_multicast(g) for g in venue.groups.values())
+        assert venue.groups["audio"] != venue.groups["video"]
+
+    def test_venues_get_distinct_groups(self):
+        server = VenueServer()
+        a = server.create_venue("a")
+        b = server.create_venue("b")
+        assert set(a.groups.values()).isdisjoint(set(b.groups.values()))
+
+    def test_duplicate_name_rejected(self):
+        server = VenueServer()
+        server.create_venue("x")
+        with pytest.raises(ValueError):
+            server.create_venue("x")
+
+    def test_group_address_port(self):
+        venue = Venue("v", {"audio": "233.2.0.1"})
+        assert venue.group_address("audio").port == VENUE_RTP_PORT
+
+
+class TestClients:
+    def test_tools_in_same_venue_hear_each_other(self, net, sim):
+        venue = VenueServer().create_venue("v")
+        alice = AccessGridClient(net.create_host("alice-host"), venue)
+        bob = AccessGridClient(net.create_host("bob-host"), venue)
+        heard = []
+        bob.on_media = lambda kind, p: heard.append((kind, p.sequence))
+        for i in range(3):
+            alice.send_media("audio", rtp(i))
+        sim.run_for(1.0)
+        assert sorted(heard) == [("audio", 0), ("audio", 1), ("audio", 2)]
+        # The sender did not hear itself (same-socket multicast rule).
+        assert alice.packets_received == 0
+
+    def test_media_kinds_are_isolated(self, net, sim):
+        venue = VenueServer().create_venue("v")
+        alice = AccessGridClient(net.create_host("alice-host"), venue)
+        bob = AccessGridClient(net.create_host("bob-host"), venue)
+        heard = []
+        bob.on_media = lambda kind, p: heard.append(kind)
+        alice.send_media("video", rtp(0, ssrc=2))
+        sim.run_for(1.0)
+        assert heard == ["video"]
+
+    def test_different_venues_do_not_leak(self, net, sim):
+        server = VenueServer()
+        venue_a = server.create_venue("a")
+        venue_b = server.create_venue("b")
+        alice = AccessGridClient(net.create_host("alice-host"), venue_a)
+        eve = AccessGridClient(net.create_host("eve-host"), venue_b)
+        heard = []
+        eve.on_media = lambda kind, p: heard.append(p)
+        alice.send_media("audio", rtp(0))
+        sim.run_for(1.0)
+        assert heard == []
+
+    def test_close_leaves_groups(self, net, sim):
+        venue = VenueServer().create_venue("v")
+        client = AccessGridClient(net.create_host("h"), venue)
+        client.close()
+        assert net.group_members(venue.groups["audio"]) == set()
+
+
+class TestVenueSoapService:
+    def test_venue_directory_over_soap(self, net, sim):
+        from repro.communities.accessgrid import (
+            VENUE_SERVICE,
+            VenueSoapService,
+            venue_service_wsdl,
+        )
+        from repro.soap import SoapClient, SoapService
+
+        server_host = net.create_host("venue-server-host")
+        soap = SoapService(server_host, 8095)
+        venue_server = VenueServer()
+        VenueSoapService(venue_server, soap)
+
+        client = SoapClient(net.create_host("caller-host"))
+        client.import_wsdl(venue_service_wsdl())
+        results = []
+        client.invoke(soap.address, VENUE_SERVICE, "createVenue",
+                      {"name": "physics", "media": ["audio", "video"]},
+                      on_result=results.append)
+        sim.run_for(2.0)
+        client.invoke(soap.address, VENUE_SERVICE, "lookupVenue",
+                      {"name": "physics"}, on_result=results.append)
+        client.invoke(soap.address, VENUE_SERVICE, "listVenues", {},
+                      on_result=results.append)
+        sim.run_for(2.0)
+        assert results[0]["name"] == "physics"
+        assert set(results[1]["groups"]) == {"audio", "video"}
+        assert results[2]["venues"] == ["physics"]
+
+    def test_lookup_unknown_venue_faults(self, net, sim):
+        from repro.communities.accessgrid import VENUE_SERVICE, VenueSoapService
+        from repro.soap import SoapClient, SoapService
+
+        soap = SoapService(net.create_host("vs-host"), 8095)
+        VenueSoapService(VenueServer(), soap)
+        client = SoapClient(net.create_host("c-host"))
+        faults = []
+        client.invoke(soap.address, VENUE_SERVICE, "lookupVenue",
+                      {"name": "nope"}, on_fault=faults.append)
+        sim.run_for(2.0)
+        assert faults and faults[0].code == "Server.Internal"

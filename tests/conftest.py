@@ -1,0 +1,20 @@
+"""Shared fixtures: a fresh simulator + network per test."""
+
+import pytest
+
+from repro.simnet import Network, SeededStreams, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def streams():
+    return SeededStreams(42)
+
+
+@pytest.fixture
+def net(sim, streams):
+    return Network(sim, streams)

@@ -1,0 +1,164 @@
+"""Session recording + replay (the conference archiving service)."""
+
+import pytest
+
+from repro.broker import Broker
+from repro.core.archive import SessionRecorder, SessionReplayer
+from repro.core.xgsp import XgspClient, XgspSessionServer
+from repro.rtp.packet import PayloadType, RtpPacket
+
+
+def rtp(seq):
+    return RtpPacket(ssrc=4, sequence=seq, timestamp=seq * 160,
+                     payload_type=PayloadType.PCMU, payload_size=160)
+
+
+@pytest.fixture
+def stack(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    server = XgspSessionServer(net.create_host("xgsp-host"), broker)
+    admin = XgspClient(net.create_host("admin-host"), broker, "admin")
+    sim.run_for(2.0)
+    created = []
+    admin.create_session("archived", ["audio"], on_created=created.append)
+    sim.run_for(2.0)
+    return broker, server, admin, created[0]
+
+
+def test_recorder_captures_media_with_offsets(net, sim, stack):
+    broker, server, admin, session = stack
+    recorder = SessionRecorder(net.create_host("rec-host"), broker)
+    archive = recorder.start(session)
+    speaker = XgspClient(net.create_host("spk-host"), broker, "speaker")
+    sim.run_for(2.0)
+    topic = session.media[0].topic
+    for seq in range(5):
+        sim.schedule(seq * 0.020,
+                     lambda seq=seq: speaker.publish_media(topic, rtp(seq), 172))
+    sim.run_for(2.0)
+    recorder.stop()
+    assert len(archive) == 5
+    assert archive.topics() == [topic]
+    # Offsets preserve the 20 ms cadence (within network jitter).
+    gaps = [b.offset_s - a.offset_s
+            for a, b in zip(archive.events, archive.events[1:])]
+    assert all(0.010 < gap < 0.030 for gap in gaps)
+
+
+def test_recorder_captures_control_announcements(net, sim, stack):
+    broker, server, admin, session = stack
+    recorder = SessionRecorder(net.create_host("rec-host"), broker)
+    archive = recorder.start(session)
+    sim.run_for(2.0)
+    admin.join(session.session_id)
+    sim.run_for(2.0)
+    control_events = archive.events_for(session.control_topic)
+    assert control_events, "join announcement was not archived"
+
+
+def test_stop_freezes_archive(net, sim, stack):
+    broker, server, admin, session = stack
+    recorder = SessionRecorder(net.create_host("rec-host"), broker)
+    archive = recorder.start(session)
+    speaker = XgspClient(net.create_host("spk-host"), broker, "speaker")
+    sim.run_for(2.0)
+    topic = session.media[0].topic
+    speaker.publish_media(topic, rtp(0), 172)
+    sim.run_for(1.0)
+    recorder.stop()
+    speaker.publish_media(topic, rtp(1), 172)
+    sim.run_for(1.0)
+    assert len(archive) == 1
+
+
+def test_double_start_rejected(net, sim, stack):
+    broker, server, admin, session = stack
+    recorder = SessionRecorder(net.create_host("rec-host"), broker)
+    recorder.start(session)
+    with pytest.raises(RuntimeError):
+        recorder.start(session)
+    unstarted = SessionRecorder(net.create_host("rec2-host"), broker,
+                                recorder_id="rec2")
+    with pytest.raises(RuntimeError):
+        unstarted.stop()
+
+
+def test_replay_preserves_timing_onto_new_topic(net, sim, stack):
+    broker, server, admin, session = stack
+    recorder = SessionRecorder(net.create_host("rec-host"), broker)
+    archive = recorder.start(session)
+    speaker = XgspClient(net.create_host("spk-host"), broker, "speaker")
+    sim.run_for(2.0)
+    topic = session.media[0].topic
+    for seq in range(5):
+        sim.schedule(seq * 0.050,
+                     lambda seq=seq: speaker.publish_media(topic, rtp(seq), 172))
+    sim.run_for(2.0)
+    recorder.stop()
+
+    # Replay into a fresh topic; a listener measures the cadence.
+    replayer = SessionReplayer(net.create_host("rep-host"), broker)
+    listener = XgspClient(net.create_host("lst-host"), broker, "listener")
+    sim.run_for(2.0)
+    arrivals = []
+    listener.subscribe_media("/replay/audio",
+                             lambda e: arrivals.append(sim.now))
+    sim.run_for(1.0)
+    finished = []
+    replayer.replay(archive, topic_map={topic: "/replay/audio"},
+                    on_finished=lambda: finished.append(True))
+    sim.run_for(3.0)
+    assert finished == [True]
+    assert len(arrivals) == 5
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert all(0.030 < gap < 0.070 for gap in gaps)
+
+
+def test_replay_speed_scaling(net, sim, stack):
+    broker, server, admin, session = stack
+    recorder = SessionRecorder(net.create_host("rec-host"), broker)
+    archive = recorder.start(session)
+    speaker = XgspClient(net.create_host("spk-host"), broker, "speaker")
+    sim.run_for(2.0)
+    topic = session.media[0].topic
+    for seq in range(4):
+        sim.schedule(seq * 0.100,
+                     lambda seq=seq: speaker.publish_media(topic, rtp(seq), 172))
+    sim.run_for(2.0)
+    recorder.stop()
+    # Span between first and last archived event is the 300 ms cadence
+    # (duration_s also counts the leading silence since start()).
+    span = archive.events[-1].offset_s - archive.events[0].offset_s
+    assert span == pytest.approx(0.300, abs=0.02)
+
+    replayer = SessionReplayer(net.create_host("rep-host"), broker)
+    listener = XgspClient(net.create_host("lst-host"), broker, "listener")
+    sim.run_for(2.0)
+    arrivals = []
+    listener.subscribe_media("/replay/fast", lambda e: arrivals.append(sim.now))
+    sim.run_for(1.0)
+    replayer.replay(archive, topic_map={topic: "/replay/fast"}, speed=2.0)
+    sim.run_for(2.0)
+    assert len(arrivals) == 4
+    total = arrivals[-1] - arrivals[0]
+    assert total == pytest.approx(0.150, abs=0.03)  # 2x faster
+
+
+def test_replay_empty_archive_finishes_immediately(net, sim, stack):
+    broker, server, admin, session = stack
+    from repro.core.archive import SessionArchive
+
+    replayer = SessionReplayer(net.create_host("rep-host"), broker)
+    done = []
+    replayer.replay(SessionArchive("s", 0.0),
+                    on_finished=lambda: done.append(True))
+    assert done == [True]
+
+
+def test_replay_invalid_speed(net, sim, stack):
+    broker, server, admin, session = stack
+    from repro.core.archive import SessionArchive
+
+    replayer = SessionReplayer(net.create_host("rep-host"), broker)
+    with pytest.raises(ValueError):
+        replayer.replay(SessionArchive("s", 0.0), speed=0.0)

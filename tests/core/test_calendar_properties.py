@@ -1,0 +1,80 @@
+"""Property-based tests for the meeting calendar's booking algebra."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broker import Broker
+from repro.core.xgsp import XgspClient
+from repro.core.xgsp.calendar import CalendarError, MeetingCalendar, Reservation
+from repro.simnet import Network, SeededStreams, Simulator
+
+
+def make_calendar():
+    sim = Simulator()
+    net = Network(sim, SeededStreams(0))
+    broker = Broker(net.create_host("b-host"), broker_id="b0")
+    client = XgspClient(net.create_host("c-host"), broker, "cal")
+    return MeetingCalendar(client), sim
+
+
+bookings = st.lists(
+    st.tuples(
+        st.sampled_from(["room-a", "room-b"]),
+        st.floats(min_value=10.0, max_value=1000.0),  # start
+        st.floats(min_value=1.0, max_value=500.0),  # duration
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(bookings)
+def test_accepted_bookings_never_overlap_per_room(requests):
+    calendar, sim = make_calendar()
+    accepted = []
+    for room, start, duration in requests:
+        try:
+            accepted.append(
+                calendar.reserve(room, "t", "org", start, duration)
+            )
+        except CalendarError:
+            pass
+    # Invariant: for each room, accepted reservations are disjoint.
+    by_room = {}
+    for reservation in accepted:
+        by_room.setdefault(reservation.room, []).append(reservation)
+    for room, reservations in by_room.items():
+        ordered = sorted(reservations, key=lambda r: r.start_s)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end_s <= b.start_s, (
+                f"overlap in {room}: [{a.start_s},{a.end_s}) vs "
+                f"[{b.start_s},{b.end_s})"
+            )
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(bookings)
+def test_cancelled_slot_is_reusable(requests):
+    calendar, sim = make_calendar()
+    for room, start, duration in requests:
+        try:
+            reservation = calendar.reserve(room, "t", "org", start, duration)
+        except CalendarError:
+            continue
+        calendar.cancel(reservation.reservation_id)
+        # The identical slot must now be bookable again.
+        rebooked = calendar.reserve(room, "t2", "org", start, duration)
+        assert rebooked.reservation_id != reservation.reservation_id
+
+
+def test_overlap_predicate_is_symmetric():
+    a = Reservation(1, "r", "t", "o", start_s=10.0, duration_s=5.0)
+    b = Reservation(2, "r", "t", "o", start_s=12.0, duration_s=5.0)
+    c = Reservation(3, "r", "t", "o", start_s=15.0, duration_s=5.0)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c) and not c.overlaps(a)  # touching, not overlapping
+    other_room = Reservation(4, "q", "t", "o", start_s=10.0, duration_s=5.0)
+    assert not a.overlaps(other_room)

@@ -1,0 +1,44 @@
+"""CLI smoke tests (small workloads)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Global-MMCS" in out
+    assert "calibration" in out
+
+
+def test_fig3_small(capsys):
+    assert main(["fig3", "--system", "narada", "--packets", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "narada" in out and "avg delay" in out
+
+
+def test_capacity_small(capsys):
+    assert main([
+        "capacity", "--media", "audio", "--points", "20",
+        "--duration", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "20 clients" in out
+    assert "supported with good quality" in out
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "demo OK" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

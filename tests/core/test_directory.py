@@ -1,0 +1,102 @@
+"""Naming & directory server tests (library + SOAP face)."""
+
+import pytest
+
+from repro.core.xgsp.directory import (
+    CollaborationServer,
+    DirectoryError,
+    Terminal,
+    XgspDirectory,
+)
+from repro.soap import SoapClient, SoapService
+
+
+@pytest.fixture
+def directory():
+    return XgspDirectory()
+
+
+class TestUsers:
+    def test_register_and_lookup(self, directory):
+        directory.register_user("gcf", "Geoffrey Fox")
+        account = directory.user("gcf")
+        assert account.display_name == "Geoffrey Fox"
+        assert account.community == "global"
+
+    def test_unknown_user_raises(self, directory):
+        with pytest.raises(DirectoryError):
+            directory.user("nobody")
+
+    def test_register_idempotent(self, directory):
+        directory.register_user("u", "First")
+        directory.register_user("u", "Second")
+        assert directory.user("u").display_name == "First"
+
+    def test_unknown_community_rejected(self, directory):
+        with pytest.raises(DirectoryError):
+            directory.register_user("u", community="mars")
+
+    def test_terminal_binding(self, directory):
+        directory.register_user("u")
+        directory.add_terminal("u", Terminal("t1", "h323", "polycom"))
+        directory.add_terminal("u", Terminal("t2", "sip"), activate=False)
+        active = directory.active_terminal("u")
+        assert active is not None and active.terminal_id == "t1"
+        directory.set_active_terminal("u", "t2")
+        assert directory.active_terminal("u").terminal_id == "t2"
+        with pytest.raises(DirectoryError):
+            directory.set_active_terminal("u", "missing")
+
+
+class TestCommunities:
+    def test_register_community_and_server(self, directory):
+        directory.register_community("h323", "zone")
+        directory.register_server(CollaborationServer(
+            server_id="mcu-1", kind="h323-mcu", community="h323",
+        ))
+        assert directory.server("h323", "mcu-1").kind == "h323-mcu"
+        assert directory.servers_of_kind("h323-mcu")[0].server_id == "mcu-1"
+
+    def test_unknown_community_server_rejected(self, directory):
+        with pytest.raises(DirectoryError):
+            directory.register_server(CollaborationServer(
+                server_id="x", kind="y", community="nowhere",
+            ))
+
+    def test_global_community_exists(self, directory):
+        assert "global" in directory.communities()
+
+
+class TestSoapFace:
+    def test_directory_over_soap(self, net, sim, directory):
+        server_host = net.create_host("dir-host")
+        soap = SoapService(server_host, 8080)
+        directory.expose(soap)
+        client = SoapClient(net.create_host("portal"))
+        client.import_wsdl(XgspDirectory.wsdl())
+        results = []
+        client.invoke(soap.address, "XGSPDirectory", "registerUser",
+                      {"user_id": "gcf", "display_name": "Geoffrey"},
+                      on_result=results.append)
+        sim.run_for(2.0)
+        client.invoke(soap.address, "XGSPDirectory", "lookupUser",
+                      {"user_id": "gcf"}, on_result=results.append)
+        sim.run_for(2.0)
+        assert results[0]["user_id"] == "gcf"
+        assert results[1]["display_name"] == "Geoffrey"
+
+    def test_active_terminal_over_soap(self, net, sim, directory):
+        soap = SoapService(net.create_host("dir-host"), 8080)
+        directory.expose(soap)
+        client = SoapClient(net.create_host("portal"))
+        results = []
+        client.invoke(soap.address, "XGSPDirectory", "registerUser",
+                      {"user_id": "u"}, on_result=results.append)
+        client.invoke(soap.address, "XGSPDirectory", "addTerminal",
+                      {"user_id": "u", "terminal_id": "t1", "kind": "sip"},
+                      on_result=results.append)
+        client.invoke(soap.address, "XGSPDirectory", "activeTerminal",
+                      {"user_id": "u"}, on_result=results.append)
+        sim.run_for(3.0)
+        assert results[-1]["terminal_id"] == "t1"
+        assert results[-1]["kind"] == "sip"

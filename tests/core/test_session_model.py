@@ -1,0 +1,117 @@
+"""Session state, roster, and floor-control unit tests."""
+
+import pytest
+
+from repro.core.xgsp.messages import XgspError
+from repro.core.xgsp.roster import Member, Roster
+from repro.core.xgsp.session import (
+    Session,
+    SessionState,
+    control_topic,
+    media_topic,
+)
+
+
+def make_session(media=("audio", "video")):
+    return Session("session-1", "title", "creator", list(media))
+
+
+class TestTopics:
+    def test_topic_layout(self):
+        assert control_topic("session-1") == "/xgsp/sessions/session-1/control"
+        assert media_topic("session-1", "audio") == (
+            "/xgsp/sessions/session-1/media/audio"
+        )
+
+    def test_session_media_topics(self):
+        session = make_session()
+        assert session.media["audio"].topic == media_topic("session-1", "audio")
+        assert session.media["audio"].codec == "g711u"
+        assert session.media["video"].codec == "h261"
+
+
+class TestRoster:
+    def test_add_remove(self):
+        roster = Roster()
+        assert roster.add(Member("alice")) is True
+        assert roster.add(Member("alice")) is False  # rejoin
+        assert len(roster) == 1
+        assert roster.remove("alice") is not None
+        assert roster.remove("alice") is None
+
+    def test_communities_count(self):
+        roster = Roster()
+        roster.add(Member("a", community="sip"))
+        roster.add(Member("b", community="sip"))
+        roster.add(Member("c", community="h323"))
+        assert roster.communities() == {"sip": 2, "h323": 1}
+
+    def test_participants_sorted(self):
+        roster = Roster()
+        for name in ("zoe", "alice", "mike"):
+            roster.add(Member(name))
+        assert roster.participants() == ["alice", "mike", "zoe"]
+
+
+class TestSession:
+    def test_requires_media(self):
+        with pytest.raises(XgspError):
+            Session("s", "t", "c", [])
+
+    def test_join_leave(self):
+        session = make_session()
+        assert session.join(Member("alice")) is True
+        assert "alice" in session.roster
+        assert session.leave("alice") is not None
+        assert "alice" not in session.roster
+
+    def test_join_terminated_session_rejected(self):
+        session = make_session()
+        session.terminate()
+        with pytest.raises(XgspError):
+            session.join(Member("alice"))
+        assert session.state == SessionState.TERMINATED
+
+    def test_media_for_subset(self):
+        session = make_session()
+        subset = session.media_for(["audio", "chat"])  # chat not in session
+        assert [m.kind for m in subset] == ["audio"]
+
+    def test_floor_exclusive(self):
+        session = make_session()
+        session.join(Member("a"))
+        session.join(Member("b"))
+        assert session.request_floor("a") is True
+        assert session.request_floor("b") is False
+        assert session.request_floor("a") is True  # re-request keeps it
+        assert session.release_floor("b") is False
+        assert session.release_floor("a") is True
+        assert session.request_floor("b") is True
+
+    def test_floor_requires_membership(self):
+        session = make_session()
+        with pytest.raises(XgspError):
+            session.request_floor("stranger")
+
+    def test_floor_released_on_leave(self):
+        session = make_session()
+        session.join(Member("a"))
+        session.request_floor("a")
+        session.leave("a")
+        assert session.floor_holder is None
+
+    def test_mute(self):
+        session = make_session()
+        session.join(Member("a"))
+        session.set_muted("a", True)
+        assert session.roster.get("a").muted is True
+        with pytest.raises(XgspError):
+            session.set_muted("ghost", True)
+
+    def test_describe(self):
+        session = make_session()
+        session.join(Member("a"))
+        description = session.describe()
+        assert description["session_id"] == "session-1"
+        assert description["members"] == 1
+        assert description["media"] == ["audio", "video"]

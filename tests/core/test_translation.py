@@ -1,0 +1,133 @@
+"""XGSP ↔ community protocol translation unit tests."""
+
+import pytest
+
+from repro.core.xgsp.messages import JoinAccepted, MediaDescription
+from repro.core.xgsp.translation import (
+    capabilities_for_join,
+    conference_alias,
+    conference_sip_uri,
+    join_for_h323_setup,
+    join_for_sip_invite,
+    sdp_answer_for_join,
+    session_id_from_alias,
+    session_id_from_sip_uri,
+)
+from repro.h323.pdu import Setup
+from repro.simnet.packet import Address
+from repro.sip.message import SipRequest
+from repro.sip.sdp import SessionDescription
+
+
+class TestAddressing:
+    def test_alias_roundtrip(self):
+        assert conference_alias("session-3") == "conf-session-3"
+        assert session_id_from_alias("conf-session-3") == "session-3"
+        assert session_id_from_alias("polycom") is None
+
+    def test_sip_uri_roundtrip(self):
+        uri = conference_sip_uri("session-9", "mmcs.org")
+        assert uri == "sip:conf-session-9@mmcs.org"
+        assert session_id_from_sip_uri(uri) == "session-9"
+        assert session_id_from_sip_uri("sip:alice@mmcs.org") is None
+        assert session_id_from_sip_uri("garbage") is None
+
+
+def make_invite(uri="sip:conf-session-1@d", media=("audio", "video")):
+    offer = SessionDescription("alice", "alice-host")
+    port = 40000
+    for kind in media:
+        offer.add_media(kind, port, [0 if kind == "audio" else 31])
+        port += 2
+    request = SipRequest("INVITE", uri, body=offer.render())
+    request.set("From", "<sip:alice@d>;tag-1")
+    request.set("Contact", "<alice-host:5060>")
+    return request, offer
+
+
+class TestSipTranslation:
+    def test_invite_to_join(self):
+        request, offer = make_invite()
+        join = join_for_sip_invite(request, offer)
+        assert join is not None
+        assert join.session_id == "session-1"
+        assert join.participant == "sip:alice@d"
+        assert join.community == "sip"
+        assert join.media_kinds == ["audio", "video"]
+
+    def test_non_conference_uri_gives_none(self):
+        request, offer = make_invite(uri="sip:bob@d")
+        assert join_for_sip_invite(request, offer) is None
+
+    def test_audio_only_offer(self):
+        request, offer = make_invite(media=("audio",))
+        join = join_for_sip_invite(request, offer)
+        assert join.media_kinds == ["audio"]
+
+    def test_no_offer_defaults_to_both(self):
+        request, _ = make_invite()
+        join = join_for_sip_invite(request, None)
+        assert join.media_kinds == ["audio", "video"]
+
+    def test_sdp_answer_points_at_proxies(self):
+        accepted = JoinAccepted(
+            session_id="session-1",
+            participant="sip:alice@d",
+            media=[
+                MediaDescription("audio", "g711u", "/t/a"),
+                MediaDescription("video", "h261", "/t/v"),
+            ],
+        )
+        answer = sdp_answer_for_join(
+            accepted,
+            {"audio": Address("broker", 50000),
+             "video": Address("broker", 50002)},
+        )
+        assert answer.connection_host == "broker"
+        assert answer.media_for("audio").port == 50000
+        assert answer.media_for("video").port == 50002
+        assert answer.media_for("audio").payload_types == [0]
+        assert answer.media_for("video").payload_types == [31]
+
+    def test_sdp_answer_requires_single_proxy_host(self):
+        accepted = JoinAccepted(
+            session_id="s", participant="p",
+            media=[MediaDescription("audio", "g711u", "/t")],
+        )
+        with pytest.raises(ValueError):
+            sdp_answer_for_join(
+                accepted,
+                {"audio": Address("a", 1), "video": Address("b", 2)},
+            )
+
+
+class TestH323Translation:
+    def test_setup_to_join(self):
+        setup = Setup(call_id="c1", caller_alias="polycom",
+                      callee_alias="conf-session-4")
+        join = join_for_h323_setup(setup)
+        assert join.session_id == "session-4"
+        assert join.participant == "h323:polycom"
+        assert join.community == "h323"
+
+    def test_non_conference_alias_gives_none(self):
+        setup = Setup(call_id="c1", caller_alias="a", callee_alias="bob")
+        assert join_for_h323_setup(setup) is None
+
+    def test_capabilities_match_session_media(self):
+        accepted = JoinAccepted(
+            session_id="s", participant="p",
+            media=[MediaDescription("audio", "g711u", "/t")],
+        )
+        capabilities = capabilities_for_join(accepted)
+        assert [c.media for c in capabilities] == ["audio"]
+        both = JoinAccepted(
+            session_id="s", participant="p",
+            media=[
+                MediaDescription("audio", "g711u", "/a"),
+                MediaDescription("video", "h261", "/v"),
+            ],
+        )
+        assert {c.media for c in capabilities_for_join(both)} == {
+            "audio", "video",
+        }

@@ -1,0 +1,155 @@
+"""XGSP Web Server (SOAP facade) and the meeting calendar."""
+
+import pytest
+
+from repro.broker import Broker
+from repro.core.xgsp import XgspClient, XgspSessionServer, XgspWebServer
+from repro.core.xgsp.calendar import CalendarError
+from repro.soap import SoapClient
+
+
+@pytest.fixture
+def stack(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    server = XgspSessionServer(net.create_host("xgsp-host"), broker)
+    web = XgspWebServer(net.create_host("web-host"), broker)
+    portal = SoapClient(net.create_host("portal-host"))
+    portal.import_wsdl(XgspWebServer.wsdl())
+    sim.run_for(2.0)
+    return broker, server, web, portal
+
+
+def call(sim, portal, web, operation, params, settle=3.0):
+    results, faults = [], []
+    portal.invoke(web.address, XgspWebServer.SERVICE, operation, params,
+                  on_result=results.append, on_fault=faults.append)
+    sim.run_for(settle)
+    return results, faults
+
+
+class TestSessionFacade:
+    def test_create_session_over_soap(self, net, sim, stack):
+        broker, server, web, portal = stack
+        results, faults = call(sim, portal, web, "createSession",
+                               {"title": "seminar", "creator": "gcf"})
+        assert not faults
+        assert results[0]["session_id"].startswith("session-")
+        assert {m["kind"] for m in results[0]["media"]} == {"audio", "video"}
+        assert server.session(results[0]["session_id"]) is not None
+
+    def test_join_over_soap(self, net, sim, stack):
+        broker, server, web, portal = stack
+        created, _ = call(sim, portal, web, "createSession",
+                          {"title": "s", "creator": "gcf"})
+        sid = created[0]["session_id"]
+        results, faults = call(sim, portal, web, "joinSession",
+                               {"session_id": sid, "participant": "alice",
+                                "community": "sip"})
+        assert not faults
+        assert results[0]["participant"] == "alice"
+        assert server.session(sid).roster.communities() == {"sip": 1}
+
+    def test_join_unknown_session_faults(self, net, sim, stack):
+        broker, server, web, portal = stack
+        results, faults = call(sim, portal, web, "joinSession",
+                               {"session_id": "session-999", "participant": "x"})
+        assert not results
+        assert faults[0].code == "Client.JoinRejected"
+
+    def test_list_sessions(self, net, sim, stack):
+        broker, server, web, portal = stack
+        call(sim, portal, web, "createSession", {"title": "a", "creator": "u"})
+        call(sim, portal, web, "createSession", {"title": "b", "creator": "u"})
+        results, _ = call(sim, portal, web, "listSessions", {})
+        titles = sorted(s["title"] for s in results[0]["sessions"])
+        assert titles == ["a", "b"]
+
+    def test_terminate_over_soap(self, net, sim, stack):
+        broker, server, web, portal = stack
+        created, _ = call(sim, portal, web, "createSession",
+                          {"title": "s", "creator": "u"})
+        sid = created[0]["session_id"]
+        results, _ = call(sim, portal, web, "terminateSession",
+                          {"session_id": sid, "requester": "u"})
+        assert results[0]["result"] == "ok"
+        assert server.session(sid).state == "terminated"
+
+
+class TestCalendar:
+    def test_schedule_activates_at_start_time(self, net, sim, stack):
+        broker, server, web, portal = stack
+        start = sim.now + 30.0
+        results, faults = call(sim, portal, web, "scheduleMeeting",
+                               {"room": "grid-room", "title": "weekly",
+                                "organizer": "gcf", "start": start,
+                                "duration": 3600.0,
+                                "invitees": ["alice", "bob"]})
+        assert not faults
+        reservation_id = results[0]["reservation_id"]
+        # Before start: no session yet.
+        assert server.active_sessions() == []
+        sim.run_for(40.0)
+        sessions = server.active_sessions()
+        assert len(sessions) == 1
+        assert sessions[0].title == "weekly"
+        assert sessions[0].mode == "scheduled"
+        reservation = web.calendar.reservation(reservation_id)
+        assert reservation.session_id == sessions[0].session_id
+
+    def test_invitations_sent_on_activation(self, net, sim, stack):
+        broker, server, web, portal = stack
+        alice = XgspClient(net.create_host("alice-host"), broker, "alice")
+        invitations = []
+        alice.watch_announcements(lambda a: None)
+        alice._announcement_handlers.append(
+            lambda a: invitations.append(a.detail)
+            if a.event == "invitation" else None
+        )
+        sim.run_for(2.0)
+        call(sim, portal, web, "scheduleMeeting",
+             {"room": "r", "title": "standup", "organizer": "gcf",
+              "start": sim.now + 10.0, "duration": 600.0,
+              "invitees": ["alice"]})
+        sim.run_for(20.0)
+        assert invitations and "standup" in invitations[0]
+
+    def test_room_conflict_faults(self, net, sim, stack):
+        broker, server, web, portal = stack
+        start = sim.now + 100.0
+        _, faults1 = call(sim, portal, web, "scheduleMeeting",
+                          {"room": "r1", "title": "a", "organizer": "u",
+                           "start": start, "duration": 3600.0})
+        assert not faults1
+        _, faults2 = call(sim, portal, web, "scheduleMeeting",
+                          {"room": "r1", "title": "b", "organizer": "u",
+                           "start": start + 600.0, "duration": 600.0})
+        assert faults2 and faults2[0].code == "Client.Calendar"
+        # Different room at the same time is fine.
+        _, faults3 = call(sim, portal, web, "scheduleMeeting",
+                          {"room": "r2", "title": "c", "organizer": "u",
+                           "start": start, "duration": 600.0})
+        assert not faults3
+
+    def test_cancel_prevents_activation(self, net, sim, stack):
+        broker, server, web, portal = stack
+        results, _ = call(sim, portal, web, "scheduleMeeting",
+                          {"room": "r", "title": "t", "organizer": "u",
+                           "start": sim.now + 50.0, "duration": 600.0})
+        call(sim, portal, web, "cancelMeeting",
+             {"reservation_id": results[0]["reservation_id"]})
+        sim.run_for(80.0)
+        assert server.active_sessions() == []
+
+    def test_list_meetings(self, net, sim, stack):
+        broker, server, web, portal = stack
+        call(sim, portal, web, "scheduleMeeting",
+             {"room": "r", "title": "m1", "organizer": "u",
+              "start": sim.now + 500.0, "duration": 100.0})
+        results, _ = call(sim, portal, web, "listMeetings", {})
+        assert [m["title"] for m in results[0]["meetings"]] == ["m1"]
+
+    def test_reserve_in_past_rejected(self, net, sim, stack):
+        broker, server, web, portal = stack
+        sim.run_for(100.0)
+        with pytest.raises(CalendarError):
+            web.calendar.reserve("r", "t", "u", start_s=5.0, duration_s=10.0)

@@ -1,0 +1,101 @@
+"""WSDL-CI conformance and the third-party MCU adapter."""
+
+import pytest
+
+from repro.core.xgsp.wsdl_ci import (
+    McuCollaborationService,
+    REQUIRED_CI_OPS,
+    conforms_to_ci,
+    make_ci_wsdl,
+    validate_ci,
+)
+from repro.h323 import Gatekeeper, H323Mcu
+from repro.soap import Operation, SoapClient, SoapService, WsdlDocument, WsdlError
+
+from tests.h323.test_gatekeeper import make_terminal
+
+
+def test_canonical_ci_declares_all_areas():
+    wsdl = make_ci_wsdl("X")
+    assert conforms_to_ci(wsdl)
+    for op in REQUIRED_CI_OPS:
+        assert op in wsdl.operations
+
+
+def test_nonconforming_wsdl_rejected():
+    partial = WsdlDocument(service="Partial").add(
+        Operation.make("createSession", required=["session_id"])
+    )
+    assert not conforms_to_ci(partial)
+    with pytest.raises(WsdlError):
+        validate_ci(partial)
+
+
+def test_mcu_scheduled_into_session_via_ci(net, sim):
+    """The paper's example: schedule a third-party H.323 MCU through its
+    WSDL-CI declaration, then terminals dial the returned alias."""
+    gatekeeper = Gatekeeper(net.create_host("gk-host"))
+    mcu_host = net.create_host("mcu-host")
+    mcu = H323Mcu(mcu_host, "third-party-mcu", gatekeeper.address)
+    mcu.register()
+    sim.run_for(1.0)
+
+    soap = SoapService(mcu_host, 8085)
+    adapter = McuCollaborationService(mcu)
+    adapter.expose(soap)
+
+    # The global session server schedules the MCU over SOAP.
+    client = SoapClient(net.create_host("xgsp-host"))
+    client.import_wsdl(adapter.wsdl())
+    results = []
+    client.invoke(soap.address, "ThirdPartyMCU", "createSession",
+                  {"session_id": "session-7", "title": "joint"},
+                  on_result=results.append)
+    sim.run_for(2.0)
+    client.invoke(soap.address, "ThirdPartyMCU", "addMember",
+                  {"session_id": "session-7", "member": "t0"},
+                  on_result=results.append)
+    sim.run_for(2.0)
+    assert results[0]["mcu_alias"] == "third-party-mcu"
+    assert results[1]["dial_alias"] == "third-party-mcu"
+
+    # The member dials in over H.323 as instructed.
+    terminal = make_terminal(net, sim, gatekeeper, "t0")
+    connected = []
+    terminal.call("third-party-mcu", on_connected=connected.append)
+    sim.run_for(3.0)
+    assert connected
+
+    members = []
+    client.invoke(soap.address, "ThirdPartyMCU", "listMembers",
+                  {"session_id": "session-7"}, on_result=members.append)
+    sim.run_for(2.0)
+    assert members[0]["connected"] == ["t0"]
+    assert members[0]["expected"] == ["t0"]
+
+
+def test_mcu_remove_member_hangs_up(net, sim):
+    gatekeeper = Gatekeeper(net.create_host("gk-host"))
+    mcu_host = net.create_host("mcu-host")
+    mcu = H323Mcu(mcu_host, "mcu", gatekeeper.address)
+    mcu.register()
+    sim.run_for(1.0)
+    soap = SoapService(mcu_host, 8085)
+    adapter = McuCollaborationService(mcu)
+    adapter.expose(soap)
+    client = SoapClient(net.create_host("ctl-host"))
+    client.invoke(soap.address, "ThirdPartyMCU", "createSession",
+                  {"session_id": "s"})
+    sim.run_for(2.0)
+
+    terminal = make_terminal(net, sim, gatekeeper, "t0")
+    connected = []
+    terminal.call("mcu", on_connected=connected.append)
+    sim.run_for(3.0)
+    assert mcu.participants() == ["t0"]
+
+    client.invoke(soap.address, "ThirdPartyMCU", "removeMember",
+                  {"session_id": "s", "member": "t0"})
+    sim.run_for(3.0)
+    assert mcu.participants() == []
+    assert terminal.calls() == []

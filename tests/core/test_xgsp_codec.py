@@ -1,0 +1,80 @@
+"""XGSP message/XML codec tests (unit + property round-trip)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.xgsp import messages as m
+from repro.core.xgsp import xml_codec
+from repro.soap.xmlutil import XmlCodecError
+
+
+def roundtrip(message):
+    return xml_codec.decode(xml_codec.encode(message))
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        m.CreateSession(title="Physics seminar", creator="gcf",
+                        media_kinds=["audio", "video", "chat"]),
+        m.SessionCreated(session_id="session-9", title="t",
+                         media=[m.MediaDescription("audio", "g711u", "/x")],
+                         control_topic="/xgsp/sessions/session-9/control"),
+        m.TerminateSession(session_id="s", requester="r"),
+        m.SessionTerminated(session_id="s", reason="ok"),
+        m.JoinSession(session_id="s", participant="sip:alice@d",
+                      community="sip", terminal="sip:ua",
+                      media_kinds=["audio"]),
+        m.JoinAccepted(session_id="s", participant="p",
+                       media=[m.MediaDescription("video", "h261", "/t", 600e3)]),
+        m.JoinRejected(session_id="s", participant="p", reason="full"),
+        m.LeaveSession(session_id="s", participant="p"),
+        m.InviteUser(session_id="s", inviter="a", invitee="b", note="join us"),
+        m.FloorControl(session_id="s", participant="p", action="request"),
+        m.MuteMember(session_id="s", requester="a", target="b", muted=True),
+        m.SessionAnnouncement(session_id="s", event="joined",
+                              participant="p", detail="h323"),
+        m.ListSessions(community="sip"),
+        m.SessionList(sessions=[{"session_id": "s", "members": 3}]),
+    ],
+)
+def test_roundtrip_all_message_types(message):
+    assert roundtrip(message) == message
+
+
+def test_every_registered_type_has_distinct_name():
+    assert len(xml_codec.MESSAGE_TYPES) == 14
+
+
+def test_unregistered_type_rejected():
+    class NotAMessage:
+        pass
+
+    with pytest.raises(XmlCodecError):
+        xml_codec.encode(NotAMessage())
+
+
+def test_decode_garbage_rejected():
+    with pytest.raises(XmlCodecError):
+        xml_codec.decode("<other/>")
+    with pytest.raises(XmlCodecError):
+        xml_codec.decode('<xgsp msg="Nope" type="dict"></xgsp>')
+
+
+def test_wire_size_positive_and_tracks_content():
+    small = m.InviteUser(session_id="s", inviter="a", invitee="b")
+    big = m.InviteUser(session_id="s", inviter="a", invitee="b",
+                       note="x" * 500)
+    assert xml_codec.wire_size(big) > xml_codec.wire_size(small) + 400
+
+
+@given(
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=60),
+    st.lists(st.sampled_from(["audio", "video", "chat", "app"]),
+             min_size=1, max_size=4, unique=True),
+)
+def test_create_session_roundtrip_property(title, media_kinds):
+    message = m.CreateSession(title=title, creator="u", media_kinds=media_kinds)
+    assert roundtrip(message) == message

@@ -1,0 +1,72 @@
+"""Mid-call bandwidth management (BRQ/BCF/BRJ)."""
+
+import pytest
+
+from repro.h323 import Gatekeeper
+
+from tests.h323.test_gatekeeper import make_terminal
+
+
+@pytest.fixture
+def gatekeeper(net):
+    return Gatekeeper(net.create_host("gk-host"), zone_bandwidth_bps=2e6)
+
+
+def connected_call(net, sim, gatekeeper):
+    alice = make_terminal(net, sim, gatekeeper, "alice")
+    bob = make_terminal(net, sim, gatekeeper, "bob")
+    bob.on_incoming_call = lambda setup: True
+    calls = []
+    alice.call("bob", on_connected=calls.append)
+    sim.run_for(2.0)
+    assert calls
+    return alice, bob, calls[0]
+
+
+def test_bandwidth_increase_granted_within_budget(net, sim, gatekeeper):
+    alice, bob, call = connected_call(net, sim, gatekeeper)
+    before = gatekeeper.bandwidth_in_use_bps
+    results = []
+    alice.request_bandwidth(call, before + 500_000.0, on_result=results.append)
+    sim.run_for(1.0)
+    assert results == [True]
+    assert gatekeeper.bandwidth_in_use_bps == pytest.approx(
+        before + 500_000.0
+    )
+
+
+def test_bandwidth_increase_rejected_over_budget(net, sim, gatekeeper):
+    alice, bob, call = connected_call(net, sim, gatekeeper)
+    before = gatekeeper.bandwidth_in_use_bps
+    results = []
+    alice.request_bandwidth(call, 5e6, on_result=results.append)  # > 2 Mbps zone
+    sim.run_for(1.0)
+    assert results == [False]
+    assert gatekeeper.bandwidth_in_use_bps == before
+
+
+def test_bandwidth_decrease_frees_budget_for_others(net, sim, gatekeeper):
+    alice, bob, call = connected_call(net, sim, gatekeeper)
+    results = []
+    alice.request_bandwidth(call, 64_000.0, on_result=results.append)
+    sim.run_for(1.0)
+    assert results == [True]
+    # The freed budget admits two more default-rate (664 kbps) calls.
+    carol = make_terminal(net, sim, gatekeeper, "carol")
+    dave = make_terminal(net, sim, gatekeeper, "dave")
+    dave.on_incoming_call = lambda setup: True
+    connected = []
+    carol.call("dave", on_connected=connected.append)
+    sim.run_for(2.0)
+    assert connected
+
+
+def test_bandwidth_request_for_unknown_call_rejected(net, sim, gatekeeper):
+    alice = make_terminal(net, sim, gatekeeper, "alice")
+    from repro.h323.terminal import H323Call
+
+    ghost = H323Call(alice, "no-such-call", is_caller=True, remote_alias="x")
+    results = []
+    alice.request_bandwidth(ghost, 1e6, on_result=results.append)
+    sim.run_for(1.0)
+    assert results == [False]

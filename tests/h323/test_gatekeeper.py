@@ -1,0 +1,105 @@
+"""Gatekeeper: registration, admission, bandwidth management."""
+
+import pytest
+
+from repro.h323 import Gatekeeper, H323Terminal
+from repro.h323.pdu import MediaCapability
+from repro.simnet.packet import Address
+
+
+@pytest.fixture
+def gatekeeper(net):
+    return Gatekeeper(net.create_host("gk-host"), zone_bandwidth_bps=2e6)
+
+
+def make_terminal(net, sim, gatekeeper, alias, **kwargs):
+    host = net.create_host(f"{alias}-host")
+    terminal = H323Terminal(host, alias, gatekeeper.address, **kwargs)
+    results = []
+    terminal.register(results.append)
+    sim.run_for(1.0)
+    assert results == [True]
+    return terminal
+
+
+def test_registration(net, sim, gatekeeper):
+    terminal = make_terminal(net, sim, gatekeeper, "alice")
+    assert gatekeeper.is_registered("alice")
+    assert gatekeeper.signaling_address_for("alice") == (
+        terminal.call_signaling_address
+    )
+
+
+def test_duplicate_alias_rejected(net, sim, gatekeeper):
+    make_terminal(net, sim, gatekeeper, "alice")
+    other_host = net.create_host("impostor-host")
+    impostor = H323Terminal(other_host, "alice", gatekeeper.address)
+    results = []
+    impostor.register(results.append)
+    sim.run_for(1.0)
+    assert results == [False]
+
+
+def test_reregistration_same_address_ok(net, sim, gatekeeper):
+    terminal = make_terminal(net, sim, gatekeeper, "alice")
+    results = []
+    terminal.register(results.append)
+    sim.run_for(1.0)
+    assert results == [True]
+
+
+def test_admission_rejected_for_unknown_callee(net, sim, gatekeeper):
+    terminal = make_terminal(net, sim, gatekeeper, "alice")
+    failures = []
+    terminal.call("ghost", on_failed=failures.append)
+    sim.run_for(1.0)
+    assert failures == ["calledPartyNotRegistered"]
+    assert gatekeeper.admissions_rejected == 1
+
+
+def test_admission_bandwidth_cap(net, sim, gatekeeper):
+    # Zone capacity 2 Mbps; each call asks 664 kbps -> third call rejected
+    # once 2 calls (1.328 Mbps) plus another would exceed it... each call
+    # books once, so three calls need 1.992 Mbps: OK, fourth fails.
+    alice = make_terminal(net, sim, gatekeeper, "alice")
+    for name in ("b0", "b1", "b2", "b3"):
+        callee = make_terminal(net, sim, gatekeeper, name)
+        callee.on_incoming_call = lambda setup: True
+
+    failures = []
+    connected = []
+    for i, name in enumerate(("b0", "b1", "b2")):
+        alice_call = alice.call(
+            name, on_connected=lambda c: connected.append(c.call_id),
+            on_failed=failures.append,
+        )
+    sim.run_for(2.0)
+    assert failures == []
+    assert gatekeeper.active_calls() == 3
+    alice.call("b3", on_failed=failures.append)
+    sim.run_for(2.0)
+    assert failures == ["requestDenied:bandwidth"]
+
+
+def test_disengage_releases_bandwidth(net, sim, gatekeeper):
+    alice = make_terminal(net, sim, gatekeeper, "alice")
+    bob = make_terminal(net, sim, gatekeeper, "bob")
+    bob.on_incoming_call = lambda setup: True
+    calls = []
+    alice.call("bob", on_connected=calls.append)
+    sim.run_for(2.0)
+    assert len(calls) == 1
+    assert gatekeeper.bandwidth_in_use_bps > 0
+    calls[0].hangup()
+    sim.run_for(1.0)
+    assert gatekeeper.active_calls() == 0
+    assert gatekeeper.bandwidth_in_use_bps == 0
+
+
+def test_alias_resolver_for_gateway_aliases(net, sim, gatekeeper):
+    gateway_address = Address("gw-host", 1720)
+    gatekeeper.add_alias_resolver(
+        lambda alias: gateway_address if alias.startswith("xgsp-") else None
+    )
+    assert gatekeeper.signaling_address_for("xgsp-conf-1") == gateway_address
+    assert gatekeeper.signaling_address_for("nope") is None

@@ -1,0 +1,93 @@
+"""H.323 PDU model unit tests."""
+
+import pytest
+
+from repro.h323.pdu import (
+    AdmissionRequest,
+    Connect,
+    GatekeeperRequest,
+    MediaCapability,
+    OpenLogicalChannel,
+    RegistrationRequest,
+    Setup,
+    TerminalCapabilitySet,
+    intersect_capabilities,
+    new_call_id,
+)
+from repro.simnet.packet import Address
+
+
+def test_call_ids_unique():
+    assert new_call_id() != new_call_id()
+
+
+def test_setup_carries_crv_and_size():
+    a = Setup(call_id="c", caller_alias="x", callee_alias="y")
+    b = Setup(call_id="c2", caller_alias="x", callee_alias="y")
+    assert a.crv != b.crv
+    assert a.wire_size == Setup.BASE_SIZE
+
+
+def test_tcs_size_scales_with_capabilities():
+    empty = TerminalCapabilitySet(capabilities=[])
+    two = TerminalCapabilitySet(capabilities=[
+        MediaCapability.default_audio(), MediaCapability.default_video(),
+    ])
+    assert two.wire_size == empty.wire_size + 24
+
+
+def test_default_capabilities():
+    audio = MediaCapability.default_audio()
+    video = MediaCapability.default_video()
+    assert audio.media == "audio" and audio.codec == "g711u"
+    assert video.media == "video" and video.codec == "h261"
+
+
+class TestIntersect:
+    def test_disjoint_codecs_empty(self):
+        ours = [MediaCapability("audio", "g711u", 64e3)]
+        theirs = [MediaCapability("audio", "g722", 64e3)]
+        assert intersect_capabilities(ours, theirs) == []
+
+    def test_common_subset_preserved_in_our_order(self):
+        ours = [
+            MediaCapability("video", "h261", 768e3),
+            MediaCapability("audio", "g711u", 64e3),
+        ]
+        theirs = [
+            MediaCapability("audio", "g711u", 64e3),
+            MediaCapability("video", "h261", 384e3),
+        ]
+        common = intersect_capabilities(ours, theirs)
+        assert [c.media for c in common] == ["video", "audio"]
+        assert common[0].max_bitrate_bps == 384e3
+
+    def test_empty_inputs(self):
+        assert intersect_capabilities([], []) == []
+        assert intersect_capabilities(
+            [MediaCapability.default_audio()], []
+        ) == []
+
+
+def test_ras_pdus_carry_reply_addresses():
+    request = GatekeeperRequest(endpoint_alias="t", reply_to=Address("h", 1))
+    assert request.reply_to == Address("h", 1)
+    rrq = RegistrationRequest(
+        endpoint_alias="t",
+        call_signaling_address=Address("h", 1720),
+        reply_to=Address("h", 2),
+    )
+    assert rrq.call_signaling_address.port == 1720
+    arq = AdmissionRequest(
+        call_id="c", caller_alias="a", callee_alias="b",
+        bandwidth_bps=64e3, reply_to=Address("h", 3),
+    )
+    assert arq.bandwidth_bps == 64e3
+
+
+def test_channel_pdus():
+    olc = OpenLogicalChannel(channel=5, media="audio", codec="g711u",
+                             rtp_address=Address("h", 4000))
+    assert olc.wire_size == OpenLogicalChannel.BASE_SIZE
+    connect = Connect(call_id="c", h245_address=Address("h", 5000))
+    assert connect.h245_address.port == 5000

@@ -1,0 +1,151 @@
+"""Failure injection: lossy WANs, dead servers, saturated links.
+
+The paper deploys across "heterogeneous network environments" (US–China
+WANs); these tests verify the QoS machinery holds the system together
+when the substrate misbehaves.
+"""
+
+import pytest
+
+from repro.broker import Broker, BrokerClient, LinkType
+from repro.core.xgsp import XgspClient, XgspSessionServer
+from repro.core.xgsp.messages import ListSessions
+from repro.simnet import LinkProfile, Network, SeededStreams, Simulator, TcpListener
+from repro.simnet.tcp import TcpConnection, tcp_connect
+
+
+def test_xgsp_signaling_survives_lossy_wan():
+    """A client on a 10%-loss trans-Pacific path still completes session
+    operations: reliable publish + control-plane retries do the work."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(21))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    server = XgspSessionServer(net.create_host("xgsp-host"), broker)
+    remote_host = net.create_host(
+        "beijing-client",
+        link=LinkProfile(bandwidth_bps=20e6, latency_s=0.090,
+                         jitter_s=0.01, loss_rate=0.10),
+    )
+    client = XgspClient(remote_host, broker, "remote")
+    sim.run_for(30.0)
+    assert client.broker_client.connected
+
+    created = []
+    client.create_session("trans-pacific", on_created=created.append)
+    sim.run_for(20.0)
+    assert created, "create never completed over the lossy WAN"
+    joined = []
+    client.join(created[0].session_id, on_result=joined.append)
+    sim.run_for(20.0)
+    assert joined
+    assert server.session(created[0].session_id) is not None
+
+
+def test_request_timeout_when_session_server_dies():
+    sim = Simulator()
+    net = Network(sim, SeededStreams(2))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    server = XgspSessionServer(net.create_host("xgsp-host"), broker)
+    client = XgspClient(net.create_host("client-host"), broker, "c")
+    sim.run_for(2.0)
+    # The server disappears (process crash): its client disconnects.
+    server.client.disconnect()
+    sim.run_for(2.0)
+    outcome = []
+    client.request(
+        ListSessions(),
+        on_response=lambda r: outcome.append("response"),
+        on_timeout=lambda: outcome.append("timeout"),
+        timeout_s=5.0,
+    )
+    sim.run_for(10.0)
+    assert outcome == ["timeout"]
+
+
+def test_tcp_gives_up_after_max_retries_when_peer_unreachable():
+    sim = Simulator()
+    net = Network(sim, SeededStreams(3))
+    # The server host exists but drops every packet (dead link).
+    net.create_host("server", link=LinkProfile(loss_rate=0.999999))
+    client_host = net.create_host("client")
+    from repro.simnet import Address
+
+    states = []
+    connection = tcp_connect(client_host, Address("server", 9000))
+    connection.on_close = lambda c: states.append(c.state)
+    sim.run_for(120.0)
+    assert states == [TcpConnection.FAILED]
+
+
+def test_media_degrades_but_signaling_survives_on_congested_uplink():
+    """A thin DSL uplink drops media (NIC tail-drop) but the reliable
+    signaling lane still works — graceful degradation, not collapse."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(4))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    thin = net.create_host(
+        "dsl-client", link=LinkProfile(bandwidth_bps=256e3, latency_s=0.02),
+    )
+    thin.nic.queue_limit_bytes = 64 * 1024  # modem-class buffer
+    publisher = BrokerClient(thin, client_id="pub")
+    publisher.connect(broker)
+    listener = BrokerClient(net.create_host("fat-client"), client_id="sub")
+    listener.connect(broker)
+    got = []
+    listener.subscribe("/t", got.append)
+    sim.run_for(3.0)
+    # Offer ~1.3 Mbps into a 256 kbps uplink for 4 seconds.
+    for index in range(400):
+        sim.schedule(index * 0.01,
+                     lambda: publisher.publish("/t", b"x", 1600))
+    sim.run_for(15.0)
+    assert 0 < len(got) < 400  # some media made it, much was shed
+    assert thin.nic.dropped_packets > 0
+    # Control-plane still functional on the same congested uplink.
+    acks_before = publisher.subscribe_acks
+    publisher.subscribe("/other", lambda e: None)
+    sim.run_for(15.0)
+    assert publisher.subscribe_acks > acks_before
+
+
+def test_broker_close_stops_service_cleanly(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    client = BrokerClient(net.create_host("c-host"), client_id="c")
+    client.connect(broker)
+    sim.run_for(2.0)
+    assert client.connected
+    broker.close()
+    # New clients can never complete the handshake.
+    late = BrokerClient(net.create_host("late-host"), client_id="late")
+    late.connect(broker)
+    sim.run_for(15.0)
+    assert not late.connected
+
+
+def test_reliable_delivery_through_brief_blackout():
+    """A link that goes fully dark for two seconds: reliable events
+    published during the blackout are redelivered afterwards."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(6))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    flaky_host = net.create_host("flaky")
+    subscriber = BrokerClient(flaky_host, client_id="sub")
+    subscriber.connect(broker)
+    publisher = BrokerClient(net.create_host("pub-host"), client_id="pub")
+    publisher.connect(broker)
+    got = []
+    subscriber.subscribe("/t", lambda e: got.append(e.payload))
+    sim.run_for(3.0)
+
+    # Blackout: the subscriber's link drops everything for 2 s.
+    original = flaky_host.link
+    flaky_host.link = LinkProfile(
+        bandwidth_bps=original.bandwidth_bps, latency_s=original.latency_s,
+        loss_rate=0.99,
+    )
+    for index in range(5):
+        publisher.publish("/t", index, 100, reliable=True)
+    sim.run_for(2.0)
+    flaky_host.link = original
+    sim.run_for(10.0)  # outbox retransmissions land
+    assert sorted(got) == [0, 1, 2, 3, 4]

@@ -1,0 +1,133 @@
+"""The paper's headline scenario: heterogeneous clients in ONE session.
+
+A SIP endpoint, an H.323 terminal, an AccessGrid venue, a native broker
+client — plus the Admire community over SOAP rendezvous — all exchanging
+media through the same XGSP session topics.
+"""
+
+import pytest
+
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.core.xgsp.translation import conference_alias, conference_sip_uri
+from repro.rtp.packet import PayloadType, RtpPacket
+from repro.simnet.packet import Address
+from repro.simnet.udp import UdpSocket
+from repro.sip.sdp import SessionDescription
+
+
+def rtp(seq, ssrc=1):
+    return RtpPacket(ssrc=ssrc, sequence=seq, timestamp=seq * 160,
+                     payload_type=PayloadType.PCMU, payload_size=160)
+
+
+@pytest.fixture
+def mmcs():
+    system = GlobalMMCS(MMCSConfig(enable_admire=True))
+    system.start()
+    return system
+
+
+def test_four_communities_one_session(mmcs):
+    session = mmcs.create_session("global-seminar")
+    audio_topic = next(m.topic for m in session.media if m.kind == "audio")
+
+    # --- SIP participant -------------------------------------------------
+    sip_ua = mmcs.create_sip_user("alice")
+    mmcs.run_for(2.0)
+    offer = SessionDescription("alice", "alice-host").add_media("audio", 41000, [0])
+    sip_answers = []
+    sip_ua.invite(
+        conference_sip_uri(session.session_id, mmcs.config.sip_domain),
+        offer, on_answer=lambda d, sdp: sip_answers.append(sdp),
+    )
+
+    # --- H.323 participant -----------------------------------------------
+    h323_terminal = mmcs.create_h323_terminal("polycom")
+    mmcs.run_for(2.0)
+    h323_calls = []
+    h323_terminal.call(conference_alias(session.session_id),
+                       on_connected=h323_calls.append)
+
+    # --- AccessGrid venue -------------------------------------------------
+    venue = mmcs.create_venue("bio-lab")
+    ag_client = mmcs.create_accessgrid_client(venue)
+    bridge = mmcs.bridge_venue(venue, session.session_id)
+
+    # --- Admire community over SOAP rendezvous ----------------------------
+    admire_client = mmcs.admire.attach_client(
+        mmcs.new_host("admire-client-host"), "wenjun"
+    )
+    mmcs.connect_admire(session.session_id)
+
+    # --- native listener ---------------------------------------------------
+    native = mmcs.create_native_client("native-listener")
+    native_got = []
+    native.subscribe_media(audio_topic, lambda e: native_got.append(e.payload.ssrc))
+
+    mmcs.run_for(6.0)
+    assert sip_answers and h323_calls
+    assert bridge.joined
+    assert mmcs.admire_connector.connected
+
+    xgsp_session = mmcs.session_server.session(session.session_id)
+    assert xgsp_session.roster.communities() == {
+        "sip": 1, "h323": 1, "accessgrid": 1, "admire": 1,
+    }
+
+    # Receivers in every community.
+    sip_got, h323_got, ag_got, admire_got = [], [], [], []
+    sip_audio = UdpSocket(sip_ua.host, 41000)
+    sip_audio.on_receive(lambda payload, src, d: sip_got.append(payload.ssrc))
+    h323_terminal.on_media = lambda c, p: h323_got.append(p.ssrc)
+    ag_client.on_media = lambda kind, p: ag_got.append(p.ssrc)
+    admire_client.on_media = lambda kind, p: admire_got.append(p.ssrc)
+
+    # The H.323 terminal speaks (ssrc 7): everyone else hears it.
+    call = h323_calls[0]
+    for i in range(5):
+        call.send_media("audio", rtp(i, ssrc=7))
+    mmcs.run_for(3.0)
+
+    assert native_got.count(7) == 5
+    assert sip_got.count(7) == 5
+    assert ag_got.count(7) == 5
+    assert admire_got.count(7) == 5
+    assert h323_got.count(7) == 0  # no echo back to the speaker
+
+    # The AccessGrid tool speaks (ssrc 12): SIP + H.323 + Admire hear it.
+    for i in range(4):
+        ag_client.send_media("audio", rtp(i, ssrc=12))
+    mmcs.run_for(3.0)
+    assert sip_got.count(12) == 4
+    assert h323_got.count(12) == 4
+    assert admire_got.count(12) == 4
+    assert ag_got.count(12) == 0
+
+    # The Admire member speaks (ssrc 21): heard across communities.
+    for i in range(3):
+        admire_client.send_media("audio", rtp(i, ssrc=21))
+    mmcs.run_for(3.0)
+    assert sip_got.count(21) == 3
+    assert h323_got.count(21) == 3
+    assert ag_got.count(21) == 3
+    assert admire_got.count(21) == 0
+
+
+def test_accessgrid_bridge_no_duplicate_loop(mmcs):
+    """A bridged venue must not amplify packets (loop safety)."""
+    session = mmcs.create_session("s")
+    venue = mmcs.create_venue("v")
+    tool_a = mmcs.create_accessgrid_client(venue)
+    tool_b = mmcs.create_accessgrid_client(venue)
+    bridge = mmcs.bridge_venue(venue, session.session_id)
+    mmcs.run_for(3.0)
+    assert bridge.joined
+
+    got_b = []
+    tool_b.on_media = lambda kind, p: got_b.append(p.sequence)
+    for i in range(5):
+        tool_a.send_media("audio", rtp(i))
+    mmcs.run_for(3.0)
+    # Exactly one copy each: direct multicast, not re-injected by the bridge.
+    assert sorted(got_b) == [0, 1, 2, 3, 4]
+    assert bridge.packets_to_topic == 5

@@ -1,0 +1,164 @@
+"""Multiple concurrent sessions: isolation across topics and gateways."""
+
+import pytest
+
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.core.xgsp.translation import conference_alias, conference_sip_uri
+from repro.rtp.packet import PayloadType, RtpPacket
+from repro.simnet.packet import Address
+from repro.simnet.udp import UdpSocket
+from repro.sip.sdp import SessionDescription
+
+
+def rtp(seq, ssrc=1):
+    return RtpPacket(ssrc=ssrc, sequence=seq, timestamp=seq * 160,
+                     payload_type=PayloadType.PCMU, payload_size=160)
+
+
+@pytest.fixture
+def mmcs():
+    system = GlobalMMCS(MMCSConfig(seed=2))
+    system.start()
+    return system
+
+
+def test_native_clients_media_isolated_between_sessions(mmcs):
+    session_a = mmcs.create_session("a", ["audio"])
+    session_b = mmcs.create_session("b", ["audio"])
+    topic_a = session_a.media[0].topic
+    topic_b = session_b.media[0].topic
+    assert topic_a != topic_b
+
+    listener_a = mmcs.create_native_client("la")
+    listener_b = mmcs.create_native_client("lb")
+    speaker = mmcs.create_native_client("spk")
+    mmcs.run_for(2.0)
+    got_a, got_b = [], []
+    listener_a.subscribe_media(topic_a, lambda e: got_a.append(e.payload.ssrc))
+    listener_b.subscribe_media(topic_b, lambda e: got_b.append(e.payload.ssrc))
+    mmcs.run_for(1.0)
+    speaker.publish_media(topic_a, rtp(0, ssrc=1), 172)
+    speaker.publish_media(topic_b, rtp(0, ssrc=2), 172)
+    mmcs.run_for(2.0)
+    assert got_a == [1]
+    assert got_b == [2]
+
+
+def test_gateways_keep_sessions_apart(mmcs):
+    """A SIP endpoint in session A and an H.323 terminal in session B:
+    neither hears the other."""
+    session_a = mmcs.create_session("a", ["audio"])
+    session_b = mmcs.create_session("b", ["audio"])
+
+    ua = mmcs.create_sip_user("alice")
+    mmcs.run_for(2.0)
+    offer = SessionDescription("alice", "alice-host").add_media(
+        "audio", 41000, [0])
+    answers = []
+    ua.invite(conference_sip_uri(session_a.session_id, mmcs.config.sip_domain),
+              offer, on_answer=lambda d, sdp: answers.append(sdp))
+
+    terminal = mmcs.create_h323_terminal("polycom")
+    mmcs.run_for(2.0)
+    calls = []
+    terminal.call(conference_alias(session_b.session_id),
+                  on_connected=calls.append)
+    mmcs.run_for(4.0)
+    assert answers and calls
+
+    sip_heard, h323_heard = [], []
+    sip_socket = UdpSocket(ua.host, 41000)
+    sip_socket.on_receive(lambda p, src, d: sip_heard.append(p.ssrc))
+    terminal.on_media = lambda c, p: h323_heard.append(p.ssrc)
+
+    # Speak into each session from a native client.
+    speaker = mmcs.create_native_client("speaker")
+    mmcs.run_for(2.0)
+    speaker.publish_media(session_a.media[0].topic, rtp(0, ssrc=10), 172)
+    speaker.publish_media(session_b.media[0].topic, rtp(0, ssrc=20), 172)
+    mmcs.run_for(3.0)
+    assert sip_heard == [10]
+    assert h323_heard == [20]
+
+    rosters = {
+        sid: mmcs.session_server.session(sid).roster.communities()
+        for sid in (session_a.session_id, session_b.session_id)
+    }
+    assert rosters[session_a.session_id] == {"sip": 1}
+    assert rosters[session_b.session_id] == {"h323": 1}
+
+
+def test_same_endpoint_in_two_sessions_sequentially(mmcs):
+    session_a = mmcs.create_session("a", ["audio"])
+    session_b = mmcs.create_session("b", ["audio"])
+    ua = mmcs.create_sip_user("alice")
+    mmcs.run_for(2.0)
+    dialogs = []
+    offer = SessionDescription("alice", "alice-host").add_media(
+        "audio", 41000, [0])
+    ua.invite(conference_sip_uri(session_a.session_id, mmcs.config.sip_domain),
+              offer, on_answer=lambda d, sdp: dialogs.append(d))
+    mmcs.run_for(3.0)
+    ua.bye(dialogs[0])
+    mmcs.run_for(3.0)
+    offer_b = SessionDescription("alice", "alice-host").add_media(
+        "audio", 41004, [0])
+    ua.invite(conference_sip_uri(session_b.session_id, mmcs.config.sip_domain),
+              offer_b, on_answer=lambda d, sdp: dialogs.append(d))
+    mmcs.run_for(3.0)
+    assert len(dialogs) == 2
+    assert len(mmcs.session_server.session(session_a.session_id).roster) == 0
+    assert len(mmcs.session_server.session(session_b.session_id).roster) == 1
+
+
+def test_two_streaming_mounts_concurrently(mmcs):
+    from repro.rtp.media import AudioSource
+
+    sessions = [mmcs.create_session(f"s{i}", ["audio"]) for i in range(2)]
+    producers = [mmcs.start_streaming(s) for s in sessions]
+    speakers = []
+    for index, session in enumerate(sessions):
+        speaker = mmcs.create_native_client(f"spk{index}")
+        speakers.append(speaker)
+    mmcs.run_for(2.0)
+    sources = []
+    for speaker, session in zip(speakers, sessions):
+        topic = session.media[0].topic
+        source = AudioSource(
+            mmcs.sim,
+            lambda p, t=topic, s=speaker: s.publish_media(t, p, p.wire_size),
+        )
+        source.start()
+        sources.append(source)
+    mmcs.run_for(8.0)
+    assert sorted(mmcs.helix.streams()) == sorted(
+        s.session_id for s in sessions
+    )
+    players = [mmcs.create_player(s.session_id) for s in sessions]
+    for player in players:
+        player.connect_and_play()
+    mmcs.run_for(20.0)
+    for player, session in zip(players, sessions):
+        assert player.state == "playing"
+        assert player.stream == session.session_id
+
+
+def test_terminating_one_session_leaves_other_running(mmcs):
+    session_a = mmcs.create_session("a", ["audio"])
+    session_b = mmcs.create_session("b", ["audio"])
+    admin = mmcs.admin
+    done = []
+    admin.terminate(session_a.session_id, on_result=done.append)
+    mmcs.run_for(2.0)
+    assert done
+    assert mmcs.session_server.session(session_a.session_id).state == "terminated"
+    assert mmcs.session_server.session(session_b.session_id).state == "active"
+    # Session B still joinable.
+    client = mmcs.create_native_client("late")
+    mmcs.run_for(2.0)
+    results = []
+    client.join(session_b.session_id, on_result=results.append)
+    mmcs.run_for(2.0)
+    from repro.core.xgsp.messages import JoinAccepted
+
+    assert isinstance(results[0], JoinAccepted)

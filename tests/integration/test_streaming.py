@@ -1,0 +1,136 @@
+"""Streaming pipeline: session media → RealProducer → Helix → players."""
+
+import random
+
+import pytest
+
+from repro.core.mmcs import GlobalMMCS, MMCSConfig
+from repro.rtp.media import AudioSource, VideoSource
+from repro.streaming.rtsp import RtspRequest, RtspResponse, parse_rtsp
+
+
+@pytest.fixture
+def mmcs():
+    system = GlobalMMCS(MMCSConfig(enable_h323=False, enable_sip=False,
+                                   enable_accessgrid=False))
+    system.start()
+    return system
+
+
+def feed_session_media(mmcs, session, duration=0.0):
+    """A native client publishing live audio+video onto the session."""
+    speaker = mmcs.create_native_client("speaker")
+    mmcs.run_for(2.0)
+    topics = {m.kind: m.topic for m in session.media}
+    video = VideoSource(
+        mmcs.sim,
+        lambda p: speaker.publish_media(topics["video"], p, p.wire_size),
+        rng=random.Random(1),
+    )
+    audio = AudioSource(
+        mmcs.sim,
+        lambda p: speaker.publish_media(topics["audio"], p, p.wire_size),
+    )
+    video.start()
+    audio.start()
+    return video, audio
+
+
+def test_producer_transcodes_to_helix_mount(mmcs):
+    session = mmcs.create_session("lecture")
+    producer = mmcs.start_streaming(session)
+    feed_session_media(mmcs, session)
+    mmcs.run_for(10.0)
+    assert producer.packets_in > 100
+    assert producer.chunks_out > 5
+    mount = mmcs.helix.mount_info(session.session_id)
+    assert mount is not None
+    assert mount.kinds == {"audio", "video"}
+    assert mount.chunks_received == producer.chunks_out
+
+
+def test_player_full_rtsp_flow(mmcs):
+    session = mmcs.create_session("lecture")
+    mmcs.start_streaming(session)
+    feed_session_media(mmcs, session)
+    mmcs.run_for(5.0)  # let the mount appear
+
+    player = mmcs.create_player(session.session_id)
+    player.connect_and_play()
+    mmcs.run_for(20.0)
+    assert player.state == "playing"
+    assert player.chunks_received > 5
+    assert player.startup_latency_s is not None
+    assert player.startup_latency_s < 15.0
+    assert sorted(player.described_media) == ["audio", "video"]
+
+
+def test_multiple_players_one_mount(mmcs):
+    session = mmcs.create_session("lecture")
+    mmcs.start_streaming(session)
+    feed_session_media(mmcs, session)
+    mmcs.run_for(5.0)
+    players = [
+        mmcs.create_player(session.session_id, kind=kind)
+        for kind in ("real", "wm", "real")
+    ]
+    for player in players:
+        player.connect_and_play()
+    mmcs.run_for(20.0)
+    for player in players:
+        assert player.state == "playing"
+        assert player.chunks_received > 5
+    assert mmcs.helix.active_sessions() == 3
+
+
+def test_pause_stops_chunk_delivery(mmcs):
+    session = mmcs.create_session("lecture")
+    mmcs.start_streaming(session)
+    feed_session_media(mmcs, session)
+    mmcs.run_for(5.0)
+    player = mmcs.create_player(session.session_id)
+    player.connect_and_play()
+    mmcs.run_for(10.0)
+    player.pause()
+    mmcs.run_for(2.0)
+    count = player.chunks_received
+    mmcs.run_for(5.0)
+    assert player.chunks_received == count
+
+
+def test_describe_unknown_stream_404(mmcs):
+    player = mmcs.create_player("no-such-stream")
+    player.connect_and_play()
+    mmcs.run_for(5.0)
+    assert player.state == "failed"
+
+
+def test_teardown_releases_session(mmcs):
+    session = mmcs.create_session("lecture")
+    mmcs.start_streaming(session)
+    feed_session_media(mmcs, session)
+    mmcs.run_for(5.0)
+    player = mmcs.create_player(session.session_id)
+    player.connect_and_play()
+    mmcs.run_for(10.0)
+    assert mmcs.helix.active_sessions() == 1
+    player.teardown()
+    mmcs.run_for(2.0)
+    assert mmcs.helix.active_sessions() == 0
+
+
+def test_rtsp_codec_roundtrip():
+    request = RtspRequest("SETUP", "rtsp://h:554/s")
+    request.set("Transport", "RAW/RAW/UDP;client_addr=h2:5000")
+    request.set("Cseq", 3)
+    parsed = parse_rtsp(request.render())
+    assert isinstance(parsed, RtspRequest)
+    assert parsed.method == "SETUP"
+    assert parsed.get("Transport") == "RAW/RAW/UDP;client_addr=h2:5000"
+    assert parsed.cseq == 3
+
+    response = RtspResponse(200, "OK", body="m=video\r\n")
+    response.set("Session", "rtsp-7")
+    parsed_response = parse_rtsp(response.render())
+    assert isinstance(parsed_response, RtspResponse)
+    assert parsed_response.ok and parsed_response.get("Session") == "rtsp-7"

@@ -1,0 +1,110 @@
+"""Tests for the RFC 3550 jitter estimator and receiver statistics."""
+
+import pytest
+
+from repro.rtp.jitter import InterarrivalJitter
+from repro.rtp.packet import PayloadType, RtpPacket
+from repro.rtp.stats import ReceiverStats
+
+
+def test_constant_spacing_gives_zero_jitter():
+    estimator = InterarrivalJitter()
+    for i in range(100):
+        estimator.update(send_time_s=i * 0.02, arrival_time_s=i * 0.02 + 0.05)
+    assert estimator.jitter_s == pytest.approx(0.0)
+
+
+def test_varying_transit_raises_jitter():
+    estimator = InterarrivalJitter()
+    for i in range(100):
+        delay = 0.05 + (0.01 if i % 2 else 0.0)
+        estimator.update(i * 0.02, i * 0.02 + delay)
+    # Alternating +-10 ms transit: |D| = 10 ms each step; EWMA converges
+    # toward 10 ms.
+    assert 0.005 < estimator.jitter_s <= 0.010
+
+
+def test_jitter_is_ewma_with_gain_one_sixteenth():
+    estimator = InterarrivalJitter()
+    estimator.update(0.0, 0.05)
+    estimator.update(0.02, 0.08)  # transit 0.06, delta 0.01
+    assert estimator.jitter_s == pytest.approx(0.01 / 16)
+
+
+def test_reset():
+    estimator = InterarrivalJitter()
+    estimator.update(0.0, 1.0)
+    estimator.update(1.0, 2.5)
+    estimator.reset()
+    assert estimator.jitter_s == 0.0
+    assert estimator.samples == 0
+
+
+def make_packet(seq, sent, ssrc=7):
+    return RtpPacket(
+        ssrc=ssrc,
+        sequence=seq % (1 << 16),
+        timestamp=0,
+        payload_type=PayloadType.H261,
+        payload_size=1000,
+        wallclock_sent=sent,
+    )
+
+
+class TestReceiverStats:
+    def test_delay_accounting(self):
+        stats = ReceiverStats()
+        stats.on_packet(make_packet(0, sent=1.0), arrival_s=1.1)
+        stats.on_packet(make_packet(1, sent=2.0), arrival_s=2.3)
+        assert stats.avg_delay_s == pytest.approx(0.2)
+        assert stats.summary().max_delay_s == pytest.approx(0.3)
+
+    def test_loss_from_sequence_gaps(self):
+        stats = ReceiverStats()
+        for seq in (0, 1, 2, 5, 6):  # 3 and 4 lost
+            stats.on_packet(make_packet(seq, sent=seq * 0.01), seq * 0.01 + 0.05)
+        assert stats.expected == 7
+        assert stats.lost == 2
+        assert stats.summary().loss_rate == pytest.approx(2 / 7)
+
+    def test_no_loss_counts_zero(self):
+        stats = ReceiverStats()
+        for seq in range(50):
+            stats.on_packet(make_packet(seq, seq * 0.02), seq * 0.02 + 0.04)
+        assert stats.lost == 0
+        assert stats.summary().loss_rate == 0.0
+
+    def test_wraparound_sequence(self):
+        stats = ReceiverStats()
+        for seq in (65534, 65535, 0, 1):
+            stats.on_packet(make_packet(seq, 0.0), 0.05)
+        assert stats.expected == 4
+        assert stats.lost == 0
+
+    def test_reordered_packets_counted(self):
+        stats = ReceiverStats()
+        for seq in (0, 2, 1, 3):
+            stats.on_packet(make_packet(seq, 0.0), 0.05)
+        assert stats.reordered == 1
+        assert stats.lost == 0
+
+    def test_series_recorded(self):
+        stats = ReceiverStats(record_series=True)
+        for seq in range(10):
+            stats.on_packet(make_packet(seq, seq * 1.0), seq * 1.0 + 0.1)
+        assert len(stats.delays_s) == 10
+        assert len(stats.jitters_s) == 10
+
+    def test_series_can_be_disabled_for_scale(self):
+        stats = ReceiverStats(record_series=False)
+        for seq in range(10):
+            stats.on_packet(make_packet(seq, seq * 1.0), seq * 1.0 + 0.1)
+        assert stats.delays_s == []
+        assert stats.avg_delay_s == pytest.approx(0.1)
+
+    def test_p99_delay(self):
+        stats = ReceiverStats()
+        for seq in range(100):
+            delay = 0.5 if seq == 99 else 0.01
+            stats.on_packet(make_packet(seq, 0.0), delay)
+        assert stats.summary().p99_delay_s == pytest.approx(0.5)

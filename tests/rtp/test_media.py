@@ -1,0 +1,121 @@
+"""Tests for the audio/video traffic models."""
+
+import random
+
+import pytest
+
+from repro.rtp.media import AudioSource, VideoSource
+from repro.simnet import Simulator
+
+
+def collect(source_cls, duration, **kwargs):
+    sim = Simulator()
+    packets = []
+    source = source_cls(sim, packets.append, **kwargs)
+    source.start()
+    sim.run(until=duration)
+    source.stop()
+    return sim, source, packets
+
+
+class TestVideoSource:
+    def test_average_bitrate_near_target(self):
+        sim, source, packets = collect(
+            VideoSource, 10.0, bitrate_bps=600_000.0, rng=random.Random(1)
+        )
+        total_bits = sum(p.wire_size * 8 for p in packets)
+        rate = total_bits / 10.0
+        assert rate == pytest.approx(600_000.0, rel=0.15)
+
+    def test_iframes_are_bursts(self):
+        sim, source, packets = collect(
+            VideoSource, 2.0, bitrate_bps=600_000.0, rng=random.Random(1)
+        )
+        # Group packets by timestamp (one frame per timestamp).
+        frames = {}
+        for packet in packets:
+            frames.setdefault(packet.timestamp, []).append(packet)
+        sizes = sorted(len(v) for v in frames.values())
+        assert sizes[-1] > 3 * sizes[0]  # I-frames fragment into many packets
+
+    def test_marker_bit_on_frame_end(self):
+        sim, source, packets = collect(VideoSource, 1.0, rng=random.Random(2))
+        frames = {}
+        for packet in packets:
+            frames.setdefault(packet.timestamp, []).append(packet)
+        for frame_packets in frames.values():
+            assert frame_packets[-1].marker
+            assert all(not p.marker for p in frame_packets[:-1])
+
+    def test_sequence_monotonic(self):
+        sim, source, packets = collect(VideoSource, 3.0, rng=random.Random(3))
+        for a, b in zip(packets, packets[1:]):
+            assert b.sequence == (a.sequence + 1) % (1 << 16)
+
+    def test_fragments_respect_mtu(self):
+        sim, source, packets = collect(
+            VideoSource, 2.0, mtu_payload=1000, rng=random.Random(4)
+        )
+        assert all(p.payload_size <= 1000 for p in packets)
+
+    def test_deterministic_for_same_seed(self):
+        def run():
+            _, _, packets = collect(
+                VideoSource, 2.0, rng=random.Random(42)
+            )
+            return [(p.sequence, p.payload_size) for p in packets]
+
+        assert run() == run()
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            VideoSource(sim, lambda p: None, fps=0)
+        with pytest.raises(ValueError):
+            VideoSource(sim, lambda p: None, gop=0)
+
+    def test_stop_halts_emission(self):
+        sim = Simulator()
+        packets = []
+        source = VideoSource(sim, packets.append, rng=random.Random(5))
+        source.start()
+        sim.run(until=1.0)
+        source.stop()
+        count = len(packets)
+        sim.run_for(1.0)
+        assert len(packets) == count
+
+
+class TestAudioSource:
+    def test_packet_cadence(self):
+        sim, source, packets = collect(AudioSource, 1.0)
+        # 20 ms interval over 1 s: 50 or 51 packets depending on boundary.
+        assert 49 <= len(packets) <= 51
+        assert all(p.payload_size == 160 for p in packets)
+
+    def test_bitrate_is_64kbps_payload(self):
+        sim, source, packets = collect(AudioSource, 10.0)
+        payload_bits = sum(p.payload_size * 8 for p in packets)
+        assert payload_bits / 10.0 == pytest.approx(64_000, rel=0.05)
+
+    def test_vad_produces_silence_gaps(self):
+        sim, source, packets = collect(
+            AudioSource, 30.0, vad=True, rng=random.Random(9)
+        )
+        no_vad_expected = 30.0 / 0.020
+        assert len(packets) < 0.85 * no_vad_expected
+        assert len(packets) > 0.15 * no_vad_expected
+
+    def test_timestamps_advance_by_packet_interval(self):
+        sim, source, packets = collect(AudioSource, 0.5)
+        deltas = {
+            b.timestamp - a.timestamp for a, b in zip(packets, packets[1:])
+        }
+        assert deltas == {160}  # 20 ms at 8 kHz
+
+
+def test_distinct_ssrcs_allocated():
+    sim = Simulator()
+    a = AudioSource(sim, lambda p: None)
+    b = AudioSource(sim, lambda p: None)
+    assert a.ssrc != b.ssrc

@@ -1,0 +1,72 @@
+"""Tests for RTP packet model and sequence arithmetic."""
+
+import pytest
+
+from repro.rtp.packet import (
+    PayloadType,
+    RTP_HEADER_BYTES,
+    RtpPacket,
+    seq_after,
+    seq_distance,
+    seq_less,
+)
+
+
+def packet(**kwargs):
+    defaults = dict(
+        ssrc=1, sequence=0, timestamp=0,
+        payload_type=PayloadType.PCMU, payload_size=160,
+    )
+    defaults.update(kwargs)
+    return RtpPacket(**defaults)
+
+
+def test_wire_size_includes_header():
+    assert packet(payload_size=160).wire_size == 160 + RTP_HEADER_BYTES
+
+
+def test_sequence_range_validation():
+    with pytest.raises(ValueError):
+        packet(sequence=1 << 16)
+    with pytest.raises(ValueError):
+        packet(sequence=-1)
+
+
+def test_timestamp_range_validation():
+    with pytest.raises(ValueError):
+        packet(timestamp=1 << 32)
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        packet(payload_size=-1)
+
+
+def test_clock_rates():
+    assert PayloadType.PCMU.clock_rate == 8000
+    assert PayloadType.H261.clock_rate == 90000
+
+
+def test_media_time():
+    p = packet(timestamp=8000, payload_type=PayloadType.PCMU)
+    assert p.media_time() == pytest.approx(1.0)
+    v = packet(timestamp=90000, payload_type=PayloadType.H261)
+    assert v.media_time() == pytest.approx(1.0)
+
+
+def test_seq_after_wraps():
+    assert seq_after(65535) == 0
+    assert seq_after(65534, 3) == 1
+
+
+def test_seq_distance():
+    assert seq_distance(10, 15) == 5
+    assert seq_distance(65534, 2) == 4
+
+
+def test_seq_less_handles_wrap():
+    assert seq_less(10, 11)
+    assert not seq_less(11, 10)
+    assert seq_less(65535, 0)  # wrap-around
+    assert not seq_less(0, 65535)
+    assert not seq_less(5, 5)

@@ -1,0 +1,95 @@
+"""Property-based tests for RTP invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtp.jitter import InterarrivalJitter
+from repro.rtp.packet import (
+    PayloadType,
+    RtpPacket,
+    seq_after,
+    seq_distance,
+    seq_less,
+)
+from repro.rtp.playout import PlayoutBuffer
+from repro.rtp.stats import ReceiverStats
+from repro.simnet import Simulator
+
+seqs = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+@given(seqs, st.integers(min_value=0, max_value=1000))
+def test_seq_distance_inverts_seq_after(seq, n):
+    assert seq_distance(seq, seq_after(seq, n)) == n % (1 << 16)
+
+
+@given(seqs, seqs)
+def test_seq_less_antisymmetric(a, b):
+    if a != b:
+        assert seq_less(a, b) != seq_less(b, a) or seq_distance(a, b) == (1 << 15)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=200
+    )
+)
+def test_jitter_nonnegative_and_bounded(transits):
+    estimator = InterarrivalJitter()
+    for i, transit in enumerate(transits):
+        estimator.update(i * 0.02, i * 0.02 + transit)
+        assert estimator.jitter_s >= 0.0
+    # The EWMA of |deltas| never exceeds the largest observed delta.
+    deltas = [abs(b - a) for a, b in zip(transits, transits[1:])]
+    assert estimator.jitter_s <= max(deltas) + 1e-12
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=80, unique=True)
+)
+def test_stats_expected_counts_gap_inclusive(seq_list):
+    """expected = span of sequence numbers; lost = expected - received."""
+    ordered = sorted(seq_list)
+    stats = ReceiverStats()
+    for seq in ordered:
+        stats.on_packet(
+            RtpPacket(
+                ssrc=1, sequence=seq, timestamp=0,
+                payload_type=PayloadType.PCMU, payload_size=10,
+            ),
+            arrival_s=0.0,
+        )
+    span = ordered[-1] - ordered[0] + 1
+    assert stats.expected == span
+    assert stats.lost == span - len(ordered)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=99),  # sequence
+            st.floats(min_value=0.0, max_value=0.05),  # network delay
+        ),
+        min_size=1,
+        max_size=60,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_playout_never_plays_out_of_order(arrivals):
+    """Whatever the arrival order/delays, playout is strictly seq-increasing."""
+    sim = Simulator()
+    played = []
+    buffer = PlayoutBuffer(sim, lambda p: played.append(p.sequence),
+                           target_delay_s=0.03)
+    for seq, delay in arrivals:
+        send_time = seq * 0.020
+        packet = RtpPacket(
+            ssrc=1, sequence=seq, timestamp=seq * 160,
+            payload_type=PayloadType.PCMU, payload_size=160,
+        )
+        sim.schedule(send_time + delay, buffer.offer, packet)
+    sim.run()
+    assert played == sorted(played)
+    assert len(set(played)) == len(played)
+    assert buffer.played + buffer.late_drops + buffer.duplicates == len(arrivals)

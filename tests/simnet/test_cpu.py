@@ -1,0 +1,108 @@
+"""Unit tests for the CPU model and GC pauses."""
+
+import pytest
+
+from repro.simnet.cpu import Cpu, GcProfile
+from repro.simnet.kernel import Simulator
+
+
+def test_single_task_completes_after_service_time():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = []
+    cpu.execute(0.5, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.5]
+
+
+def test_fifo_queueing_delays_later_tasks():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = []
+    cpu.execute(1.0, lambda: done.append(("a", sim.now)))
+    cpu.execute(1.0, lambda: done.append(("b", sim.now)))
+    cpu.execute(0.5, lambda: done.append(("c", sim.now)))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0), ("c", 2.5)]
+
+
+def test_tasks_submitted_later_start_after_queue_drains():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = []
+    cpu.execute(1.0, lambda: done.append(sim.now))
+    sim.schedule(0.2, lambda: cpu.execute(1.0, lambda: done.append(sim.now)))
+    sim.run()
+    # Second task arrives at 0.2 while CPU busy until 1.0; finishes at 2.0.
+    assert done == [1.0, 2.0]
+
+
+def test_idle_cpu_runs_new_task_immediately():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = []
+    cpu.execute(0.3, lambda: done.append(sim.now))
+    sim.run()
+    cpu.execute(0.3, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.3, 0.6]
+
+
+def test_negative_cost_rejected():
+    cpu = Cpu(Simulator())
+    with pytest.raises(ValueError):
+        cpu.execute(-1.0, lambda: None)
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    cpu.execute(0.25, lambda: None)
+    cpu.execute(0.75, lambda: None)
+    sim.run()
+    assert cpu.busy_time == pytest.approx(1.0)
+    assert cpu.tasks_executed == 2
+
+
+def test_gc_pause_triggers_after_allocation_budget():
+    sim = Simulator()
+    profile = GcProfile(young_gen_bytes=1000, base_pause_s=0.05, pause_per_mb_s=0.0)
+    cpu = Cpu(sim, gc_profile=profile)
+    cpu.allocate(600)
+    assert cpu.gc_pauses == 0
+    cpu.allocate(600)  # crosses the budget
+    assert cpu.gc_pauses == 1
+    done = []
+    cpu.execute(0.0, lambda: done.append(sim.now))
+    sim.run()
+    # The GC pause occupies the CPU first, delaying the zero-cost task.
+    assert done == [pytest.approx(0.05)]
+
+
+def test_gc_pause_duration_scales_with_reclaimed_bytes():
+    profile = GcProfile(base_pause_s=0.01, pause_per_mb_s=0.01, max_pause_s=1.0)
+    small = profile.pause_for(1024 * 1024)
+    large = profile.pause_for(10 * 1024 * 1024)
+    assert large > small
+    assert small == pytest.approx(0.02)
+
+
+def test_gc_pause_capped_at_max():
+    profile = GcProfile(base_pause_s=0.01, pause_per_mb_s=1.0, max_pause_s=0.1)
+    assert profile.pause_for(100 * 1024 * 1024) == 0.1
+
+
+def test_no_gc_without_profile():
+    cpu = Cpu(Simulator())
+    cpu.allocate(10**9)
+    assert cpu.gc_pauses == 0
+
+
+def test_allocation_counter_resets_after_gc():
+    sim = Simulator()
+    cpu = Cpu(sim, gc_profile=GcProfile(young_gen_bytes=100))
+    cpu.allocate(100)
+    cpu.allocate(50)
+    assert cpu.gc_pauses == 1
+    cpu.allocate(50)
+    assert cpu.gc_pauses == 2  # 50 + 50 crosses the budget again

@@ -1,0 +1,125 @@
+"""Tests for the stateful firewall and HTTP tunnel traversal."""
+
+from repro.simnet import (
+    Address,
+    Firewall,
+    FirewallPolicy,
+    HttpTunnelProxy,
+    TunnelClient,
+    UdpSocket,
+)
+
+
+def test_unsolicited_inbound_blocked(net, sim):
+    outside = net.create_host("outside")
+    inside = net.create_host("inside")
+    Firewall().attach(inside)
+    got = []
+    sock = UdpSocket(inside, 5000)
+    sock.on_receive(lambda p, s, d: got.append(p))
+    UdpSocket(outside).sendto("attack", 10, sock.local_address)
+    sim.run()
+    assert got == []
+    assert inside.firewall_blocked_packets == 1
+
+
+def test_open_port_allows_inbound(net, sim):
+    outside = net.create_host("outside")
+    inside = net.create_host("inside")
+    Firewall(FirewallPolicy(open_ports={5000})).attach(inside)
+    got = []
+    sock = UdpSocket(inside, 5000)
+    sock.on_receive(lambda p, s, d: got.append(p))
+    UdpSocket(outside).sendto("ok", 10, sock.local_address)
+    sim.run()
+    assert got == ["ok"]
+
+
+def test_outbound_creates_return_pinhole(net, sim):
+    outside = net.create_host("outside")
+    inside = net.create_host("inside")
+    Firewall().attach(inside)
+    server = UdpSocket(outside, 7000)
+    server.on_receive(lambda p, src, d: server.sendto("reply", 10, src))
+    client = UdpSocket(inside)
+    got = []
+    client.on_receive(lambda p, s, d: got.append(p))
+    client.sendto("hello", 10, server.local_address)
+    sim.run()
+    assert got == ["reply"]
+
+
+def test_pinhole_expires(net, sim):
+    outside = net.create_host("outside")
+    inside = net.create_host("inside")
+    Firewall(FirewallPolicy(pinhole_timeout_s=1.0)).attach(inside)
+    server = UdpSocket(outside, 7000)
+    late = []
+    server.on_receive(lambda p, src, d: late.append(src))
+    client = UdpSocket(inside)
+    got = []
+    client.on_receive(lambda p, s, d: got.append(p))
+    client.sendto("hello", 10, server.local_address)
+    sim.run()
+    # Reply 5 seconds later: the pinhole has expired.
+    sim.schedule(5.0, lambda: server.sendto("late", 10, late[0]))
+    sim.run()
+    assert got == []
+
+
+def test_pinhole_only_matches_same_remote(net, sim):
+    outside_a = net.create_host("outa")
+    outside_b = net.create_host("outb")
+    inside = net.create_host("inside")
+    Firewall().attach(inside)
+    server = UdpSocket(outside_a, 7000)
+    seen_src = []
+    server.on_receive(lambda p, src, d: seen_src.append(src))
+    client = UdpSocket(inside)
+    got = []
+    client.on_receive(lambda p, s, d: got.append(p))
+    client.sendto("hello", 10, server.local_address)
+    sim.run()
+    # A different outside host tries to reach the same client port.
+    UdpSocket(outside_b, 7000).sendto("spoof", 10, seen_src[0])
+    sim.run()
+    assert got == []
+
+
+def test_http_tunnel_traverses_firewall_both_ways(net, sim):
+    proxy_host = net.create_host("proxy")
+    server_host = net.create_host("server")
+    inside = net.create_host("inside")
+    Firewall().attach(inside)
+
+    proxy = HttpTunnelProxy(proxy_host, 8080)
+    server = UdpSocket(server_host, 7000)
+    server.on_receive(lambda p, src, d: server.sendto(f"echo:{p}", 20, src))
+
+    tunnel = TunnelClient(inside, proxy.address)
+    got = []
+    tunnel.on_receive(lambda p, inner_src: got.append((p, inner_src)))
+    tunnel.sendto("hi", 10, server.local_address)
+    sim.run()
+    assert got == [("echo:hi", server.local_address)]
+    assert proxy.frames_relayed >= 2
+
+
+def test_tunnel_overhead_is_charged(net, sim):
+    from repro.simnet.transport import HTTP_TUNNEL_OVERHEAD_BYTES, UDP_HEADER_BYTES
+
+    proxy_host = net.create_host("proxy")
+    server_host = net.create_host("server")
+    client_host = net.create_host("client")
+    proxy = HttpTunnelProxy(proxy_host, 8080)
+    server = UdpSocket(server_host, 7000)
+    server.on_receive(lambda p, s, d: None)
+    tunnel = TunnelClient(client_host, proxy.address)
+    sizes = []
+    net.add_tap(lambda d: sizes.append((d.src.host, d.size)))
+    tunnel.sendto("x", 100, server.local_address)
+    sim.run()
+    client_leg = [s for h, s in sizes if h == "client"]
+    proxy_leg = [s for h, s in sizes if h == "proxy"]
+    assert client_leg == [100 + HTTP_TUNNEL_OVERHEAD_BYTES + UDP_HEADER_BYTES]
+    assert proxy_leg == [100 + UDP_HEADER_BYTES]

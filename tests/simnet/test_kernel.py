@@ -1,0 +1,125 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet.kernel import SimulationError, Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_executes_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_with_args():
+    sim = Simulator()
+    out = []
+    sim.schedule(0.5, lambda a, b: out.append(a + b), 2, 3)
+    sim.run()
+    assert out == [5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, lambda: fired.append("x"))
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    executed = sim.run(until=2.0)
+    assert executed == 1
+    assert fired == [1]
+    assert sim.now == 2.0  # time advances to the until bound
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_for_advances_relative_time():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=1.0)
+    sim.run_for(2.5)
+    assert sim.now == 3.5
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 4.0
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    assert sim.run(max_events=3) == 3
+    assert sim.pending() == 7
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_time_is_monotonic_across_many_events():
+    sim = Simulator()
+    times = []
+    import random
+
+    rng = random.Random(7)
+    for _ in range(200):
+        sim.schedule(rng.uniform(0, 10), lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert sim.events_processed == 200

@@ -1,0 +1,58 @@
+"""Loopback (same-host) delivery semantics."""
+
+import pytest
+
+from repro.simnet import Address, Firewall, UdpSocket
+from repro.simnet.node import Host
+
+
+def test_loopback_bypasses_nic(net, sim):
+    host = net.create_host("h")
+    server = UdpSocket(host, 5000)
+    got = []
+    server.on_receive(lambda p, s, d: got.append(sim.now))
+    client = UdpSocket(host)
+    client.sendto("x", 10_000_000, server.local_address)  # huge payload
+    sim.run_for(1.0)
+    # Arrived at loopback latency, not 10 MB / link-rate serialization.
+    assert got and got[0] == pytest.approx(
+        Host.LOOPBACK_LATENCY_S, abs=1e-3
+    )
+    assert host.nic.sent_packets == 0
+
+
+def test_loopback_skips_firewall(net, sim):
+    host = net.create_host("h")
+    Firewall().attach(host)  # would block unsolicited inbound
+    server = UdpSocket(host, 5000)
+    got = []
+    server.on_receive(lambda p, s, d: got.append(p))
+    client = UdpSocket(host)
+    client.sendto("local", 10, server.local_address)
+    sim.run_for(1.0)
+    assert got == ["local"]
+    assert host.firewall_blocked_packets == 0
+
+
+def test_loopback_still_charges_receive_cpu(net, sim):
+    host = net.create_host("h", recv_cpu_cost_s=0.050)
+    server = UdpSocket(host, 5000)
+    got = []
+    server.on_receive(lambda p, s, d: got.append(sim.now))
+    UdpSocket(host).sendto("x", 10, server.local_address)
+    sim.run_for(1.0)
+    assert got[0] >= 0.050
+
+
+def test_loopback_not_subject_to_link_loss(net, sim):
+    from repro.simnet import LinkProfile
+
+    host = net.create_host("lossy", link=LinkProfile(loss_rate=0.9))
+    server = UdpSocket(host, 5000)
+    got = []
+    server.on_receive(lambda p, s, d: got.append(p))
+    client = UdpSocket(host)
+    for i in range(50):
+        client.sendto(i, 10, server.local_address)
+    sim.run_for(1.0)
+    assert len(got) == 50

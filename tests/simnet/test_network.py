@@ -1,0 +1,119 @@
+"""Tests for hosts + network fabric routing."""
+
+import pytest
+
+from repro.simnet import Address, LinkProfile, Network, SeededStreams, Simulator
+from repro.simnet.network import UnknownHostError
+from repro.simnet.node import PortInUseError
+
+
+def test_unicast_delivery_between_hosts(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    got = []
+    b.bind(5000, lambda d: got.append((d.payload, sim.now)))
+    a.send(1234, Address("b", 5000), "hello", 100)
+    sim.run()
+    assert len(got) == 1
+    payload, when = got[0]
+    assert payload == "hello"
+    assert when > 0.0  # NIC serialization + latency + CPU
+
+
+def test_duplicate_host_name_rejected(net):
+    net.create_host("a")
+    with pytest.raises(ValueError):
+        net.create_host("a")
+
+
+def test_unknown_destination_raises(net, sim):
+    a = net.create_host("a")
+    a.send(1, Address("ghost", 1), "x", 10)
+    with pytest.raises(UnknownHostError):
+        sim.run()
+
+
+def test_unbound_port_discards(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    a.send(1, Address("b", 9999), "x", 10)
+    sim.run()
+    assert b.discarded_packets == 1
+    assert b.received_packets == 0
+
+
+def test_port_rebind_rejected(net):
+    a = net.create_host("a")
+    a.bind(80, lambda d: None)
+    with pytest.raises(PortInUseError):
+        a.bind(80, lambda d: None)
+    a.unbind(80)
+    a.bind(80, lambda d: None)  # ok after unbind
+
+
+def test_ephemeral_ports_are_unique(net):
+    a = net.create_host("a")
+    ports = {a.allocate_port() for _ in range(100)}
+    assert len(ports) == 100
+
+
+def test_path_latency_override(net, sim):
+    us = net.create_host("us", link=LinkProfile(latency_s=0.0, jitter_s=0.0))
+    cn = net.create_host("cn", link=LinkProfile(latency_s=0.0, jitter_s=0.0))
+    net.set_path_latency("us", "cn", 0.100)
+    got = []
+    cn.bind(1, lambda d: got.append(sim.now), recv_cpu_cost_s=0.0)
+    us.send(2, Address("cn", 1), "x", 125)  # 125B at 100Mb/s = 10us tx
+    sim.run()
+    assert got[0] == pytest.approx(0.100, abs=0.001)
+
+
+def test_lossy_link_drops_packets(sim, streams):
+    net = Network(sim, streams)
+    a = net.create_host("a", link=LinkProfile(loss_rate=0.5))
+    b = net.create_host("b")
+    got = []
+    b.bind(1, lambda d: got.append(1))
+    for _ in range(200):
+        a.send(2, Address("b", 1), "x", 10)
+    sim.run()
+    assert 40 < len(got) < 160  # ~50% loss
+    assert net.lost_packets == 200 - len(got)
+
+
+def test_loss_is_deterministic_for_fixed_seed():
+    def run(seed):
+        sim = Simulator()
+        net = Network(sim, SeededStreams(seed))
+        a = net.create_host("a", link=LinkProfile(loss_rate=0.3))
+        b = net.create_host("b")
+        got = []
+        b.bind(1, lambda d: got.append(1))
+        for _ in range(100):
+            a.send(2, Address("b", 1), "x", 10)
+        sim.run()
+        return len(got)
+
+    assert run(7) == run(7)
+
+
+def test_receive_charges_cpu(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b", recv_cpu_cost_s=0.010)
+    got = []
+    b.bind(1, lambda d: got.append(sim.now))
+    a.send(2, Address("b", 1), "x", 10)
+    sim.run()
+    assert got[0] >= 0.010
+
+
+def test_network_tap_sees_all_datagrams(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    b.bind(1, lambda d: None)
+    seen = []
+    net.add_tap(seen.append)
+    a.send(2, Address("b", 1), "x", 10)
+    a.send(2, Address("b", 1), "y", 10)
+    sim.run()
+    assert len(seen) == 2

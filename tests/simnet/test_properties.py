@@ -1,0 +1,109 @@
+"""Property-based tests on the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet import (
+    Address,
+    LinkProfile,
+    Network,
+    SeededStreams,
+    Simulator,
+    TcpListener,
+)
+from repro.simnet.cpu import Cpu
+from repro.simnet.tcp import tcp_connect
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=50))
+def test_kernel_executes_all_events_in_nondecreasing_time(delays):
+    sim = Simulator()
+    seen = []
+    for delay in delays:
+        sim.schedule(delay, lambda: seen.append(sim.now))
+    sim.run()
+    assert len(seen) == len(delays)
+    assert seen == sorted(seen)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+    )
+)
+def test_cpu_total_busy_time_equals_sum_of_costs(costs):
+    sim = Simulator()
+    cpu = Cpu(sim)
+    for cost in costs:
+        cpu.execute(cost, lambda: None)
+    sim.run()
+    assert abs(cpu.busy_time - sum(costs)) < 1e-9
+    # The makespan of a single FIFO server equals the total work.
+    assert abs(sim.now - sum(costs)) < 1e-9
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=30),
+    st.floats(min_value=1e5, max_value=1e9),
+)
+def test_nic_completion_time_is_total_bits_over_rate(sizes, rate):
+    from repro.simnet.nic import Nic
+
+    sim = Simulator()
+    from repro.simnet.packet import Datagram
+
+    link = LinkProfile(bandwidth_bps=rate)
+    nic = Nic(sim, link, lambda d: None)
+    for size in sizes:
+        nic.enqueue(Datagram(Address("a", 1), Address("b", 1), b"", size))
+    sim.run()
+    expected = sum(sizes) * 8.0 / rate
+    assert abs(sim.now - expected) < 1e-6 * max(1.0, expected)
+    assert nic.sent_packets == len(sizes)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(min_value=0, max_value=2**32),
+    st.floats(min_value=0.0, max_value=0.3),
+    st.integers(min_value=1, max_value=40),
+)
+def test_tcp_delivers_every_message_in_order_despite_loss(seed, loss, n):
+    sim = Simulator()
+    net = Network(sim, SeededStreams(seed))
+    server_host = net.create_host("server", link=LinkProfile(loss_rate=loss))
+    client_host = net.create_host("client")
+    got = []
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: got.append(msg)
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(client_host, listener.local_address)
+    for i in range(n):
+        conn.send(i, 100)
+    sim.run(until=300.0)
+    assert got == list(range(n))
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=0, max_value=2**32), st.integers(1, 8))
+def test_multicast_reaches_exactly_the_members(seed, members):
+    from repro.simnet.udp import UdpSocket
+
+    sim = Simulator()
+    net = Network(sim, SeededStreams(seed))
+    sender_host = net.create_host("sender")
+    group = "233.9.0.1"
+    got = []
+    for i in range(members):
+        host = net.create_host(f"m{i}")
+        sock = UdpSocket(host)
+        sock.join_group(group)
+        sock.on_receive(lambda p, s, d, i=i: got.append(i))
+    outsider = net.create_host("outsider")
+    outsider_sock = UdpSocket(outsider)
+    outsider_sock.on_receive(lambda p, s, d: got.append("outsider"))
+    UdpSocket(sender_host).sendto("x", 10, Address(group, 1))
+    sim.run()
+    assert sorted(got) == list(range(members))

@@ -1,0 +1,44 @@
+"""Tests for deterministic named random streams."""
+
+from repro.simnet.rng import SeededStreams
+
+
+def test_same_name_returns_same_stream_object():
+    streams = SeededStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_reproducible_across_factories():
+    a = SeededStreams(99).stream("link").random()
+    b = SeededStreams(99).stream("link").random()
+    assert a == b
+
+
+def test_different_names_give_independent_draws():
+    streams = SeededStreams(5)
+    assert streams.stream("x").random() != streams.stream("y").random()
+
+
+def test_different_seeds_give_different_draws():
+    assert (
+        SeededStreams(1).stream("net").random()
+        != SeededStreams(2).stream("net").random()
+    )
+
+
+def test_fork_is_deterministic_and_distinct():
+    parent = SeededStreams(7)
+    child1 = parent.fork("sub")
+    child2 = SeededStreams(7).fork("sub")
+    assert child1.master_seed == child2.master_seed
+    assert child1.master_seed != parent.master_seed
+
+
+def test_adding_new_stream_does_not_perturb_existing():
+    s1 = SeededStreams(3)
+    first_draws = [s1.stream("a").random() for _ in range(3)]
+
+    s2 = SeededStreams(3)
+    s2.stream("b")  # new stream interleaved
+    second_draws = [s2.stream("a").random() for _ in range(3)]
+    assert first_draws == second_draws

@@ -1,0 +1,167 @@
+"""Tests for the simplified reliable TCP transport."""
+
+import pytest
+
+from repro.simnet import LinkProfile, Network, SeededStreams, Simulator, TcpListener
+from repro.simnet.tcp import tcp_connect
+from repro.simnet.transport import TCP_MSS_BYTES
+
+
+def setup_pair(net, loss=0.0):
+    server_host = net.create_host("server", link=LinkProfile(loss_rate=loss))
+    client_host = net.create_host("client")
+    return server_host, client_host
+
+
+def test_handshake_establishes_both_sides(net, sim):
+    server_host, client_host = setup_pair(net)
+    accepted = []
+    listener = TcpListener(server_host, 9000, on_connection=accepted.append)
+    events = []
+    conn = tcp_connect(
+        client_host,
+        listener.local_address,
+        on_established=lambda c: events.append("client-up"),
+    )
+    sim.run()
+    assert events == ["client-up"]
+    assert conn.established
+    assert len(accepted) == 1
+
+
+def test_messages_delivered_in_order(net, sim):
+    server_host, client_host = setup_pair(net)
+    got = []
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: got.append(msg)
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(client_host, listener.local_address)
+    for i in range(20):
+        conn.send(f"msg-{i}", 100)
+    sim.run()
+    assert got == [f"msg-{i}" for i in range(20)]
+
+
+def test_large_message_fragmented_and_reassembled(net, sim):
+    server_host, client_host = setup_pair(net)
+    got = []
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: got.append((msg, size))
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(client_host, listener.local_address)
+    big = 5 * TCP_MSS_BYTES + 123
+    conn.send("big-payload", big)
+    sim.run()
+    assert got == [("big-payload", big)]
+
+
+def test_reliable_delivery_over_lossy_link():
+    sim = Simulator()
+    net = Network(sim, SeededStreams(3))
+    server_host = net.create_host("server", link=LinkProfile(loss_rate=0.15))
+    client_host = net.create_host("client")
+    got = []
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: got.append(msg)
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(client_host, listener.local_address)
+    for i in range(50):
+        conn.send(i, 200)
+    sim.run(until=60.0)
+    assert got == list(range(50))
+    assert conn.retransmissions > 0
+
+
+def test_bidirectional_messages(net, sim):
+    server_host, client_host = setup_pair(net)
+    server_got, client_got = [], []
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: (
+            server_got.append(msg),
+            c.send(f"echo:{msg}", 50),
+        )
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(
+        client_host,
+        listener.local_address,
+        on_message=lambda msg, size, c: client_got.append(msg),
+    )
+    conn.send("hi", 10)
+    sim.run()
+    assert server_got == ["hi"]
+    assert client_got == ["echo:hi"]
+
+
+def test_close_notifies_peer(net, sim):
+    server_host, client_host = setup_pair(net)
+    closed = []
+
+    def on_conn(connection):
+        connection.on_close = lambda c: closed.append("server")
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(client_host, listener.local_address)
+    sim.run()
+    conn.close()
+    sim.run()
+    assert closed == ["server"]
+    assert len(listener.connections()) == 0
+
+
+def test_send_after_close_raises(net, sim):
+    server_host, client_host = setup_pair(net)
+    listener = TcpListener(server_host, 9000)
+    conn = tcp_connect(client_host, listener.local_address)
+    sim.run()
+    conn.close()
+    with pytest.raises(Exception):
+        conn.send("x", 1)
+
+
+def test_window_limits_inflight_segments(net, sim):
+    server_host, client_host = setup_pair(net)
+    got = []
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: got.append(msg)
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conn = tcp_connect(client_host, listener.local_address)
+    conn.window = 4
+    for i in range(100):
+        conn.send(i, 100)
+    sim.run()
+    assert got == list(range(100))
+
+
+def test_concurrent_connections_demultiplexed(net, sim):
+    server_host = net.create_host("server")
+    got = {}
+
+    def on_conn(connection):
+        connection.on_message = lambda msg, size, c: got.setdefault(
+            c.conn_id, []
+        ).append(msg)
+
+    listener = TcpListener(server_host, 9000, on_connection=on_conn)
+    conns = []
+    for i in range(5):
+        host = net.create_host(f"client{i}")
+        conns.append(tcp_connect(host, listener.local_address))
+    for i, conn in enumerate(conns):
+        for j in range(3):
+            conn.send(f"c{i}-m{j}", 50)
+    sim.run()
+    assert len(got) == 5
+    streams = sorted(tuple(v) for v in got.values())
+    assert streams == sorted(
+        tuple(f"c{i}-m{j}" for j in range(3)) for i in range(5)
+    )

@@ -1,0 +1,83 @@
+"""Tests for UDP sockets."""
+
+import pytest
+
+from repro.simnet import Address, UdpSocket
+from repro.simnet.transport import TransportError, UDP_HEADER_BYTES
+
+
+def test_send_receive_roundtrip(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    server = UdpSocket(b, 5000)
+    client = UdpSocket(a)
+    got = []
+    server.on_receive(lambda payload, src, dgram: got.append((payload, src)))
+    client.sendto({"k": 1}, 100, server.local_address)
+    sim.run()
+    assert got == [({"k": 1}, client.local_address)]
+
+
+def test_reply_to_source_address(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    server = UdpSocket(b, 5000)
+    client = UdpSocket(a)
+    server.on_receive(
+        lambda payload, src, dgram: server.sendto("pong", 10, src)
+    )
+    got = []
+    client.on_receive(lambda payload, src, dgram: got.append(payload))
+    client.sendto("ping", 10, server.local_address)
+    sim.run()
+    assert got == ["pong"]
+
+
+def test_udp_header_overhead_charged(net, sim):
+    a = net.create_host("a")
+    net.create_host("b").bind(1, lambda d: None)
+    sock = UdpSocket(a)
+    sizes = []
+    net.add_tap(lambda d: sizes.append(d.size))
+    sock.sendto("x", 100, Address("b", 1))
+    sim.run()
+    assert sizes == [100 + UDP_HEADER_BYTES]
+
+
+def test_ephemeral_port_allocation(net):
+    a = net.create_host("a")
+    s1 = UdpSocket(a)
+    s2 = UdpSocket(a)
+    assert s1.port != s2.port
+
+
+def test_closed_socket_rejects_send_and_ignores_receive(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    server = UdpSocket(b, 5000)
+    got = []
+    server.on_receive(lambda p, s, d: got.append(p))
+    client = UdpSocket(a)
+    client.sendto("one", 10, server.local_address)
+    sim.run()
+    server.close()
+    client.sendto("two", 10, server.local_address)
+    sim.run()
+    assert got == ["one"]
+    closed = UdpSocket(a)
+    closed.close()
+    with pytest.raises(TransportError):
+        closed.sendto("x", 1, server.local_address)
+
+
+def test_stats_counters(net, sim):
+    a = net.create_host("a")
+    b = net.create_host("b")
+    server = UdpSocket(b, 5000)
+    server.on_receive(lambda p, s, d: None)
+    client = UdpSocket(a)
+    for _ in range(5):
+        client.sendto("x", 10, server.local_address)
+    sim.run()
+    assert client.sent_packets == 5
+    assert server.received_packets == 5

@@ -1,0 +1,204 @@
+"""End-to-end SIP flows: registration, calls, IM, chat rooms."""
+
+import pytest
+
+from repro.sip import (
+    ChatRoomService,
+    SessionDescription,
+    SipProxy,
+    SipRegistrar,
+    SipUserAgent,
+)
+from repro.sip.registrar import LocationService
+from repro.simnet import LinkProfile
+
+
+DOMAIN = "mmcs.org"
+
+
+@pytest.fixture
+def sip_domain(net):
+    """Proxy + registrar sharing one location service."""
+    location = LocationService()
+    proxy_host = net.create_host("proxy-host")
+    proxy = SipProxy(proxy_host, DOMAIN, location=location)
+    registrar = SipRegistrar(proxy_host, port=5070, location=location)
+    return proxy, registrar
+
+
+def make_ua(net, sim, proxy, registrar, user):
+    host = net.create_host(f"{user}-host")
+    ua = SipUserAgent(host, f"sip:{user}@{DOMAIN}", proxy.address)
+    done = []
+    ua.register(registrar.address, on_result=done.append)
+    sim.run_for(1.0)
+    assert done == [True]
+    assert ua.registered
+    return ua
+
+
+def test_registration(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    ua = make_ua(net, sim, proxy, registrar, "alice")
+    assert registrar.location.lookup(ua.uri, sim.now) is not None
+
+
+def test_register_expiry(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    host = net.create_host("bob-host")
+    ua = SipUserAgent(host, f"sip:bob@{DOMAIN}", proxy.address)
+    ua.register(registrar.address, expires_s=10.0)
+    sim.run_for(1.0)
+    assert registrar.location.lookup(ua.uri, sim.now) is not None
+    sim.run_for(15.0)
+    assert registrar.location.lookup(ua.uri, sim.now) is None
+
+
+def test_basic_call_with_sdp_answer(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+
+    def answer(request, offer):
+        assert offer is not None and offer.has_media("audio")
+        return SessionDescription("bob", "bob-host").add_media(
+            "audio", 4200, [0]
+        )
+
+    bob.on_invite = answer
+    answers = []
+    offer = SessionDescription("alice", "alice-host").add_media("audio", 4100, [0])
+    alice.invite(bob.uri, offer, on_answer=lambda d, sdp: answers.append(sdp))
+    sim.run_for(2.0)
+    assert len(answers) == 1
+    assert answers[0].connection_host == "bob-host"
+    assert answers[0].media_for("audio").port == 4200
+    # Both sides hold a confirmed dialog.
+    assert [d.state for d in alice.dialogs()] == ["confirmed"]
+    assert [d.state for d in bob.dialogs()] == ["confirmed"]
+
+
+def test_call_rejected_when_no_answer_hook(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")  # no on_invite
+    failures = []
+    offer = SessionDescription("alice", "alice-host").add_media("audio", 4100, [0])
+    alice.invite(bob.uri, offer, on_failure=lambda r: failures.append(r.status))
+    sim.run_for(2.0)
+    assert failures == [486]
+    assert alice.dialogs() == []
+
+
+def test_call_to_unregistered_user_404(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    failures = []
+    offer = SessionDescription("alice", "alice-host").add_media("audio", 4100, [0])
+    alice.invite(
+        f"sip:ghost@{DOMAIN}", offer,
+        on_failure=lambda r: failures.append(r.status),
+    )
+    sim.run_for(2.0)
+    assert failures == [404]
+
+
+def test_bye_tears_down_both_sides(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+    bob.on_invite = lambda req, offer: SessionDescription("bob", "bh").add_media(
+        "audio", 4200, [0]
+    )
+    terminated = []
+    bob.on_dialog_terminated = lambda d: terminated.append("bob")
+    dialogs = []
+    offer = SessionDescription("alice", "ah").add_media("audio", 4100, [0])
+    alice.invite(bob.uri, offer, on_answer=lambda d, sdp: dialogs.append(d))
+    sim.run_for(2.0)
+    byed = []
+    alice.bye(dialogs[0], on_result=byed.append)
+    sim.run_for(2.0)
+    assert byed == [True]
+    assert terminated == ["bob"]
+    assert alice.dialogs() == [] and bob.dialogs() == []
+
+
+def test_instant_message_point_to_point(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+    inbox = []
+    bob.on_message = lambda sender, text: inbox.append((sender, text))
+    ok = []
+    alice.send_message(bob.uri, "hi bob", on_result=ok.append)
+    sim.run_for(2.0)
+    assert ok == [True]
+    assert inbox == [(alice.uri, "hi bob")]
+
+
+def test_chat_room_join_and_fanout(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    rooms = ChatRoomService(proxy)
+    users = [make_ua(net, sim, proxy, registrar, name)
+             for name in ("alice", "bob", "carol")]
+    inboxes = {ua.uri: [] for ua in users}
+    for ua in users:
+        ua.on_message = lambda sender, text, uri=ua.uri: inboxes[uri].append(
+            (sender, text)
+        )
+    room_uri = rooms.room_uri("grid")
+    for ua in users:
+        ua.send_message(room_uri, "/join")
+    sim.run_for(2.0)
+    assert rooms.members("grid") == {ua.uri for ua in users}
+
+    users[0].send_message(room_uri, "hello everyone")
+    sim.run_for(2.0)
+    assert inboxes[users[1].uri] == [(users[0].uri, "hello everyone")]
+    assert inboxes[users[2].uri] == [(users[0].uri, "hello everyone")]
+    assert inboxes[users[0].uri] == []  # no echo to the sender
+
+
+def test_chat_room_leave(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    rooms = ChatRoomService(proxy)
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+    room_uri = rooms.room_uri("r")
+    for ua in (alice, bob):
+        ua.send_message(room_uri, "/join")
+    sim.run_for(2.0)
+    bob.send_message(room_uri, "/leave")
+    sim.run_for(2.0)
+    assert rooms.members("r") == {alice.uri}
+    inbox = []
+    bob.on_message = lambda s, t: inbox.append(t)
+    alice.send_message(room_uri, "anyone?")
+    sim.run_for(2.0)
+    assert inbox == []
+
+
+def test_nonmember_message_rejected(net, sim, sip_domain):
+    proxy, registrar = sip_domain
+    rooms = ChatRoomService(proxy)
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    results = []
+    alice.send_message(rooms.room_uri("private"), "let me in?",
+                       on_result=results.append)
+    sim.run_for(2.0)
+    assert results == [False]
+
+
+def test_retransmission_recovers_lossy_register(net, sim, streams):
+    """Transaction-layer retransmits make signaling reliable over UDP."""
+    location = LocationService()
+    proxy_host = net.create_host("proxy-host", link=LinkProfile(loss_rate=0.3))
+    registrar = SipRegistrar(proxy_host, port=5070, location=location)
+    ua_host = net.create_host("ua-host")
+    ua = SipUserAgent(ua_host, f"sip:carol@{DOMAIN}",
+                      registrar.address)
+    results = []
+    ua.register(registrar.address, on_result=results.append)
+    sim.run_for(60.0)
+    assert results == [True]

@@ -1,0 +1,138 @@
+"""SIP message codec tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sip.message import (
+    SipParseError,
+    SipRequest,
+    SipResponse,
+    new_branch,
+    parse_message,
+    parse_name_addr,
+    parse_uri,
+    response_for,
+)
+
+
+def test_request_render_parse_roundtrip():
+    request = SipRequest("INVITE", "sip:bob@example.org", body="v=0\r\n")
+    request.set("To", "<sip:bob@example.org>")
+    request.set("From", "<sip:alice@example.org>;tag-1")
+    request.set("Call-Id", "abc@host")
+    request.set("Cseq", "1 INVITE")
+    parsed = parse_message(request.render())
+    assert isinstance(parsed, SipRequest)
+    assert parsed.method == "INVITE"
+    assert parsed.uri == "sip:bob@example.org"
+    assert parsed.get("call-id") == "abc@host"  # case-insensitive
+    assert parsed.body == "v=0\r\n"
+
+
+def test_response_render_parse_roundtrip():
+    response = SipResponse(180, "Ringing")
+    response.set("Call-Id", "x@y")
+    parsed = parse_message(response.render())
+    assert isinstance(parsed, SipResponse)
+    assert parsed.status == 180
+    assert parsed.reason == "Ringing"
+    assert not parsed.is_final
+    assert SipResponse(200, "OK").is_final
+
+
+def test_content_length_added_for_body():
+    request = SipRequest("MESSAGE", "sip:a@b", body="hello")
+    assert "Content-Length: 5" in request.render()
+
+
+def test_via_stacking_order():
+    request = SipRequest("INVITE", "sip:a@b")
+    request.add("Via", "SIP/2.0/UDP ua:5060;branch=z9hG4bK-1")
+    request.prepend("Via", "SIP/2.0/UDP proxy:5060;branch=z9hG4bK-2")
+    vias = request.get_all("Via")
+    assert vias[0].startswith("SIP/2.0/UDP proxy")
+    popped = request.remove_first("Via")
+    assert "proxy" in popped
+    assert request.get("Via").startswith("SIP/2.0/UDP ua")
+
+
+def test_top_via_branch_extraction():
+    request = SipRequest("INVITE", "sip:a@b")
+    request.set("Via", "SIP/2.0/UDP h:5060;branch=z9hG4bK-42")
+    assert request.top_via_branch() == "z9hG4bK-42"
+
+
+def test_branches_unique_with_magic_cookie():
+    a, b = new_branch(), new_branch()
+    assert a != b
+    assert a.startswith("z9hG4bK")
+
+
+def test_cseq_parsing():
+    request = SipRequest("BYE", "sip:a@b")
+    request.set("Cseq", "7 BYE")
+    assert request.cseq == (7, "BYE")
+
+
+def test_response_for_echoes_transaction_headers():
+    request = SipRequest("INVITE", "sip:a@b")
+    request.set("Via", "SIP/2.0/UDP h:1;branch=z9hG4bK-9")
+    request.set("From", "<sip:x@y>;tag-9")
+    request.set("To", "<sip:a@b>")
+    request.set("Call-Id", "cid")
+    request.set("Cseq", "3 INVITE")
+    response = response_for(request, 200, "OK")
+    assert response.get("Via") == request.get("Via")
+    assert response.get("Cseq") == "3 INVITE"
+    assert response.get("Call-Id") == "cid"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "garbage",
+        "INVITE sip:a@b",  # no version, no separator
+        "INVITE sip:a@b SIP/2.0\r\nBroken-Header\r\n\r\n",
+        "SIP/2.0 abc OK\r\n\r\n",
+    ],
+)
+def test_malformed_messages_rejected(bad):
+    with pytest.raises(SipParseError):
+        parse_message(bad)
+
+
+def test_parse_uri():
+    assert parse_uri("sip:alice@example.org") == ("alice", "example.org")
+    with pytest.raises(SipParseError):
+        parse_uri("http://x")
+    with pytest.raises(SipParseError):
+        parse_uri("sip:nodomain")
+
+
+def test_parse_name_addr():
+    assert parse_name_addr("<sip:a@b>;tag-7") == ("sip:a@b", "tag-7")
+    assert parse_name_addr("<sip:a@b>") == ("sip:a@b", None)
+    assert parse_name_addr("sip:a@b;tag-1") == ("sip:a@b", "tag-1")
+    assert parse_name_addr("sip:a@b") == ("sip:a@b", None)
+
+
+@given(
+    st.sampled_from(["INVITE", "BYE", "MESSAGE", "REGISTER", "OPTIONS"]),
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1, max_size=10,
+    ),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=200,
+    ).filter(lambda s: "\r" not in s and "\n" not in s),
+)
+def test_roundtrip_property(method, user, body):
+    request = SipRequest(method, f"sip:{user}@dom.org", body=body)
+    request.set("Call-Id", "cid@h")
+    parsed = parse_message(request.render())
+    assert parsed.method == method
+    assert parsed.uri == f"sip:{user}@dom.org"
+    assert parsed.body == body

@@ -1,0 +1,129 @@
+"""Presence service tests (the IM "remote presence" of Section 2.1)."""
+
+import pytest
+
+from repro.sip import PresenceService, SipProxy, SipRegistrar, SipUserAgent
+from repro.sip.registrar import LocationService
+
+DOMAIN = "mmcs.org"
+
+
+@pytest.fixture
+def domain(net):
+    location = LocationService()
+    host = net.create_host("proxy-host")
+    proxy = SipProxy(host, DOMAIN, location=location)
+    registrar = SipRegistrar(host, port=5070, location=location)
+    presence = PresenceService(proxy)
+    return proxy, registrar, presence
+
+
+def make_ua(net, sim, proxy, registrar, user, expires=3600.0):
+    host = net.create_host(f"{user}-host")
+    ua = SipUserAgent(host, f"sip:{user}@{DOMAIN}", proxy.address)
+    ua.register(registrar.address, expires_s=expires)
+    sim.run_for(1.0)
+    assert ua.registered
+    return ua
+
+
+def test_registration_implies_online(net, sim, domain):
+    proxy, registrar, presence = domain
+    ua = make_ua(net, sim, proxy, registrar, "alice")
+    assert presence.presence_of(ua.uri).state == "online"
+    assert presence.presence_of(f"sip:ghost@{DOMAIN}").state == "offline"
+
+
+def test_publish_and_get_status(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+    alice.send_message(presence.uri, "/status busy reviewing papers")
+    sim.run_for(2.0)
+    record = presence.presence_of(alice.uri)
+    assert record.state == "busy"
+    assert record.note == "reviewing papers"
+
+    # Bob queries over SIP (one-shot /get) -- reply body carries presence.
+    ok = []
+    bob.send_message(presence.uri, f"/get {alice.uri}", on_result=ok.append)
+    sim.run_for(2.0)
+    assert ok == [True]
+
+
+def test_unknown_state_rejected(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    results = []
+    alice.send_message(presence.uri, "/status sleeping",
+                       on_result=results.append)
+    sim.run_for(2.0)
+    assert results == [False]
+
+
+def test_watch_delivers_snapshot_and_changes(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+    inbox = []
+    bob.on_message = lambda sender, text: inbox.append((sender, text))
+
+    bob.send_message(presence.uri, f"/watch {alice.uri}")
+    sim.run_for(2.0)
+    # Immediate snapshot: alice is online (registered, nothing published).
+    assert inbox and inbox[0][1] == f"presence: {alice.uri} online"
+    assert inbox[0][0] == presence.uri
+
+    alice.send_message(presence.uri, "/status away lunch")
+    sim.run_for(2.0)
+    assert inbox[-1][1] == f"presence: {alice.uri} away lunch"
+    assert len(inbox) == 2
+
+
+def test_unwatch_stops_notifications(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    bob = make_ua(net, sim, proxy, registrar, "bob")
+    inbox = []
+    bob.on_message = lambda sender, text: inbox.append(text)
+    bob.send_message(presence.uri, f"/watch {alice.uri}")
+    sim.run_for(2.0)
+    bob.send_message(presence.uri, f"/unwatch {alice.uri}")
+    sim.run_for(2.0)
+    count = len(inbox)
+    alice.send_message(presence.uri, "/status busy")
+    sim.run_for(2.0)
+    assert len(inbox) == count
+    assert presence.watchers_of(alice.uri) == set()
+
+
+def test_multiple_watchers_notified(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    watchers = [make_ua(net, sim, proxy, registrar, f"w{i}") for i in range(3)]
+    inboxes = {ua.uri: [] for ua in watchers}
+    for ua in watchers:
+        ua.on_message = lambda s, t, uri=ua.uri: inboxes[uri].append(t)
+        ua.send_message(presence.uri, f"/watch {alice.uri}")
+    sim.run_for(2.0)
+    alice.send_message(presence.uri, "/status online back")
+    sim.run_for(2.0)
+    for uri, inbox in inboxes.items():
+        assert inbox[-1] == f"presence: {alice.uri} online back"
+
+
+def test_expired_registration_reads_offline(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice", expires=5.0)
+    assert presence.presence_of(alice.uri).state == "online"
+    sim.run_for(10.0)
+    assert presence.presence_of(alice.uri).state == "offline"
+
+
+def test_bad_command_rejected(net, sim, domain):
+    proxy, registrar, presence = domain
+    alice = make_ua(net, sim, proxy, registrar, "alice")
+    results = []
+    alice.send_message(presence.uri, "hello?", on_result=results.append)
+    sim.run_for(2.0)
+    assert results == [False]

@@ -1,0 +1,40 @@
+"""SDP codec tests."""
+
+import pytest
+
+from repro.sip.sdp import MediaLine, SdpError, SessionDescription, parse_sdp
+
+
+def test_roundtrip():
+    sdp = SessionDescription("alice", "host-a", session_name="conf")
+    sdp.add_media("audio", 4000, [0])
+    sdp.add_media("video", 4002, [31, 34])
+    parsed = parse_sdp(sdp.render())
+    assert parsed.origin_user == "alice"
+    assert parsed.connection_host == "host-a"
+    assert parsed.session_name == "conf"
+    assert parsed.media_for("audio").port == 4000
+    assert parsed.media_for("video").payload_types == [31, 34]
+
+
+def test_missing_connection_rejected():
+    with pytest.raises(SdpError):
+        parse_sdp("v=0\r\ns=x\r\n")
+
+
+def test_malformed_media_line_rejected():
+    with pytest.raises(SdpError):
+        parse_sdp("c=IN IP4 h\r\nm=audio\r\n")
+    with pytest.raises(SdpError):
+        parse_sdp("c=IN IP4 h\r\nm=audio abc RTP/AVP 0\r\n")
+
+
+def test_media_for_missing_kind():
+    sdp = SessionDescription("a", "h")
+    with pytest.raises(SdpError):
+        sdp.media_for("video")
+    assert not sdp.has_media("video")
+
+
+def test_media_line_render():
+    assert MediaLine("audio", 4000, [0, 3]).render() == "m=audio 4000 RTP/AVP 0 3"

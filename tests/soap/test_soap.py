@@ -1,0 +1,181 @@
+"""Envelope, WSDL, service, and client tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.soap import (
+    Operation,
+    SoapClient,
+    SoapEnvelope,
+    SoapFault,
+    SoapService,
+    WsdlDocument,
+    WsdlError,
+    parse_envelope,
+)
+
+
+class TestEnvelope:
+    def test_request_roundtrip(self):
+        envelope = SoapEnvelope(
+            kind="request", service="Echo", operation="say",
+            message_id=7, body={"text": "hi", "n": 3},
+        )
+        parsed = parse_envelope(envelope.to_xml())
+        assert parsed.kind == "request"
+        assert parsed.service == "Echo"
+        assert parsed.operation == "say"
+        assert parsed.message_id == 7
+        assert parsed.body == {"text": "hi", "n": 3}
+
+    def test_fault_roundtrip(self):
+        envelope = SoapEnvelope(
+            kind="fault", service="S", operation="op", message_id=1,
+            fault=SoapFault("Client.Bad", "no such thing"),
+        )
+        parsed = parse_envelope(envelope.to_xml())
+        assert parsed.fault is not None
+        assert parsed.fault.code == "Client.Bad"
+        assert parsed.fault.reason == "no such thing"
+
+    def test_wire_size_tracks_content(self):
+        small = SoapEnvelope("request", "S", "op", 1, body={})
+        big = SoapEnvelope("request", "S", "op", 1, body={"x": "y" * 1000})
+        assert big.wire_size > small.wire_size + 900
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.dictionaries(
+        st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=6),
+        st.integers() | st.text(max_size=20) | st.booleans(),
+        max_size=5,
+    ))
+    def test_body_roundtrip_property(self, body):
+        envelope = SoapEnvelope("request", "S", "op", 9, body=body)
+        assert parse_envelope(envelope.to_xml()).body == body
+
+
+class TestWsdl:
+    def make(self):
+        return WsdlDocument(service="Conf").add(
+            Operation.make("join", required=["user"], optional=["role"])
+        )
+
+    def test_validate_ok(self):
+        self.make().validate_call("join", {"user": "u"})
+        self.make().validate_call("join", {"user": "u", "role": "chair"})
+
+    def test_missing_required(self):
+        with pytest.raises(WsdlError):
+            self.make().validate_call("join", {})
+
+    def test_unknown_param(self):
+        with pytest.raises(WsdlError):
+            self.make().validate_call("join", {"user": "u", "bogus": 1})
+
+    def test_unknown_operation(self):
+        with pytest.raises(WsdlError):
+            self.make().validate_call("leave", {})
+
+    def test_duplicate_operation_rejected(self):
+        with pytest.raises(WsdlError):
+            self.make().add(Operation.make("join"))
+
+
+@pytest.fixture
+def container(net):
+    host = net.create_host("server")
+    service = SoapService(host, 8080)
+    wsdl = WsdlDocument(service="Echo").add(
+        Operation.make("say", required=["text"])
+    ).add(
+        Operation.make("fail", required=[])
+    )
+    service.register(wsdl)
+    service.bind("Echo", "say", lambda text: {"echo": text.upper()})
+
+    def boom():
+        raise RuntimeError("kaboom")
+
+    service.bind("Echo", "fail", boom)
+    return service
+
+
+class TestServiceClient:
+    def test_invoke_roundtrip(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        results = []
+        client.invoke(
+            container.address, "Echo", "say", {"text": "hi"},
+            on_result=results.append,
+        )
+        sim.run_for(2.0)
+        assert results == [{"echo": "HI"}]
+        assert container.requests_served == 1
+
+    def test_unknown_service_faults(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        faults = []
+        client.invoke(
+            container.address, "Nope", "say", {"text": "x"},
+            on_fault=faults.append,
+        )
+        sim.run_for(2.0)
+        assert faults and faults[0].code == "Client.UnknownService"
+
+    def test_bad_params_fault(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        faults = []
+        client.invoke(
+            container.address, "Echo", "say", {"wrong": 1},
+            on_fault=faults.append,
+        )
+        sim.run_for(2.0)
+        assert faults and faults[0].code == "Client.BadCall"
+
+    def test_handler_exception_becomes_server_fault(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        faults = []
+        client.invoke(container.address, "Echo", "fail", {},
+                      on_fault=faults.append)
+        sim.run_for(2.0)
+        assert faults and faults[0].code == "Server.Internal"
+
+    def test_client_side_wsdl_validation(self, net, container):
+        client = SoapClient(net.create_host("client"))
+        client.import_wsdl(container.wsdl("Echo"))
+        with pytest.raises(WsdlError):
+            client.invoke(container.address, "Echo", "say", {"bad": 1})
+        assert client.requests_sent == 0  # rejected before the wire
+
+    def test_concurrent_requests_matched_by_id(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        results = {}
+        for i in range(10):
+            client.invoke(
+                container.address, "Echo", "say", {"text": f"m{i}"},
+                on_result=lambda body, i=i: results.__setitem__(i, body["echo"]),
+            )
+        sim.run_for(3.0)
+        assert results == {i: f"M{i}" for i in range(10)}
+        assert client.pending_count == 0
+
+    def test_two_clients_one_container(self, net, sim, container):
+        results = []
+        for name in ("c1", "c2"):
+            client = SoapClient(net.create_host(name))
+            client.invoke(
+                container.address, "Echo", "say", {"text": name},
+                on_result=lambda body: results.append(body["echo"]),
+            )
+        sim.run_for(2.0)
+        assert sorted(results) == ["C1", "C2"]
+
+    def test_binding_unknown_operation_rejected(self, net, container):
+        with pytest.raises(WsdlError):
+            container.bind("Echo", "nonexistent", lambda: {})

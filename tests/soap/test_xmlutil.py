@@ -1,0 +1,98 @@
+"""XML value codec tests (unit + property round-trip)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.soap.xmlutil import (
+    XmlCodecError,
+    element_to_string,
+    from_xml_value,
+    string_to_element,
+    to_xml_value,
+)
+
+
+def roundtrip(value):
+    element = to_xml_value("v", value)
+    text = element_to_string(element)
+    return from_xml_value(string_to_element(text))
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        3.5,
+        "",
+        "hello world",
+        "unicode: 北京 café",
+        [],
+        [1, 2, 3],
+        {"a": 1, "b": [True, None]},
+        {"nested": {"deep": {"deeper": "x"}}},
+        {"weird key with spaces": 1, "valid_key": 2},
+    ],
+)
+def test_roundtrip_examples(value):
+    assert roundtrip(value) == value
+
+
+def test_bool_not_confused_with_int():
+    assert roundtrip(True) is True
+    assert roundtrip(1) == 1
+    assert not isinstance(roundtrip(1), bool)
+
+
+def test_invalid_tag_rejected():
+    with pytest.raises(XmlCodecError):
+        to_xml_value("1bad", "x")
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(XmlCodecError):
+        to_xml_value("v", object())
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(XmlCodecError):
+        to_xml_value("v", {1: "x"})
+
+
+def test_malformed_xml_rejected():
+    with pytest.raises(XmlCodecError):
+        string_to_element("<unclosed>")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs", "Cc"), max_codepoint=0x2FFF
+        ),
+        max_size=40,
+    ),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=8,
+        ),
+        children,
+        max_size=4,
+    ),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+def test_roundtrip_property(value):
+    assert roundtrip(value) == value

@@ -1,0 +1,158 @@
+"""Streaming unit tests: formats, encoder pacing, RTSP edge cases."""
+
+import pytest
+
+from repro.streaming.formats import REAL_300K, WM_250K, TranscodeProfile
+from repro.streaming.producer import _KindEncoder
+from repro.streaming.rtsp import (
+    RtspParseError,
+    RtspRequest,
+    RtspResponse,
+    parse_rtsp,
+    parse_rtsp_url,
+)
+
+
+class TestProfiles:
+    def test_chunk_bytes_by_kind(self):
+        assert REAL_300K.chunk_bytes("video") == int(260_000 * 0.5 / 8)
+        assert REAL_300K.chunk_bytes("audio") == int(32_000 * 0.5 / 8)
+
+    def test_chunk_bytes_floor(self):
+        tiny = TranscodeProfile("t", "real", video_bitrate_bps=100.0,
+                                audio_bitrate_bps=100.0)
+        assert tiny.chunk_bytes("video") == 64
+
+    def test_containers(self):
+        assert REAL_300K.container == "real"
+        assert WM_250K.container == "wm"
+
+
+class TestKindEncoder:
+    def test_one_chunk_per_duration_of_media_time(self):
+        encoder = _KindEncoder("video", REAL_300K)  # 0.5 s chunks
+        assert encoder.push(0.00) == 0  # anchor
+        assert encoder.push(0.30) == 0
+        assert encoder.push(0.52) == 1
+        assert encoder.push(0.90) == 0
+        assert encoder.push(1.55) == 2  # crossed 1.0 and 1.5 at once
+
+    def test_chunks_sequence_and_media_time(self):
+        encoder = _KindEncoder("audio", REAL_300K)
+        encoder.push(0.0)
+        encoder.push(1.0)
+        first = encoder.next_chunk("s", now=5.0)
+        second = encoder.next_chunk("s", now=5.5)
+        assert (first.sequence, second.sequence) == (0, 1)
+        assert first.media_time_s == 0.0
+        assert second.media_time_s == 0.5
+        assert first.encoded_at == 5.0
+
+    def test_output_rate_matches_profile(self):
+        encoder = _KindEncoder("video", REAL_300K)
+        chunks = 0
+        t = 0.0
+        encoder.push(t)
+        while t < 10.0:
+            t += 1.0 / 30.0  # 30 fps input
+            chunks += encoder.push(t)
+        assert chunks == pytest.approx(10.0 / 0.5, abs=1)
+
+
+class TestRtspEdgeCases:
+    def test_unknown_method_rejected_by_parser(self):
+        with pytest.raises(RtspParseError):
+            parse_rtsp("BREW rtsp://h/s RTSP/1.0\r\n\r\n")
+
+    def test_missing_separator(self):
+        with pytest.raises(RtspParseError):
+            parse_rtsp("DESCRIBE rtsp://h/s RTSP/1.0\r\n")
+
+    def test_bad_status(self):
+        with pytest.raises(RtspParseError):
+            parse_rtsp("RTSP/1.0 abc OK\r\n\r\n")
+
+    def test_url_parsing(self):
+        assert parse_rtsp_url("rtsp://host:554/stream") == (
+            "host:554", "stream"
+        )
+        with pytest.raises(RtspParseError):
+            parse_rtsp_url("http://host/stream")
+        with pytest.raises(RtspParseError):
+            parse_rtsp_url("rtsp://hostonly")
+
+    def test_content_length_on_body(self):
+        response = RtspResponse(200, "OK", body="m=video\r\n")
+        assert "Content-Length: 9" in response.render()
+
+    def test_cseq_roundtrip(self):
+        request = RtspRequest("PLAY", "rtsp://h/s")
+        request.set("Cseq", 12)
+        assert parse_rtsp(request.render()).cseq == 12
+
+
+class TestHelixProtocolEdges:
+    def test_setup_without_transport_rejected(self, net, sim):
+        from repro.simnet.tcp import tcp_connect
+        from repro.streaming.helix import HelixServer
+        from repro.streaming.formats import RealChunk
+
+        helix = HelixServer(net.create_host("helix-host"))
+        # Mount a stream by feeding one chunk through ingest.
+        feeder = tcp_connect(net.create_host("feeder"), helix.ingest_address)
+        sim.run_for(1.0)
+        chunk = RealChunk("s", "video", 0, 1000, 0.5, 0.0, 0.0)
+        feeder.send(chunk, chunk.size)
+        sim.run_for(1.0)
+
+        responses = []
+        control = tcp_connect(
+            net.create_host("player"), helix.rtsp_address,
+            on_message=lambda text, size, c: responses.append(
+                parse_rtsp(text).status
+            ),
+        )
+        sim.run_for(1.0)
+        setup = RtspRequest("SETUP", "rtsp://h/s")
+        setup.set("Cseq", 1)  # no Transport header
+        control.send(setup.render(), setup.wire_size)
+        sim.run_for(1.0)
+        assert responses == [461]
+
+    def test_play_without_session_rejected(self, net, sim):
+        from repro.simnet.tcp import tcp_connect
+        from repro.streaming.helix import HelixServer
+
+        helix = HelixServer(net.create_host("helix-host"))
+        responses = []
+        control = tcp_connect(
+            net.create_host("player"), helix.rtsp_address,
+            on_message=lambda text, size, c: responses.append(
+                parse_rtsp(text).status
+            ),
+        )
+        sim.run_for(1.0)
+        play = RtspRequest("PLAY", "rtsp://h/s")
+        play.set("Cseq", 1)
+        play.set("Session", "nonexistent")
+        control.send(play.render(), play.wire_size)
+        sim.run_for(1.0)
+        assert responses == [454]
+
+    def test_options_lists_methods(self, net, sim):
+        from repro.simnet.tcp import tcp_connect
+        from repro.streaming.helix import HelixServer
+
+        helix = HelixServer(net.create_host("helix-host"))
+        replies = []
+        control = tcp_connect(
+            net.create_host("player"), helix.rtsp_address,
+            on_message=lambda text, size, c: replies.append(parse_rtsp(text)),
+        )
+        sim.run_for(1.0)
+        options = RtspRequest("OPTIONS", "rtsp://h/*")
+        options.set("Cseq", 1)
+        control.send(options.render(), options.wire_size)
+        sim.run_for(1.0)
+        assert replies[0].status == 200
+        assert "PLAY" in (replies[0].get("Public") or "")
