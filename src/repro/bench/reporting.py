@@ -1,8 +1,11 @@
-"""Paper-style result tables printed by the benchmark harnesses."""
+"""Paper-style result tables printed by the benchmark harnesses, plus
+machine-readable ``BENCH_<name>.json`` artifacts for trend tracking."""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bench.metrics import downsample
 
@@ -55,6 +58,24 @@ def capacity_table(media: str, points, claim: str) -> str:
     lines = [heading(f"Broker capacity — {media} clients (paper claim: {claim})")]
     lines += [point.row() for point in points]
     return "\n".join(lines)
+
+
+def json_artifact(
+    name: str, payload: Dict[str, Any], directory: Optional[Path] = None
+) -> Path:
+    """Write ``BENCH_<name>.json`` so future PRs can track trajectories.
+
+    The artifact lands in ``directory`` (default: the repository root when
+    run from a checkout, else the current directory) and is overwritten on
+    every run — it is a latest-result snapshot, not a log.
+    """
+    if directory is None:
+        here = Path(__file__).resolve()
+        candidates = [p for p in here.parents if (p / "pyproject.toml").exists()]
+        directory = candidates[0] if candidates else Path.cwd()
+    path = Path(directory) / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def simple_table(title: str, rows: List[Sequence[str]], header: Sequence[str]) -> str:

@@ -10,6 +10,7 @@ and RTP proxies that bridge native RTP endpoints onto broker topics.
 from repro.broker.event import NBEvent
 from repro.broker.topic import TopicError, match_topic, validate_pattern, validate_topic
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE, UNOPTIMIZED_PROFILE
+from repro.broker.route_cache import RouteCache, RouteEntry
 from repro.broker.broker import Broker
 from repro.broker.network import BrokerNetwork
 from repro.broker.client import BrokerClient, LinkType
@@ -25,6 +26,8 @@ __all__ = [
     "BrokerProfile",
     "NARADA_PROFILE",
     "UNOPTIMIZED_PROFILE",
+    "RouteCache",
+    "RouteEntry",
     "Broker",
     "BrokerNetwork",
     "BrokerClient",

@@ -23,7 +23,7 @@ the knobs the Figure 3 calibration turns.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.broker.event import NBEvent
 from repro.broker.links import (
@@ -48,6 +48,7 @@ from repro.broker.links import (
 )
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
 from repro.broker.reliable import ReliableOutbox
+from repro.broker.route_cache import NextHopGroups, RouteCache, RouteEntry
 from repro.broker.topic import TopicTrie, validate_pattern, validate_topic
 from repro.simnet.node import Host
 from repro.simnet.packet import Address, Datagram
@@ -59,6 +60,40 @@ PEER_PORT = 3044
 UDP_PORT = 3045
 TCP_PORT = 3046
 SSL_PORT = 3047
+
+#: Advert-dedup window size.  Advert ids only need to be remembered for
+#: as long as a flood can still echo them around the broker graph, so a
+#: bounded insertion-ordered window is enough — an unbounded set would
+#: grow forever on a long-running broker.
+SEEN_ADVERT_WINDOW = 8192
+
+#: Bound on cached (topic → sequencer) elections.
+SEQUENCER_CACHE_MAX = 4096
+
+
+class _DedupWindow:
+    """Insertion-ordered dedup set with a hard size cap (oldest evicted)."""
+
+    __slots__ = ("_seen", "cap")
+
+    def __init__(self, cap: int):
+        self._seen: Dict[int, None] = {}
+        self.cap = cap
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def add(self, item: int) -> bool:
+        """Record ``item``; False if it was already in the window."""
+        if item in self._seen:
+            return False
+        self._seen[item] = None
+        if len(self._seen) > self.cap:
+            del self._seen[next(iter(self._seen))]
+        return True
 
 
 class _ClientRecord:
@@ -84,6 +119,7 @@ class Broker:
         tcp_port: int = TCP_PORT,
         ssl_port: int = SSL_PORT,
         peer_port: int = PEER_PORT,
+        route_cache_enabled: bool = True,
     ):
         self.host = host
         self.sim = host.sim
@@ -103,9 +139,20 @@ class Broker:
         self._local_subs: TopicTrie[str] = TopicTrie()
         self._remote_interest: TopicTrie[str] = TopicTrie()
         self._peers: Dict[str, Address] = {}
+        self._peer_by_address: Dict[Address, str] = {}
+        self._sorted_peers: Tuple[str, ...] = ()
         self._routes: Dict[str, str] = {}
-        self._seen_adverts: Set[int] = set()
+        self._routes_gen = 0
+        self._seen_adverts = _DedupWindow(SEEN_ADVERT_WINDOW)
         self._sequences: Dict[str, int] = {}
+
+        # Routing fast path: memoized per-topic fan-out plus cached
+        # (topic → sequencer) elections per broker-set epoch.
+        self.route_cache = RouteCache()
+        self.route_cache_enabled = route_cache_enabled
+        self._broker_set_epoch = 0
+        self._sequencer_epoch = -1
+        self._sequencers: Dict[str, str] = {}
 
         # Statistics
         self.events_routed = 0
@@ -144,19 +191,46 @@ class Broker:
     def has_local_subscription(self, pattern: str, client_id: str) -> bool:
         return pattern in self._local_subs.patterns_for(client_id)
 
+    def statistics(self) -> Dict[str, int]:
+        """The broker's statistics block, including fast-path counters."""
+        return {
+            "events_routed": self.events_routed,
+            "events_delivered": self.events_delivered,
+            "events_forwarded": self.events_forwarded,
+            "control_messages": self.control_messages,
+            "route_cache_hits": self.route_cache.hits,
+            "route_cache_misses": self.route_cache.misses,
+            "route_cache_invalidations": self.route_cache.invalidations,
+            "route_cache_entries": len(self.route_cache),
+        }
+
     # --------------------------------------------------- peer provisioning
 
     def add_peer(self, peer_id: str, peer_address: Address) -> None:
         """Register a directly-connected peer broker (both directions are
         registered by :class:`repro.broker.network.BrokerNetwork`)."""
+        previous = self._peers.get(peer_id)
+        if previous is not None:
+            self._peer_by_address.pop(previous, None)
         self._peers[peer_id] = peer_address
+        self._peer_by_address[peer_address] = peer_id
+        self._peers_changed()
 
     def remove_peer(self, peer_id: str) -> None:
-        self._peers.pop(peer_id, None)
+        address = self._peers.pop(peer_id, None)
+        if address is not None:
+            self._peer_by_address.pop(address, None)
+        self._peers_changed()
+
+    def _peers_changed(self) -> None:
+        self._sorted_peers = tuple(sorted(self._peers))
+        self._routes_gen += 1
 
     def set_routes(self, routes: Dict[str, str]) -> None:
         """Install next-hop routing table: destination broker -> peer id."""
         self._routes = dict(routes)
+        self._routes_gen += 1
+        self._broker_set_epoch += 1
 
     def sync_subscriptions_to_peers(self) -> None:
         """(Re)advertise all known interest — used when topology changes."""
@@ -297,7 +371,7 @@ class Broker:
         record.link.close()
 
     def _has_local_interest(self, pattern: str) -> bool:
-        return pattern in self._local_subs.all_patterns()
+        return self._local_subs.has_pattern(pattern)
 
     # ----------------------------------------------------------- publish
 
@@ -331,14 +405,73 @@ class Broker:
             )
 
     def sequencer_for(self, topic: str) -> str:
-        """Deterministic sequencer election for an ordered topic."""
-        brokers = self.known_brokers()
-        return min(
-            brokers,
-            key=lambda broker: hashlib.sha256(
-                f"{topic}|{broker}".encode()
-            ).hexdigest(),
+        """Deterministic sequencer election for an ordered topic.
+
+        The election only depends on the topic and the known-broker set,
+        so it is cached per (topic, broker-set epoch) — the epoch bumps
+        whenever :meth:`set_routes` changes the reachable broker set,
+        which empties the cache lazily.
+        """
+        if self._sequencer_epoch != self._broker_set_epoch:
+            self._sequencers.clear()
+            self._sequencer_epoch = self._broker_set_epoch
+        sequencer = self._sequencers.get(topic)
+        if sequencer is None:
+            sequencer = min(
+                self.known_brokers(),
+                key=lambda broker: hashlib.sha256(
+                    f"{topic}|{broker}".encode()
+                ).hexdigest(),
+            )
+            self._sequencers[topic] = sequencer
+            if len(self._sequencers) > SEQUENCER_CACHE_MAX:
+                del self._sequencers[next(iter(self._sequencers))]
+        return sequencer
+
+    # ------------------------------------------------- routing fast path
+
+    def routing_generation(self) -> Tuple[int, int, int]:
+        """The generation triple cached route entries are validated
+        against: any subscription, advert, or route-table change bumps
+        one component and lazily invalidates stale entries."""
+        return (
+            self._local_subs.generation,
+            self._remote_interest.generation,
+            self._routes_gen,
         )
+
+    def resolve_route(self, topic: str) -> RouteEntry:
+        """Resolve the full fan-out for ``topic`` (cached when fresh)."""
+        generation = self.routing_generation()
+        if self.route_cache_enabled:
+            entry = self.route_cache.lookup(topic, generation)
+            if entry is not None:
+                return entry
+        local = tuple(sorted(self._local_subs.match(topic)))
+        remote = self._remote_interest.match(topic)
+        remote.discard(self.broker_id)
+        entry = RouteEntry(
+            generation, local, frozenset(remote),
+            self._compute_groups(remote),
+        )
+        if self.route_cache_enabled:
+            self.route_cache.store(topic, entry)
+        return entry
+
+    def _compute_groups(self, targets: Set[str]) -> NextHopGroups:
+        """Group target brokers by next hop, in deterministic send order."""
+        grouped: Dict[str, Set[str]] = {}
+        for target in targets:
+            next_hop = self._routes.get(target)
+            if next_hop is None:
+                continue  # unreachable broker; drop silently
+            grouped.setdefault(next_hop, set()).add(target)
+        # Next hops are (normally) direct peers, so the cached sorted
+        # peer list gives their order without a per-call sort.
+        ordered = [peer for peer in self._sorted_peers if peer in grouped]
+        if len(ordered) != len(grouped):
+            ordered = sorted(grouped)
+        return tuple((hop, frozenset(grouped[hop])) for hop in ordered)
 
     def _disseminate(self, event: NBEvent, exclude: Optional[str]) -> None:
         """Deliver locally and forward toward interested remote brokers.
@@ -346,22 +479,27 @@ class Broker:
         Runs after the per-event routing cost was charged.
         """
         self.events_routed += 1
-        self._deliver_local(event, exclude)
-        remote = self._remote_interest.match(event.topic)
-        remote.discard(self.broker_id)
-        if remote:
-            self._forward_to_targets(event, remote)
+        entry = self.resolve_route(event.topic)
+        self._deliver_local(event, exclude, entry)
+        if entry.next_hop_groups:
+            self._forward_groups(event, entry.next_hop_groups)
 
-    def _deliver_local(self, event: NBEvent, exclude: Optional[str]) -> None:
-        matches = self._local_subs.match(event.topic)
-        if exclude is not None:
-            matches.discard(exclude)
-        if not matches:
+    def _deliver_local(
+        self,
+        event: NBEvent,
+        exclude: Optional[str],
+        entry: Optional[RouteEntry] = None,
+    ) -> None:
+        if entry is None:
+            entry = self.resolve_route(event.topic)
+        if not entry.local_targets:
             return
         cpu = self.host.cpu
-        send_cost = self.profile.send_cost_s(event.size)
+        send_cost = entry.send_cost_s(self.profile, event.size)
         alloc = self.profile.alloc_bytes_per_send
-        for client_id in sorted(matches):
+        for client_id in entry.local_targets:
+            if client_id == exclude:
+                continue
             record = self._clients.get(client_id)
             if record is None:
                 continue
@@ -373,14 +511,20 @@ class Broker:
                 cpu.execute(send_cost, record.link.send, EventDelivery(event))
 
     def _forward_to_targets(self, event: NBEvent, targets: Set[str]) -> None:
-        groups: Dict[str, Set[str]] = {}
-        for target in targets:
-            next_hop = self._routes.get(target)
-            if next_hop is None:
-                continue  # unreachable broker; drop silently
-            groups.setdefault(next_hop, set()).add(target)
-        for next_hop in sorted(groups):
-            peer_event = PeerEvent(event=event, targets=frozenset(groups[next_hop]))
+        key = frozenset(targets)
+        if self.route_cache_enabled:
+            groups = self.route_cache.lookup_groups(key, self._routes_gen)
+            if groups is None:
+                groups = self.route_cache.store_groups(
+                    key, self._routes_gen, self._compute_groups(key)
+                )
+        else:
+            groups = self._compute_groups(key)
+        self._forward_groups(event, groups)
+
+    def _forward_groups(self, event: NBEvent, groups: NextHopGroups) -> None:
+        for next_hop, group_targets in groups:
+            peer_event = PeerEvent(event=event, targets=group_targets)
             self.events_forwarded += 1
             self.host.cpu.execute(
                 self.profile.forward_cost_s, self._send_peer, next_hop, peer_event
@@ -410,7 +554,7 @@ class Broker:
         elif isinstance(payload, SequenceRequest):
             self._on_sequence_request(payload)
         elif isinstance(payload, SubAdvert):
-            self._on_sub_advert(payload)
+            self._on_sub_advert(payload, from_peer=self._peer_by_address.get(src))
 
     def _on_peer_event(self, peer_event: PeerEvent) -> None:
         event = peer_event.event
@@ -442,21 +586,24 @@ class Broker:
             self.profile.route_cost_s, self._disseminate, event, None
         )
 
-    def _on_sub_advert(self, advert: SubAdvert) -> None:
-        if advert.advert_id in self._seen_adverts:
+    def _on_sub_advert(
+        self, advert: SubAdvert, from_peer: Optional[str] = None
+    ) -> None:
+        if not self._seen_adverts.add(advert.advert_id):
             return
-        self._seen_adverts.add(advert.advert_id)
         self.control_messages += 1
         if advert.origin_broker != self.broker_id:
             if advert.add:
                 self._remote_interest.add(advert.pattern, advert.origin_broker)
             else:
                 self._remote_interest.remove(advert.pattern, advert.origin_broker)
-        self._flood_advert(advert, skip_peer=None)
+        # Reflood to everyone except the peer it arrived from — sending
+        # it back is pure waste (the sender already deduplicates it).
+        self._flood_advert(advert, skip_peer=from_peer)
 
     def _flood_advert(self, advert: SubAdvert, skip_peer: Optional[str]) -> None:
         self._seen_adverts.add(advert.advert_id)
-        for peer_id in sorted(self._peers):
+        for peer_id in self._sorted_peers:
             if peer_id == skip_peer:
                 continue
             self.host.cpu.execute(

@@ -40,6 +40,9 @@ class BrokerSample:
     gc_pauses: int
     nic_sent_packets: int
     nic_dropped_packets: int
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
+    route_cache_invalidations: int = 0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":
@@ -55,6 +58,9 @@ class BrokerSample:
             gc_pauses=host.cpu.gc_pauses,
             nic_sent_packets=host.nic.sent_packets,
             nic_dropped_packets=host.nic.dropped_packets,
+            route_cache_hits=broker.route_cache.hits,
+            route_cache_misses=broker.route_cache.misses,
+            route_cache_invalidations=broker.route_cache.invalidations,
         )
 
 

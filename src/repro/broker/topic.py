@@ -85,22 +85,44 @@ class _TrieNode(Generic[T]):
 
 
 class TopicTrie(Generic[T]):
-    """Maps subscription patterns to subscriber values with fast matching."""
+    """Maps subscription patterns to subscriber values with fast matching.
+
+    Besides the segment trie, the structure maintains:
+
+    * a value→patterns reverse index, so :meth:`patterns_for` and
+      :meth:`remove_value` are O(patterns of that value) rather than a
+      scan of every registration (this is what makes broker-side client
+      teardown cheap);
+    * per-pattern refcounts (number of distinct values registered under
+      each pattern), so :meth:`has_pattern` is O(1);
+    * a :attr:`generation` counter bumped on every successful mutation,
+      which route caches use for lazy invalidation.
+    """
 
     def __init__(self) -> None:
         self._root: _TrieNode[T] = _TrieNode()
-        self._patterns: Dict[Tuple[str, T], int] = {}
+        # value -> {pattern: None} (a dict preserves insertion order,
+        # matching the historical registration-order iteration).
+        self._by_value: Dict[T, Dict[str, None]] = {}
+        # pattern -> number of distinct values registered under it.
+        self._pattern_refs: Dict[str, int] = {}
+        self._count = 0
+        #: Bumped on every successful add/remove; consumed by RouteCache.
+        self.generation = 0
 
     def __len__(self) -> int:
-        return len(self._patterns)
+        return self._count
 
     def add(self, pattern: str, value: T) -> bool:
         """Register ``value`` under ``pattern``; False if already present."""
         validate_pattern(pattern)
-        key = (pattern, value)
-        if key in self._patterns:
+        patterns = self._by_value.setdefault(value, {})
+        if pattern in patterns:
             return False
-        self._patterns[key] = 1
+        patterns[pattern] = None
+        self._pattern_refs[pattern] = self._pattern_refs.get(pattern, 0) + 1
+        self._count += 1
+        self.generation += 1
         node = self._root
         segments = split_topic(pattern)
         for i, segment in enumerate(segments):
@@ -113,10 +135,19 @@ class TopicTrie(Generic[T]):
 
     def remove(self, pattern: str, value: T) -> bool:
         """Remove one registration; False if it was not present."""
-        key = (pattern, value)
-        if key not in self._patterns:
+        patterns = self._by_value.get(value)
+        if patterns is None or pattern not in patterns:
             return False
-        del self._patterns[key]
+        del patterns[pattern]
+        if not patterns:
+            del self._by_value[value]
+        refs = self._pattern_refs[pattern] - 1
+        if refs:
+            self._pattern_refs[pattern] = refs
+        else:
+            del self._pattern_refs[pattern]
+        self._count -= 1
+        self.generation += 1
         segments = split_topic(pattern)
         self._remove(self._root, segments, 0, value)
         return True
@@ -137,7 +168,7 @@ class TopicTrie(Generic[T]):
 
     def remove_value(self, value: T) -> int:
         """Remove every pattern registered for ``value``; returns count."""
-        patterns = [p for (p, v) in self._patterns if v == value]
+        patterns = list(self._by_value.get(value, ()))
         for pattern in patterns:
             self.remove(pattern, value)
         return len(patterns)
@@ -164,14 +195,19 @@ class TopicTrie(Generic[T]):
             self._match(star, segments, i + 1, found)
 
     def patterns_for(self, value: T) -> List[str]:
-        return [p for (p, v) in self._patterns if v == value]
+        """Patterns registered for ``value`` (registration order), O(k)."""
+        return list(self._by_value.get(value, ()))
+
+    def has_pattern(self, pattern: str) -> bool:
+        """True when at least one value is registered under ``pattern``."""
+        return pattern in self._pattern_refs
+
+    def refcount(self, pattern: str) -> int:
+        """Number of distinct values registered under ``pattern``."""
+        return self._pattern_refs.get(pattern, 0)
 
     def all_patterns(self) -> Set[str]:
-        return {p for (p, _v) in self._patterns}
+        return set(self._pattern_refs)
 
     def values(self) -> Iterator[T]:
-        seen = set()
-        for _p, v in self._patterns:
-            if v not in seen:
-                seen.add(v)
-                yield v
+        yield from self._by_value

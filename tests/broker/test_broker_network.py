@@ -3,6 +3,7 @@
 import pytest
 
 from repro.broker import BrokerClient, BrokerNetwork
+from repro.broker.links import SubAdvert
 
 from tests.broker.conftest import make_client
 
@@ -122,6 +123,40 @@ def test_wildcard_interest_propagates(net, sim):
     publisher.publish("/session/7/audio", b"a", 100)
     sim.run_for(1.0)
     assert got == ["/session/7/video"]
+
+
+def spy_advert_sends(broker, sent):
+    """Record every SubAdvert the broker pushes to a peer."""
+    original = broker._send_peer
+
+    def wrapper(peer_id, message):
+        if isinstance(message, SubAdvert):
+            sent.append((broker.broker_id, peer_id))
+        return original(peer_id, message)
+
+    broker._send_peer = wrapper
+
+
+def test_advert_not_echoed_back_to_source_peer(net, sim):
+    """Refloods skip the peer the advert arrived from.
+
+    In a 3-broker chain a subscription at one end needs exactly two
+    advert transmissions (one per edge); echoing back to the source adds
+    two wasted control messages per advert that the receivers then have
+    to deduplicate.
+    """
+    bnet = BrokerNetwork.chain(net, 3)
+    sent = []
+    for name in bnet.broker_ids():
+        spy_advert_sends(bnet.broker(name), sent)
+    subscriber = make_client(net, sim, bnet.broker("broker-2"), "sub")
+    subscriber.subscribe("/t", lambda e: None)
+    sim.run_for(1.0)
+    assert sent == [("broker-2", "broker-1"), ("broker-1", "broker-0")]
+    # And the advert was processed exactly once per broker: the connect
+    # and subscribe land on broker-2, the advert on the other two.
+    assert bnet.broker("broker-0").control_messages == 1
+    assert bnet.broker("broker-1").control_messages == 1
 
 
 def test_disconnect_edge_recomputes_routes(net, sim):

@@ -154,3 +154,94 @@ class TestTrie:
         for topic in topics:
             expected = {p for p in patterns if match_topic(p, topic)}
             assert trie.match(topic) == expected, topic
+
+    def test_overlapping_star_and_hash_for_one_value(self):
+        trie = TopicTrie()
+        trie.add("/a/*", "s")
+        trie.add("/a/#", "s")
+        trie.add("/*/b", "s")
+        assert trie.match("/a/b") == {"s"}
+        assert trie.match("/a/b/c") == {"s"}  # only '#' matches, no dupes
+        trie.remove("/a/#", "s")
+        assert trie.match("/a/b/c") == set()
+        assert trie.match("/a/b") == {"s"}  # '/a/*' and '/*/b' still live
+
+    def test_remove_value_with_many_patterns(self):
+        trie = TopicTrie()
+        patterns = [f"/sessions/s{i}/video" for i in range(50)]
+        patterns += [f"/sessions/s{i}/#" for i in range(50)]
+        for pattern in patterns:
+            trie.add(pattern, "bulk")
+        trie.add("/sessions/s0/video", "other")
+        assert trie.remove_value("bulk") == 100
+        assert len(trie) == 1
+        assert trie.match("/sessions/s0/video") == {"other"}
+        assert trie.match("/sessions/s9/audio") == set()
+
+
+class TestReverseIndex:
+    def test_refcounts_track_distinct_values(self):
+        trie = TopicTrie()
+        assert trie.has_pattern("/a") is False
+        trie.add("/a", "x")
+        trie.add("/a", "y")
+        assert trie.refcount("/a") == 2
+        trie.remove("/a", "x")
+        assert trie.has_pattern("/a") is True
+        trie.remove("/a", "y")
+        assert trie.has_pattern("/a") is False
+        assert trie.refcount("/a") == 0
+
+    def test_consistency_after_interleaved_add_remove(self):
+        trie = TopicTrie()
+        operations = [
+            ("add", "/a/b", "v1"), ("add", "/a/*", "v1"),
+            ("add", "/a/b", "v2"), ("remove", "/a/b", "v1"),
+            ("add", "/c/#", "v1"), ("remove", "/a/*", "v1"),
+            ("add", "/a/b", "v1"), ("remove", "/a/b", "v2"),
+            ("remove", "/nope", "v1"),  # no-op
+        ]
+        registered = set()
+        for op, pattern, value in operations:
+            if op == "add":
+                assert trie.add(pattern, value) is ((pattern, value) not in registered)
+                registered.add((pattern, value))
+            else:
+                assert trie.remove(pattern, value) is ((pattern, value) in registered)
+                registered.discard((pattern, value))
+        assert len(trie) == len(registered)
+        for value in ("v1", "v2"):
+            expected = sorted(p for (p, v) in registered if v == value)
+            assert sorted(trie.patterns_for(value)) == expected
+        assert trie.all_patterns() == {p for (p, _v) in registered}
+        for pattern in trie.all_patterns():
+            assert trie.refcount(pattern) == sum(
+                1 for (p, _v) in registered if p == pattern
+            )
+        assert set(trie.values()) == {v for (_p, v) in registered}
+
+    def test_patterns_for_preserves_registration_order(self):
+        trie = TopicTrie()
+        trie.add("/z", "s")
+        trie.add("/a", "s")
+        trie.add("/m/#", "s")
+        assert trie.patterns_for("s") == ["/z", "/a", "/m/#"]
+
+    def test_generation_bumps_only_on_mutation(self):
+        trie = TopicTrie()
+        generation = trie.generation
+        trie.add("/a", "s")
+        assert trie.generation == generation + 1
+        trie.add("/a", "s")  # duplicate: no mutation
+        assert trie.generation == generation + 1
+        trie.match("/a")  # reads never bump
+        trie.patterns_for("s")
+        assert trie.generation == generation + 1
+        trie.remove("/a", "missing")  # absent: no mutation
+        assert trie.generation == generation + 1
+        trie.remove("/a", "s")
+        assert trie.generation == generation + 2
+        trie.add("/b/#", "s")
+        trie.add("/c", "s")
+        trie.remove_value("s")
+        assert trie.generation == generation + 6
