@@ -1,0 +1,169 @@
+"""Experiment failover: broker loss mid-conference.
+
+The paper's "dynamic collection of brokers" is only dynamic if endpoints
+survive a broker leaving it.  This harness runs a two-broker conference —
+a publisher streaming 50 pps on the surviving broker, SUBSCRIBERS
+keepalive-enabled subscribers on the broker that is about to die — kills
+the media broker mid-stream, and measures:
+
+* the **media gap** each subscriber observes (largest inter-arrival time
+  across the kill), which bounds detection + reconnect + replay latency;
+* **zero-leak recovery** on the survivor: every subscription replayed
+  exactly once, no remote interest left behind by the dead broker, and a
+  clean teardown back to zero subscriptions.
+
+Results land in ``BENCH_failover.json`` (via
+:func:`repro.bench.reporting.json_artifact`) so future PRs can track the
+recovery-latency trajectory.
+"""
+
+from repro.bench.reporting import json_artifact, simple_table
+from repro.broker.client import BrokerClient
+from repro.broker.network import BrokerNetwork
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.simnet.rng import SeededStreams
+
+TOPIC = "/bench/failover/session-0/audio"
+SUBSCRIBERS = 20
+PUBLISH_INTERVAL_S = 0.02  # 50 pps
+KILL_AT_S = 5.0
+RUN_FOR_S = 15.0
+KEEPALIVE_INTERVAL_S = 0.25
+KEEPALIVE_MISS_LIMIT = 2
+
+#: Detection needs (miss_limit + 1) keepalive ticks in the worst phase;
+#: reconnect + replay ride on LAN RTTs on top.  Anything near this bound
+#: means the failover path added no avoidable stalls.
+MAX_ACCEPTABLE_GAP_S = KEEPALIVE_INTERVAL_S * (KEEPALIVE_MISS_LIMIT + 2) + 0.5
+
+
+def run_conference() -> dict:
+    sim = Simulator()
+    net = Network(sim, SeededStreams(42))
+    bnet = BrokerNetwork.chain(net, 2)
+    survivor = bnet.broker("broker-0")
+    doomed = bnet.broker("broker-1")
+
+    publisher = BrokerClient(net.create_host("pub-host"), client_id="pub")
+    publisher.connect(survivor)
+
+    arrivals = {}  # client_id -> [sim.now per packet]
+    subscribers = []
+    for index in range(SUBSCRIBERS):
+        client_id = f"sub-{index:02d}"
+        client = BrokerClient(
+            net.create_host(f"{client_id}-host"),
+            client_id=client_id,
+            keepalive_interval_s=KEEPALIVE_INTERVAL_S,
+            keepalive_miss_limit=KEEPALIVE_MISS_LIMIT,
+        )
+        client.set_failover_brokers([survivor])
+        client.connect(doomed)
+        arrivals[client_id] = []
+        client.subscribe(
+            TOPIC,
+            lambda event, log=arrivals[client_id]: log.append(sim.now),
+        )
+        subscribers.append(client)
+    sim.run_for(2.0)
+    assert all(c.connected for c in subscribers)
+
+    def publish_tick(i=[0]):
+        publisher.publish(TOPIC, i[0], 200)
+        i[0] += 1
+        sim.schedule(PUBLISH_INTERVAL_S, publish_tick)
+
+    publish_tick()
+    sim.schedule(KILL_AT_S - 2.0, bnet.remove_broker, "broker-1")
+    sim.run_for(RUN_FOR_S)
+
+    gaps = {
+        client_id: max(
+            (b - a for a, b in zip(log, log[1:])), default=float("inf")
+        )
+        for client_id, log in arrivals.items()
+    }
+    stats_after = survivor.statistics()
+
+    # Clean teardown: nothing left behind once everyone hangs up.
+    for client in subscribers:
+        client.disconnect()
+    publisher.disconnect()
+    sim.run_for(2.0)
+    stats_final = survivor.statistics()
+
+    return {
+        "subscribers": subscribers,
+        "arrivals": arrivals,
+        "gaps": gaps,
+        "stats_after": stats_after,
+        "stats_final": stats_final,
+        "survivor": survivor,
+        "final_now": sim.now,
+    }
+
+
+def test_failover_media_gap_and_zero_leak(measure):
+    result = measure(run_conference)
+    subscribers = result["subscribers"]
+    gaps = result["gaps"]
+    stats_after = result["stats_after"]
+
+    # Every subscriber failed over exactly once and kept receiving.
+    assert all(c.failovers == 1 for c in subscribers)
+    assert all(c.link_losses == 1 for c in subscribers)
+    assert all(c.subscriptions_replayed == 1 for c in subscribers)
+    assert all(len(log) > 0 for log in result["arrivals"].values())
+
+    worst_gap = max(gaps.values())
+    mean_gap = sum(gaps.values()) / len(gaps)
+    assert worst_gap <= MAX_ACCEPTABLE_GAP_S, (
+        f"media gap {worst_gap:.2f}s exceeds the detection+reconnect "
+        f"budget {MAX_ACCEPTABLE_GAP_S:.2f}s"
+    )
+
+    # Zero-leak recovery on the survivor: exactly the replayed
+    # subscriptions, no interest left behind by the dead broker.
+    assert stats_after["local_subscriptions"] == SUBSCRIBERS
+    assert stats_after["remote_interest"] == 0
+    assert result["stats_final"]["local_subscriptions"] == 0
+    assert result["survivor"].client_count() == 0
+
+    heartbeats = sum(c.heartbeats_sent for c in subscribers)
+    print(simple_table(
+        f"Broker failover — {SUBSCRIBERS} subscribers, 50 pps, broker "
+        f"killed at t={KILL_AT_S - 2.0:.0f}s (of {RUN_FOR_S:.0f}s)",
+        [
+            ("media gap (worst)", f"{worst_gap:.3f}",
+             f"budget {MAX_ACCEPTABLE_GAP_S:.2f}"),
+            ("media gap (mean)", f"{mean_gap:.3f}", ""),
+            ("failovers", sum(c.failovers for c in subscribers), "expected 20"),
+            ("leaked local subs", result["stats_final"]["local_subscriptions"],
+             "expected 0"),
+            ("leaked remote interest", stats_after["remote_interest"],
+             "expected 0"),
+            ("heartbeats sent", heartbeats, ""),
+        ],
+        ("metric", "value", "note"),
+    ))
+
+    json_artifact("failover", {
+        "subscribers": SUBSCRIBERS,
+        "publish_rate_pps": 1.0 / PUBLISH_INTERVAL_S,
+        "keepalive_interval_s": KEEPALIVE_INTERVAL_S,
+        "keepalive_miss_limit": KEEPALIVE_MISS_LIMIT,
+        "media_gap_worst_s": worst_gap,
+        "media_gap_mean_s": mean_gap,
+        "media_gap_budget_s": MAX_ACCEPTABLE_GAP_S,
+        "failovers": sum(c.failovers for c in subscribers),
+        "link_losses": sum(c.link_losses for c in subscribers),
+        "subscriptions_replayed":
+            sum(c.subscriptions_replayed for c in subscribers),
+        "heartbeats_sent": heartbeats,
+        "heartbeats_acked": sum(c.heartbeats_acked for c in subscribers),
+        "survivor_stats_after_failover": stats_after,
+        "leaked_local_subscriptions_after_teardown":
+            result["stats_final"]["local_subscriptions"],
+        "leaked_remote_interest": stats_after["remote_interest"],
+    })

@@ -33,6 +33,8 @@ from repro.broker.links import (
     Disconnect,
     EventAck,
     EventDelivery,
+    Heartbeat,
+    HeartbeatAck,
     LinkType,
     PeerEvent,
     Publish,
@@ -99,12 +101,19 @@ class _DedupWindow:
 class _ClientRecord:
     """Broker-side state for one connected client."""
 
-    __slots__ = ("client_id", "link", "outbox")
+    __slots__ = ("client_id", "link", "outbox", "last_seen")
 
-    def __init__(self, client_id: str, link: ClientLink, outbox: Optional[ReliableOutbox]):
+    def __init__(
+        self,
+        client_id: str,
+        link: ClientLink,
+        outbox: Optional[ReliableOutbox],
+        last_seen: float = 0.0,
+    ):
         self.client_id = client_id
         self.link = link
         self.outbox = outbox
+        self.last_seen = last_seen
 
 
 class Broker:
@@ -120,6 +129,8 @@ class Broker:
         ssl_port: int = SSL_PORT,
         peer_port: int = PEER_PORT,
         route_cache_enabled: bool = True,
+        reap_timeout_s: Optional[float] = None,
+        reap_check_interval_s: Optional[float] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -154,11 +165,30 @@ class Broker:
         self._sequencer_epoch = -1
         self._sequencers: Dict[str, str] = {}
 
+        # Stale-client reaping: a client whose link has gone dark past
+        # ``reap_timeout_s`` is expired so its TopicTrie interest (and any
+        # RouteCache entries depending on it) is released, not leaked.
+        # Disabled by default — pure subscribers are silent unless their
+        # client runs keepalive probes.
+        self.reap_timeout_s = reap_timeout_s
+        self._reap_check_interval_s = (
+            reap_check_interval_s
+            if reap_check_interval_s is not None
+            else (reap_timeout_s / 2 if reap_timeout_s else None)
+        )
+        self._reap_timer = None
+        self._closed = False
+        if self.reap_timeout_s is not None:
+            self._arm_reaper()
+
         # Statistics
         self.events_routed = 0
         self.events_delivered = 0
         self.events_forwarded = 0
         self.control_messages = 0
+        self.heartbeats_received = 0
+        self.clients_reaped = 0
+        self.outbox_abandons = 0
 
     # --------------------------------------------------------------- info
 
@@ -202,6 +232,11 @@ class Broker:
             "route_cache_misses": self.route_cache.misses,
             "route_cache_invalidations": self.route_cache.invalidations,
             "route_cache_entries": len(self.route_cache),
+            "heartbeats_received": self.heartbeats_received,
+            "clients_reaped": self.clients_reaped,
+            "outbox_abandons": self.outbox_abandons,
+            "local_subscriptions": len(self._local_subs),
+            "remote_interest": len(self._remote_interest),
         }
 
     # --------------------------------------------------- peer provisioning
@@ -227,10 +262,23 @@ class Broker:
         self._routes_gen += 1
 
     def set_routes(self, routes: Dict[str, str]) -> None:
-        """Install next-hop routing table: destination broker -> peer id."""
+        """Install next-hop routing table: destination broker -> peer id.
+
+        Remote interest advertised by brokers that are no longer
+        reachable is purged here — a dead broker can never withdraw its
+        own adverts, so this is where its subscription state is released
+        instead of leaking forever.
+        """
         self._routes = dict(routes)
         self._routes_gen += 1
         self._broker_set_epoch += 1
+        reachable = set(self._routes)
+        reachable.add(self.broker_id)
+        for origin in [
+            o for o in set(self._remote_interest.values()) if o not in reachable
+        ]:
+            for pattern in list(self._remote_interest.patterns_for(origin)):
+                self._remote_interest.remove(pattern, origin)
 
     def sync_subscriptions_to_peers(self) -> None:
         """(Re)advertise all known interest — used when topology changes."""
@@ -270,12 +318,19 @@ class Broker:
         connection: Optional[TcpConnection],
         ssl: bool = False,
     ) -> None:
+        client_id = getattr(message, "client_id", None)
+        if client_id is not None:
+            record = self._clients.get(client_id)
+            if record is not None:
+                record.last_seen = self.sim.now
         if isinstance(message, Publish):
             self._on_publish(message)
         elif isinstance(message, EventAck):
             record = self._clients.get(message.client_id)
             if record is not None and record.outbox is not None:
                 record.outbox.ack(message.event_id)
+        elif isinstance(message, Heartbeat):
+            self._on_heartbeat(message)
         elif isinstance(message, Connect):
             self._on_connect(message, src, connection, ssl)
         elif isinstance(message, Subscribe):
@@ -311,12 +366,18 @@ class Broker:
                 client_id, envelope, self._udp, reply_to, kind=message.link_type
             )
             outbox = ReliableOutbox(
-                self.sim, lambda event, l=link: l.send(EventDelivery(event))
+                self.sim,
+                lambda event, l=link: l.send(EventDelivery(event)),
+                on_abandon=lambda event, cid=client_id: self._on_outbox_abandon(
+                    cid
+                ),
             )
         previous = self._clients.get(client_id)
         if previous is not None and previous.outbox is not None:
             previous.outbox.close()
-        self._clients[client_id] = _ClientRecord(client_id, link, outbox)
+        self._clients[client_id] = _ClientRecord(
+            client_id, link, outbox, last_seen=self.sim.now
+        )
         self.host.cpu.execute(
             self.profile.control_cost_s,
             link.send,
@@ -352,6 +413,41 @@ class Broker:
                 ),
                 skip_peer=None,
             )
+
+    def _on_heartbeat(self, message: Heartbeat) -> None:
+        self.heartbeats_received += 1
+        record = self._clients.get(message.client_id)
+        if record is None:
+            return  # reaped or never connected: silence makes it fail over
+        self.host.cpu.execute(
+            self.profile.control_cost_s,
+            record.link.send,
+            HeartbeatAck(client_id=message.client_id, broker_id=self.broker_id),
+        )
+
+    def _on_outbox_abandon(self, client_id: str) -> None:
+        """A reliable delivery exhausted its retries: the client's link is
+        dead.  Drop the client so its interest is released instead of
+        retrying every subsequent event into the void."""
+        self.outbox_abandons += 1
+        self._drop_client(client_id)
+
+    def _arm_reaper(self) -> None:
+        self._reap_timer = self.sim.schedule(
+            self._reap_check_interval_s, self._reap_stale_clients
+        )
+
+    def _reap_stale_clients(self) -> None:
+        self._reap_timer = None
+        if self._closed:
+            return
+        deadline = self.sim.now - self.reap_timeout_s
+        for client_id in [
+            cid for cid, rec in self._clients.items() if rec.last_seen < deadline
+        ]:
+            self.clients_reaped += 1
+            self._drop_client(client_id)
+        self._arm_reaper()
 
     def _drop_client(self, client_id: str) -> None:
         record = self._clients.pop(client_id, None)
@@ -613,6 +709,12 @@ class Broker:
     # ------------------------------------------------------------- admin
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reap_timer is not None:
+            self._reap_timer.cancel()
+            self._reap_timer = None
         for record in list(self._clients.values()):
             if record.outbox is not None:
                 record.outbox.close()

@@ -4,6 +4,15 @@ A :class:`BrokerClient` is the JMS-like client-server face of the
 middleware: connect to a broker over a chosen link type, subscribe with
 wildcard patterns, publish events.  Operations issued before the connect
 handshake completes are queued and flushed on ``ConnectAck``.
+
+Failover (the paper's "dynamic broker collections" surviving broker
+churn): with keepalive enabled the client probes broker liveness over the
+control plane; when the link goes dark it tears the transport down,
+resets inbox state coherently, and — if failover candidates are
+registered — reconnects with exponential backoff, re-issuing ``Connect``
+and replaying every registered subscription on the new broker.  The
+``on_disconnected``/``on_failover`` callbacks let RTP proxies, XGSP
+clients, and the H.323/SIP gateways re-establish their bridges.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ from repro.broker.links import (
     Disconnect,
     EventAck,
     EventDelivery,
+    Heartbeat,
+    HeartbeatAck,
     LinkType,
     Publish,
     SslClientTransport,
@@ -43,6 +54,13 @@ EventHandler = Callable[[NBEvent], None]
 CONTROL_RETRY_S = 0.5
 MAX_CONTROL_RETRIES = 20
 
+#: Default keepalive probe cadence once enabled.
+KEEPALIVE_INTERVAL_S = 1.0
+#: Consecutive unacknowledged probes before the link is declared dead.
+KEEPALIVE_MISS_LIMIT = 3
+#: Exponential-backoff ceiling between failover reconnect attempts.
+FAILOVER_MAX_BACKOFF_S = 8.0
+
 
 class BrokerClient:
     """One collaboration endpoint attached to the broker network."""
@@ -53,6 +71,8 @@ class BrokerClient:
         client_id: str,
         publish_cpu_cost_s: float = 8e-6,
         envelope_bytes: int = 66,
+        keepalive_interval_s: Optional[float] = None,
+        keepalive_miss_limit: int = KEEPALIVE_MISS_LIMIT,
     ):
         self.host = host
         self.sim = host.sim
@@ -61,6 +81,15 @@ class BrokerClient:
         self.envelope_bytes = envelope_bytes
         self.connected = False
         self.broker_id: Optional[str] = None
+        self.keepalive_interval_s = keepalive_interval_s
+        self.keepalive_miss_limit = keepalive_miss_limit
+        #: Fired (with the client) when the link to the broker is lost.
+        self.on_disconnected: Optional[Callable[["BrokerClient"], None]] = None
+        #: Fired (client, new_broker) after a reconnect fully completes —
+        #: the subscription replay has already been issued at that point.
+        self.on_failover: Optional[
+            Callable[["BrokerClient", Broker], None]
+        ] = None
         self._transport: Optional[ClientTransport] = None
         self._handlers: List[Tuple[str, Tuple[str, ...], EventHandler]] = []
         self._pending: List[Tuple[Any, int]] = []
@@ -69,9 +98,23 @@ class BrokerClient:
         self._ordered_inbox = OrderedInbox(self.sim, self._dispatch)
         self._connect_timer = None
         self._subscribe_timers = {}  # pattern -> (timer, retries)
+        self._keepalive_timer = None
+        self._missed_heartbeats = 0
+        self._failover_brokers: List[Broker] = []
+        self._failover_attempt = 0
+        self._failover_timer = None
+        self._reconnecting = False
+        self._broker: Optional[Broker] = None
+        self._link_type = LinkType.UDP
+        self._proxy_address: Optional[Address] = None
         self.events_published = 0
         self.events_received = 0
         self.subscribe_acks = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_acked = 0
+        self.link_losses = 0
+        self.failovers = 0
+        self.subscriptions_replayed = 0
 
     # ----------------------------------------------------------- connect
 
@@ -90,6 +133,9 @@ class BrokerClient:
         if self._transport is not None:
             raise RuntimeError(f"client {self.client_id} is already connected")
         self._on_connected = on_connected
+        self._broker = broker
+        self._link_type = link_type
+        self._proxy_address = proxy
         if link_type == LinkType.UDP:
             transport: ClientTransport = UdpClientTransport(
                 self.host, broker.udp_address
@@ -113,6 +159,12 @@ class BrokerClient:
         if self.connected or self._transport is None:
             return
         if attempt > MAX_CONTROL_RETRIES:
+            if self._reconnecting:
+                # This failover candidate never answered: tear the
+                # half-open transport down and try the next one.
+                transport, self._transport = self._transport, None
+                transport.close()
+                self._schedule_failover_attempt()
             return
         self._send_now(
             Connect(
@@ -126,20 +178,142 @@ class BrokerClient:
         )
 
     def disconnect(self) -> None:
+        self._cancel_failover()
         if self._transport is None:
             return
+        self._cancel_control_timers()
+        if self.connected:
+            self._send_now(Disconnect(client_id=self.client_id))
+        self.connected = False
+        self.broker_id = None
+        transport, self._transport = self._transport, None
+        # Give the Disconnect message a moment on the wire before closing.
+        self.sim.schedule(0.05, transport.close)
+
+    def _cancel_control_timers(self) -> None:
         if self._connect_timer is not None:
             self._connect_timer.cancel()
             self._connect_timer = None
         for timer in self._subscribe_timers.values():
             timer.cancel()
         self._subscribe_timers.clear()
-        if self.connected:
-            self._send_now(Disconnect(client_id=self.client_id))
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+            self._keepalive_timer = None
+
+    def _cancel_failover(self) -> None:
+        self._reconnecting = False
+        self._failover_attempt = 0
+        if self._failover_timer is not None:
+            self._failover_timer.cancel()
+            self._failover_timer = None
+
+    # --------------------------------------------------------- liveness
+
+    def set_failover_brokers(self, brokers: List[Broker]) -> None:
+        """Candidate brokers to reconnect to (in order) on link loss."""
+        self._failover_brokers = list(brokers)
+
+    def start_keepalive(
+        self,
+        interval_s: float = KEEPALIVE_INTERVAL_S,
+        miss_limit: int = KEEPALIVE_MISS_LIMIT,
+    ) -> None:
+        """Enable liveness probing of the current broker link."""
+        self.keepalive_interval_s = interval_s
+        self.keepalive_miss_limit = miss_limit
+        if self.connected and self._keepalive_timer is None:
+            self._arm_keepalive()
+
+    def _arm_keepalive(self) -> None:
+        self._keepalive_timer = self.sim.schedule(
+            self.keepalive_interval_s, self._keepalive_tick
+        )
+
+    def _keepalive_tick(self) -> None:
+        self._keepalive_timer = None
+        if not self.connected or self._transport is None:
+            return
+        if self._missed_heartbeats >= self.keepalive_miss_limit:
+            self._on_link_lost()
+            return
+        self._missed_heartbeats += 1
+        self.heartbeats_sent += 1
+        self._send_now(Heartbeat(client_id=self.client_id))
+        self._arm_keepalive()
+
+    def _on_link_lost(self) -> None:
+        """The broker stopped answering: tear down and begin failover."""
+        if self._transport is None:
+            return
+        self.link_losses += 1
+        self._cancel_control_timers()
         self.connected = False
+        self.broker_id = None
         transport, self._transport = self._transport, None
-        # Give the Disconnect message a moment on the wire before closing.
-        self.sim.schedule(0.05, transport.close)
+        transport.close()
+        # Sequence expectations belong to the dead broker's sequencers.
+        self._ordered_inbox.reset()
+        if self.on_disconnected is not None:
+            self.on_disconnected(self)
+        self._failover_attempt = 0
+        self._schedule_failover_attempt()
+
+    def _schedule_failover_attempt(self) -> None:
+        if not self._failover_brokers:
+            return
+        # The broker whose link just died is the worst candidate: try the
+        # others first (unless it is the only one we know).
+        candidates = [
+            broker for broker in self._failover_brokers
+            if broker is not self._broker
+        ] or self._failover_brokers
+        attempt = self._failover_attempt
+        self._failover_attempt += 1
+        broker = candidates[attempt % len(candidates)]
+        delay = (
+            0.0
+            if attempt == 0
+            else min(CONTROL_RETRY_S * (2 ** (attempt - 1)), FAILOVER_MAX_BACKOFF_S)
+        )
+        self._failover_timer = self.sim.schedule(
+            delay, self._attempt_reconnect, broker
+        )
+
+    def _attempt_reconnect(self, broker: Broker) -> None:
+        self._failover_timer = None
+        self._reconnecting = True
+        if self._transport is not None:  # stale half-open attempt
+            transport, self._transport = self._transport, None
+            transport.close()
+        self.connect(broker, self._link_type, self._proxy_address)
+
+    def reconnect(self, broker: Broker) -> None:
+        """Manually fail over to ``broker``: tear down the current
+        transport (without a Disconnect — the old broker is presumed
+        dead), re-issue Connect, and replay every subscription."""
+        self._cancel_failover()
+        self._cancel_control_timers()
+        self.connected = False
+        self.broker_id = None
+        if self._transport is not None:
+            transport, self._transport = self._transport, None
+            transport.close()
+        self._ordered_inbox.reset()
+        self._reconnecting = True
+        self.connect(broker, self._link_type, self._proxy_address)
+
+    def _replay_subscriptions(self) -> None:
+        """Re-issue Subscribe for every registered pattern (deduplicated)."""
+        replayed = set()
+        for pattern, _compiled, _handler in self._handlers:
+            if pattern in replayed:
+                continue
+            replayed.add(pattern)
+            self._send_now(Subscribe(client_id=self.client_id, pattern=pattern))
+            if pattern not in self._subscribe_timers:
+                self._arm_subscribe_retry(pattern, 0)
+        self.subscriptions_replayed += len(replayed)
 
     # --------------------------------------------------------- pub / sub
 
@@ -147,7 +321,9 @@ class BrokerClient:
         """Subscribe ``handler`` to events matching ``pattern``.
 
         The subscription request is retried until the broker acknowledges
-        it, so subscriptions survive lossy control paths.
+        it, so subscriptions survive lossy control paths.  Multiple
+        handlers may share one pattern; the broker-side subscription is
+        issued once and withdrawn when the last handler is removed.
         """
         compiled = compile_pattern(pattern)
         self._handlers.append((pattern, compiled, handler))
@@ -173,10 +349,28 @@ class BrokerClient:
         self._send(Subscribe(client_id=self.client_id, pattern=pattern))
         self._arm_subscribe_retry(pattern, retries + 1)
 
-    def unsubscribe(self, pattern: str) -> None:
-        self._handlers = [
-            (p, c, h) for (p, c, h) in self._handlers if p != pattern
-        ]
+    def unsubscribe(
+        self, pattern: str, handler: Optional[EventHandler] = None
+    ) -> None:
+        """Remove ``handler`` (or every handler when ``None``) from
+        ``pattern``.  The broker-side Unsubscribe is only sent once the
+        last handler registered under the pattern is gone, so bridges
+        sharing a topic do not tear each other down."""
+        if handler is None:
+            self._handlers = [
+                (p, c, h) for (p, c, h) in self._handlers if p != pattern
+            ]
+        else:
+            removed = False
+            remaining = []
+            for entry in self._handlers:
+                if not removed and entry[0] == pattern and entry[2] is handler:
+                    removed = True
+                    continue
+                remaining.append(entry)
+            self._handlers = remaining
+        if any(p == pattern for (p, _c, _h) in self._handlers):
+            return  # other handlers still rely on the subscription
         timer = self._subscribe_timers.pop(pattern, None)
         if timer is not None:
             timer.cancel()
@@ -225,24 +419,43 @@ class BrokerClient:
         if isinstance(message, EventDelivery):
             self._on_event(message.event)
         elif isinstance(message, ConnectAck):
-            if self.connected:
-                return  # duplicate ack from a connect retry
-            self.connected = True
-            self.broker_id = message.broker_id
-            if self._connect_timer is not None:
-                self._connect_timer.cancel()
-                self._connect_timer = None
-            pending, self._pending = self._pending, []
-            for queued, _ in pending:
-                self._send_now(queued)
-            if self._on_connected is not None:
-                callback, self._on_connected = self._on_connected, None
-                callback(self)
+            self._on_connect_ack(message)
         elif isinstance(message, SubscribeAck):
             self.subscribe_acks += 1
             timer = self._subscribe_timers.pop(message.pattern, None)
             if timer is not None:
                 timer.cancel()
+        elif isinstance(message, HeartbeatAck):
+            self._missed_heartbeats = 0
+            self.heartbeats_acked += 1
+
+    def _on_connect_ack(self, message: ConnectAck) -> None:
+        if self.connected:
+            return  # duplicate ack from a connect retry
+        self.connected = True
+        self.broker_id = message.broker_id
+        if self._connect_timer is not None:
+            self._connect_timer.cancel()
+            self._connect_timer = None
+        reconnecting, self._reconnecting = self._reconnecting, False
+        self._failover_attempt = 0
+        self._missed_heartbeats = 0
+        if reconnecting:
+            # Replay before flushing queued publishes, so events queued
+            # during the outage see the re-established subscriptions.
+            self._replay_subscriptions()
+        pending, self._pending = self._pending, []
+        for queued, _ in pending:
+            self._send_now(queued)
+        if self.keepalive_interval_s is not None and self._keepalive_timer is None:
+            self._arm_keepalive()
+        if self._on_connected is not None:
+            callback, self._on_connected = self._on_connected, None
+            callback(self)
+        if reconnecting:
+            self.failovers += 1
+            if self.on_failover is not None and self._broker is not None:
+                self.on_failover(self, self._broker)
 
     def _on_event(self, event: NBEvent) -> None:
         if event.reliable:

@@ -94,6 +94,19 @@ class Unsubscribe:
 
 
 @dataclass
+class Heartbeat:
+    """Client liveness probe; the broker echoes a :class:`HeartbeatAck`."""
+
+    client_id: str
+
+
+@dataclass
+class HeartbeatAck:
+    client_id: str
+    broker_id: str = ""
+
+
+@dataclass
 class Publish:
     client_id: str
     event: NBEvent

@@ -43,6 +43,9 @@ class BrokerSample:
     route_cache_hits: int = 0
     route_cache_misses: int = 0
     route_cache_invalidations: int = 0
+    heartbeats_received: int = 0
+    clients_reaped: int = 0
+    outbox_abandons: int = 0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":
@@ -61,6 +64,9 @@ class BrokerSample:
             route_cache_hits=broker.route_cache.hits,
             route_cache_misses=broker.route_cache.misses,
             route_cache_invalidations=broker.route_cache.invalidations,
+            heartbeats_received=broker.heartbeats_received,
+            clients_reaped=broker.clients_reaped,
+            outbox_abandons=broker.outbox_abandons,
         )
 
 

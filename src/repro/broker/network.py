@@ -74,6 +74,18 @@ class BrokerNetwork:
         self.broker(b).remove_peer(a)
         self._recompute_routes()
 
+    def remove_broker(self, name: str) -> None:
+        """A broker dies: close it, unpeer it everywhere, and recompute
+        routes — which also purges the dead broker's remote interest on
+        every survivor (see :meth:`Broker.set_routes`)."""
+        broker = self.broker(name)
+        for peer in list(self.graph.neighbors(name)):
+            self.broker(peer).remove_peer(name)
+        self.graph.remove_node(name)
+        del self._brokers[name]
+        broker.close()
+        self._recompute_routes()
+
     def _recompute_routes(self) -> None:
         paths = dict(nx.all_pairs_shortest_path(self.graph))
         for broker_id, broker in self._brokers.items():

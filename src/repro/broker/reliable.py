@@ -15,14 +15,20 @@ various collaboration applications" (Section 2).  Two services:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Set, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.broker.event import NBEvent
 from repro.simnet.kernel import Simulator, Timer
 
 
 class ReliableOutbox:
-    """Broker-side per-client store of unacknowledged reliable events."""
+    """Broker-side per-client store of unacknowledged reliable events.
+
+    ``on_abandon`` fires when an event exhausts its retry budget — the
+    link is presumed dead, and the owner (the broker) can tear down the
+    client's state instead of retrying the next event into the void.
+    """
 
     def __init__(
         self,
@@ -31,12 +37,14 @@ class ReliableOutbox:
         resend_interval_s: float = 0.25,
         max_interval_s: float = 2.0,
         max_retries: int = 8,
+        on_abandon: Optional[Callable[[NBEvent], None]] = None,
     ):
         self.sim = sim
         self._send = send
         self.resend_interval_s = resend_interval_s
         self.max_interval_s = max_interval_s
         self.max_retries = max_retries
+        self.on_abandon = on_abandon
         self._pending: Dict[int, Tuple[NBEvent, Timer, int]] = {}
         self.retransmissions = 0
         self.abandoned = 0
@@ -68,6 +76,8 @@ class ReliableOutbox:
         event, _timer, retries = entry
         if retries >= self.max_retries:
             self.abandoned += 1
+            if self.on_abandon is not None:
+                self.on_abandon(event)
             return
         self.retransmissions += 1
         self._send(event)
@@ -87,7 +97,7 @@ class ReliableInbox:
 
     def __init__(self, max_remembered: int = 4096):
         self._seen: Set[int] = set()
-        self._order: list = []
+        self._order: Deque[int] = deque()
         self.max_remembered = max_remembered
         self.duplicates = 0
 
@@ -99,7 +109,7 @@ class ReliableInbox:
         self._seen.add(event.event_id)
         self._order.append(event.event_id)
         if len(self._order) > self.max_remembered:
-            oldest = self._order.pop(0)
+            oldest = self._order.popleft()
             self._seen.discard(oldest)
         return True
 
@@ -156,6 +166,25 @@ class OrderedInbox:
             timer = self._gap_timers.pop(topic, None)
             if timer is not None:
                 timer.cancel()
+
+    def reset(self) -> None:
+        """Flush everything buffered (in per-topic sequence order) and
+        forget sequence expectations.
+
+        Used when a client fails over to a new broker: the new sequencer
+        numbers topics from its own counter, so expectations carried over
+        from the dead broker would wrongly classify fresh events as stale
+        or as unbounded gaps.
+        """
+        for timer in self._gap_timers.values():
+            timer.cancel()
+        self._gap_timers.clear()
+        buffers, self._buffer = self._buffer, {}
+        self._expected.clear()
+        for topic in sorted(buffers):
+            buffer = buffers[topic]
+            for sequence in sorted(buffer):
+                self._deliver(buffer[sequence])
 
     def _flush_gap(self, topic: str) -> None:
         self._gap_timers.pop(topic, None)

@@ -10,11 +10,16 @@ and re-publishes packets onto a topic (inbound bridge), and/or subscribes
 to a topic and emits raw RTP datagrams to a native endpoint (outbound
 bridge).  The H.323 and SIP gateways use these bridges to redirect their
 endpoints' RTP channels into the broker network.
+
+With ``keepalive_interval_s``/``failover_brokers`` set, the proxy's
+broker client detects broker loss and fails over; the subscription replay
+re-establishes every outbound bridge on the new broker automatically, and
+inbound packets published during the outage are flushed on reconnect.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
@@ -35,15 +40,33 @@ class RtpProxy:
         broker: Broker,
         proxy_id: str,
         link_type: LinkType = LinkType.UDP,
+        keepalive_interval_s: Optional[float] = None,
+        failover_brokers: Optional[List[Broker]] = None,
     ):
         self.host = host
         self.proxy_id = proxy_id
-        self.client = BrokerClient(host, client_id=f"rtp-proxy/{proxy_id}")
+        self.client = BrokerClient(
+            host,
+            client_id=f"rtp-proxy/{proxy_id}",
+            keepalive_interval_s=keepalive_interval_s,
+        )
+        if failover_brokers:
+            self.client.set_failover_brokers(failover_brokers)
         self.client.connect(broker, link_type=link_type)
         self._inbound: Dict[int, Tuple[UdpSocket, str]] = {}
-        self._outbound: Dict[Tuple[str, Address], UdpSocket] = {}
+        # (topic, destination) -> (socket, subscription handler) — the
+        # handler reference is what per-handler unsubscribe needs so two
+        # bridges sharing a topic do not tear each other down.
+        self._outbound: Dict[
+            Tuple[str, Address], Tuple[UdpSocket, Callable[[NBEvent], None]]
+        ] = {}
         self.packets_in = 0
         self.packets_out = 0
+
+    @property
+    def failovers(self) -> int:
+        """How many times the proxy's client failed over to a new broker."""
+        return self.client.failovers
 
     # ------------------------------------------------------------ inbound
 
@@ -84,17 +107,22 @@ class RtpProxy:
             sock.sendto(event.payload, event.size, dst)
 
         self.client.subscribe(topic, on_event)
-        self._outbound[key] = socket
+        self._outbound[key] = (socket, on_event)
 
     def close_outbound(self, topic: str, destination: Address) -> None:
-        socket = self._outbound.pop((topic, destination), None)
-        if socket is not None:
+        entry = self._outbound.pop((topic, destination), None)
+        if entry is not None:
+            socket, handler = entry
+            # Withdraw this bridge's handler; the broker-side subscription
+            # is only dropped when no other bridge shares the topic.
+            self.client.unsubscribe(topic, handler)
             socket.close()
 
     def close(self) -> None:
         for socket, _topic in self._inbound.values():
             socket.close()
-        for socket in self._outbound.values():
+        for (topic, _destination), (socket, handler) in self._outbound.items():
+            self.client.unsubscribe(topic, handler)
             socket.close()
         self._inbound.clear()
         self._outbound.clear()

@@ -53,19 +53,31 @@ class XgspClient:
         participant_id: str,
         link_type: LinkType = LinkType.UDP,
         proxy: Optional[Address] = None,
+        keepalive_interval_s: Optional[float] = None,
+        failover_brokers: Optional[List[Broker]] = None,
     ):
         self.host = host
         self.sim = host.sim
         self.participant_id = participant_id
         self.reply_topic = client_topic(participant_id)
         self.broker_client = BrokerClient(
-            host, client_id=f"xgsp/{participant_id}"
+            host,
+            client_id=f"xgsp/{participant_id}",
+            keepalive_interval_s=keepalive_interval_s,
         )
+        if failover_brokers:
+            self.broker_client.set_failover_brokers(failover_brokers)
         self.broker_client.connect(broker, link_type=link_type, proxy=proxy)
         self.broker_client.subscribe(self.reply_topic, self._on_reply_event)
         self._pending: Dict[int, tuple] = {}  # request_id -> (cb, timer)
         self._announcement_handlers: List[AnnouncementCallback] = []
         self.timeouts = 0
+
+    @property
+    def failovers(self) -> int:
+        """Broker failovers survived; the reply-topic and announcement
+        subscriptions are replayed automatically by the broker client."""
+        return self.broker_client.failovers
 
     # ----------------------------------------------------------- requests
 

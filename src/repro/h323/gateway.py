@@ -16,7 +16,7 @@ endpoint).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.broker.broker import Broker
 from repro.broker.rtp_proxy import RtpProxy
@@ -43,6 +43,8 @@ class H323XgspGateway(H323Terminal):
         broker: Broker,
         gateway_id: str = "h323-gateway",
         h225_port: int = 1740,
+        failover_brokers: Optional[List[Broker]] = None,
+        keepalive_interval_s: float = 1.0,
     ):
         super().__init__(
             host,
@@ -56,13 +58,29 @@ class H323XgspGateway(H323Terminal):
         )
         self.broker = broker
         self.gateway_id = gateway_id
-        self.xgsp = XgspClient(host, broker, gateway_id)
+        self._failover_brokers = list(failover_brokers or [])
+        self._keepalive_interval_s = keepalive_interval_s
+        self.xgsp = XgspClient(
+            host, broker, gateway_id,
+            keepalive_interval_s=(
+                keepalive_interval_s if self._failover_brokers else None
+            ),
+            failover_brokers=self._failover_brokers or None,
+        )
+        self.xgsp.broker_client.on_failover = self._on_broker_failover
         # call_id -> (JoinAccepted, RtpProxy)
         self._joins: Dict[str, Tuple[JoinAccepted, RtpProxy]] = {}
         self.joins_accepted = 0
         self.joins_rejected = 0
+        self.failovers = 0
         self.on_incoming_call = self._on_conference_setup
         gatekeeper.add_alias_resolver(self._resolve_alias)
+
+    def _on_broker_failover(self, _client, broker: Broker) -> None:
+        """Signaling moved to a new broker: new call legs attach there.
+        Existing legs' RTP proxies run their own failover clients."""
+        self.broker = broker
+        self.failovers += 1
 
     def _resolve_alias(self, alias: str) -> Optional[Address]:
         if alias.startswith(CONFERENCE_PREFIX):
@@ -84,7 +102,12 @@ class H323XgspGateway(H323Terminal):
             if isinstance(response, JoinAccepted):
                 self.joins_accepted += 1
                 proxy = RtpProxy(
-                    self.broker.host, self.broker, proxy_id=f"h323-{call_id}"
+                    self.broker.host, self.broker, proxy_id=f"h323-{call_id}",
+                    keepalive_interval_s=(
+                        self._keepalive_interval_s
+                        if self._failover_brokers else None
+                    ),
+                    failover_brokers=self._failover_brokers or None,
                 )
                 self._joins[call_id] = (response, proxy)
                 call.on_connected = self._on_call_connected

@@ -21,7 +21,7 @@ BYE leaves the XGSP session and tears the proxy leg down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.broker.broker import Broker
 from repro.broker.rtp_proxy import RtpProxy
@@ -58,16 +58,34 @@ class SipXgspGateway:
     """Attached to a SIP proxy; owns the ``conf-*`` URIs of its domain."""
 
     def __init__(self, proxy: SipProxy, broker: Broker,
-                 gateway_id: str = "sip-gateway"):
+                 gateway_id: str = "sip-gateway",
+                 failover_brokers: Optional[List[Broker]] = None,
+                 keepalive_interval_s: float = 1.0):
         self.proxy = proxy
         self.broker = broker
         self.sim = proxy.sim
         self.gateway_id = gateway_id
-        self.xgsp = XgspClient(proxy.host, broker, gateway_id)
+        self._failover_brokers = list(failover_brokers or [])
+        self._keepalive_interval_s = keepalive_interval_s
+        self.xgsp = XgspClient(
+            proxy.host, broker, gateway_id,
+            keepalive_interval_s=(
+                keepalive_interval_s if self._failover_brokers else None
+            ),
+            failover_brokers=self._failover_brokers or None,
+        )
+        self.xgsp.broker_client.on_failover = self._on_broker_failover
         self._legs: Dict[str, _GatewayLeg] = {}  # SIP Call-Id -> leg
         self.joins_accepted = 0
         self.joins_rejected = 0
+        self.failovers = 0
         proxy.register_app_prefix(CONFERENCE_PREFIX, self._on_request)
+
+    def _on_broker_failover(self, _client, broker: Broker) -> None:
+        """Signaling moved to a new broker: new legs attach there too.
+        Existing legs' RTP proxies run their own failover clients."""
+        self.broker = broker
+        self.failovers += 1
 
     def legs(self) -> int:
         return len(self._legs)
@@ -137,6 +155,10 @@ class SipXgspGateway:
         proxy = RtpProxy(
             self.broker.host, self.broker,
             proxy_id=f"sip-{call_id}",
+            keepalive_interval_s=(
+                self._keepalive_interval_s if self._failover_brokers else None
+            ),
+            failover_brokers=self._failover_brokers or None,
         )
         leg = _GatewayLeg(
             call_id=call_id,

@@ -153,3 +153,76 @@ def test_event_delay_includes_broker_path(net, sim, single_broker):
     # Two network hops + broker routing/send costs: strictly positive,
     # well under a second on a LAN.
     assert 0.0 < delays[0] < 0.1
+
+
+def test_unsubscribe_one_handler_keeps_shared_subscription(net, sim, single_broker):
+    """Two handlers share a pattern: removing one must not tear down the
+    broker-side subscription the other still relies on."""
+    publisher = make_client(net, sim, single_broker, "pub")
+    subscriber = make_client(net, sim, single_broker, "sub")
+    first, second = [], []
+    handler_a = first.append
+    handler_b = second.append
+    subscriber.subscribe("/t", handler_a)
+    subscriber.subscribe("/t", handler_b)
+    sim.run_for(1.0)
+    publisher.publish("/t", 1, 10)
+    sim.run_for(1.0)
+    assert len(first) == len(second) == 1
+
+    subscriber.unsubscribe("/t", handler_a)
+    sim.run_for(1.0)
+    assert single_broker.has_local_subscription("/t", "sub")
+    publisher.publish("/t", 2, 10)
+    sim.run_for(1.0)
+    assert len(first) == 1  # removed handler is silent
+    assert len(second) == 2  # surviving handler still delivers
+
+    subscriber.unsubscribe("/t", handler_b)  # last one: withdraw for real
+    sim.run_for(1.0)
+    assert not single_broker.has_local_subscription("/t", "sub")
+    publisher.publish("/t", 3, 10)
+    sim.run_for(1.0)
+    assert len(second) == 2
+
+
+def test_duplicate_subscribe_shares_one_retry_timer(net, sim, single_broker):
+    """Subscribing the same pattern twice before the first SubscribeAck
+    arrives must not double up retry timers or deliveries."""
+    from repro.broker import BrokerClient
+
+    publisher = make_client(net, sim, single_broker, "pub")
+    subscriber = BrokerClient(net.create_host("sub"), client_id="sub")
+    subscriber.connect(single_broker)
+    sim.run_for(1.0)
+    first, second = [], []
+    subscriber.subscribe("/t", first.append)
+    subscriber.subscribe("/t", second.append)  # ack still in flight
+    assert len(subscriber._subscribe_timers) == 1
+    sim.run_for(2.0)  # ack lands, retry timer cancelled
+    assert subscriber._subscribe_timers == {}
+    publisher.publish("/t", "x", 10)
+    sim.run_for(1.0)
+    assert len(first) == 1 and len(second) == 1
+
+
+def test_subscribe_retries_survive_lossy_control_path(net, sim):
+    """The duplicate-subscribe race under loss: retries keep firing from
+    the single shared timer until the broker acknowledges."""
+    from repro.broker import Broker, BrokerClient
+    from repro.simnet import LinkProfile
+
+    broker = Broker(net.create_host("bh"), broker_id="b0")
+    publisher = make_client(net, sim, broker, "pub")
+    lossy = net.create_host("lossy-sub", link=LinkProfile(loss_rate=0.6))
+    subscriber = BrokerClient(lossy, client_id="sub")
+    subscriber.connect(broker)
+    sim.run_for(15.0)
+    assert subscriber.connected
+    first, second = [], []
+    subscriber.subscribe("/t", first.append)
+    subscriber.subscribe("/t", second.append)
+    sim.run_for(20.0)  # retries push the Subscribe through the loss
+    assert subscriber.subscribe_acks >= 1
+    assert subscriber._subscribe_timers == {}
+    assert broker.has_local_subscription("/t", "sub")

@@ -129,3 +129,120 @@ def test_reliable_outbox_abandons_after_max_retries():
     assert len(sent) == 4  # initial + 3 retries
     assert outbox.abandoned == 1
     assert outbox.pending_count == 0
+
+
+def test_reliable_outbox_on_abandon_callback():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import ReliableOutbox
+
+    sim = Simulator()
+    abandoned = []
+    outbox = ReliableOutbox(
+        sim, lambda e: None, resend_interval_s=0.1, max_retries=2,
+        on_abandon=abandoned.append,
+    )
+    event = NBEvent("/t", b"", 10)
+    outbox.send(event)
+    sim.run_for(10.0)
+    assert abandoned == [event]
+    assert outbox.abandoned == 1
+
+
+def test_ordered_inbox_repeated_gaps_reschedule_timer():
+    """A flush that still leaves a hole re-arms the gap timer, so every
+    buffered event is eventually released."""
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(
+        sim, lambda e: delivered.append(e.sequence), gap_timeout_s=0.5
+    )
+
+    def event(sequence):
+        return NBEvent("/t", sequence, 10, sequence=sequence)
+
+    inbox.accept(event(0))
+    inbox.accept(event(2))  # hole at 1
+    inbox.accept(event(4))  # hole at 3
+    sim.run_for(0.6)  # first flush: skips to 2, hole at 3 remains
+    assert delivered == [0, 2]
+    assert inbox.gaps_flushed == 1
+    sim.run_for(0.5)  # rescheduled timer flushes the second hole
+    assert delivered == [0, 2, 4]
+    assert inbox.gaps_flushed == 2
+
+
+def test_ordered_inbox_cancels_timer_when_gap_fills():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(
+        sim, lambda e: delivered.append(e.sequence), gap_timeout_s=0.5
+    )
+
+    def event(sequence):
+        return NBEvent("/t", sequence, 10, sequence=sequence)
+
+    inbox.accept(event(0))
+    inbox.accept(event(2))  # gap opens, timer armed
+    inbox.accept(event(1))  # gap fills, buffer drains, timer cancelled
+    assert delivered == [0, 1, 2]
+    sim.run_for(2.0)  # well past the gap timeout
+    assert inbox.gaps_flushed == 0
+    assert inbox.stale_dropped == 0
+
+
+def test_ordered_inbox_stale_drops_after_each_flush():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(
+        sim, lambda e: delivered.append(e.sequence), gap_timeout_s=0.5
+    )
+
+    def event(sequence):
+        return NBEvent("/t", sequence, 10, sequence=sequence)
+
+    inbox.accept(event(3))
+    sim.run_for(0.6)  # flush skips straight to 3
+    assert delivered == [3]
+    # Every straggler below the flushed point is stale, repeatedly.
+    for sequence in (0, 1, 2):
+        inbox.accept(event(sequence))
+    assert inbox.stale_dropped == 3
+    assert delivered == [3]
+
+
+def test_ordered_inbox_reset_flushes_buffer_and_forgets_sequence():
+    """Failover semantics: reset releases everything buffered in order
+    and accepts the new broker's numbering from zero."""
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(
+        sim, lambda e: delivered.append(e.sequence), gap_timeout_s=0.5
+    )
+
+    def event(sequence):
+        return NBEvent("/t", sequence, 10, sequence=sequence)
+
+    inbox.accept(event(0))
+    inbox.accept(event(5))
+    inbox.accept(event(3))  # both buffered behind the hole at 1
+    assert delivered == [0]
+    inbox.reset()
+    assert delivered == [0, 3, 5]  # buffered events flushed in order
+    # The new sequencer numbers from zero: not stale, no timer pending.
+    inbox.accept(event(0))
+    assert delivered == [0, 3, 5, 0]
+    assert inbox.stale_dropped == 0
+    sim.run_for(2.0)
+    assert inbox.gaps_flushed == 0

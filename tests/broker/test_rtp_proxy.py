@@ -129,3 +129,54 @@ def test_no_echo_through_same_proxy(net, sim, broker, proxy):
     # (noLocal), preventing amplification loops.
     assert got == []
     assert proxy.packets_in == 1
+
+
+def test_close_outbound_releases_broker_subscription(net, sim, broker, proxy):
+    """Tearing down an outbound bridge withdraws its subscription at the
+    broker instead of leaking it for the proxy's lifetime."""
+    player = UdpSocket(net.create_host("player"), 6000)
+    proxy.bridge_outbound("/media/a", player.local_address)
+    sim.run_for(1.0)
+    assert broker.has_local_subscription("/media/a", proxy.client.client_id)
+    proxy.close_outbound("/media/a", player.local_address)
+    sim.run_for(1.0)
+    assert not broker.has_local_subscription("/media/a", proxy.client.client_id)
+
+
+def test_shared_topic_bridges_do_not_tear_each_other_down(net, sim, broker, proxy):
+    """Two outbound bridges fan one topic out to two endpoints; closing
+    one must leave the other's delivery intact."""
+    p1 = UdpSocket(net.create_host("p1"), 6000)
+    p2 = UdpSocket(net.create_host("p2"), 6000)
+    got1, got2 = [], []
+    p1.on_receive(lambda payload, src, d: got1.append(payload))
+    p2.on_receive(lambda payload, src, d: got2.append(payload))
+    proxy.bridge_outbound("/media/a", p1.local_address)
+    proxy.bridge_outbound("/media/a", p2.local_address)
+    publisher = make_client(net, sim, broker, "pub")
+    sim.run_for(1.0)
+    publisher.publish("/media/a", "x", 100)
+    sim.run_for(1.0)
+    assert got1 == ["x"] and got2 == ["x"]
+
+    proxy.close_outbound("/media/a", p1.local_address)
+    sim.run_for(1.0)
+    assert broker.has_local_subscription("/media/a", proxy.client.client_id)
+    publisher.publish("/media/a", "y", 100)
+    sim.run_for(1.0)
+    assert got1 == ["x"]
+    assert got2 == ["x", "y"]
+
+
+def test_proxy_close_withdraws_all_subscriptions(net, sim, broker, proxy):
+    player = UdpSocket(net.create_host("player"), 6000)
+    proxy.bridge_outbound("/media/a", player.local_address)
+    proxy.bridge_outbound("/media/b", player.local_address)
+    proxy.bridge_inbound("/media/c")
+    sim.run_for(1.0)
+    proxy.close()
+    sim.run_for(1.0)
+    assert not broker.has_local_subscription("/media/a", "rtp-proxy/px0")
+    assert not broker.has_local_subscription("/media/b", "rtp-proxy/px0")
+    assert broker.client_count() == 0
+    assert broker.statistics()["local_subscriptions"] == 0
