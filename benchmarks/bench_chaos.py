@@ -1,0 +1,271 @@
+"""Experiment chaos: a 5-broker mesh conference soak under injected faults.
+
+PR 2's failover benchmark measured *client*-side recovery; this one
+measures the *mesh* healing itself.  A 5-broker ring runs in autonomous
+mode (peer heartbeats + flooded link-state adverts, no central route
+pushes at all) while a :class:`repro.simnet.chaos.ChaosSchedule` scripts
+a hostile timeline against it:
+
+* t=5 s   — the transit broker on the publisher→subscriber shortest path
+            crashes, un-announced;
+* t=12 s  — it restarts and rejoins;
+* t=18 s  — the mesh partitions 3|2 with subscribers on both sides;
+* t=25 s  — the partition heals.
+
+A publisher streams 50 pps conference media from broker-0 the whole
+time; subscribers sit on brokers 1, 2, and 3.  Measured:
+
+* the **media gap** each subscriber observes across the crash (bounds
+  heartbeat detection + LSA flood + local Dijkstra + re-forwarding);
+* **convergence**: every surviving broker's routing settles within the
+  heartbeat-detection bound after each fault (``last_route_change_at``);
+* **zero leaked interest** after the partition+heal round trip and after
+  final teardown.
+
+Results land in ``BENCH_chaos.json`` via
+:func:`repro.bench.reporting.json_artifact`.
+"""
+
+from repro.bench.reporting import json_artifact, simple_table
+from repro.broker.client import BrokerClient
+from repro.broker.monitor import BrokerSample
+from repro.broker.network import BrokerNetwork
+from repro.simnet.chaos import ChaosSchedule
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import Network
+from repro.simnet.rng import SeededStreams
+
+TOPIC = "/bench/chaos/session-0/video"
+PUBLISH_INTERVAL_S = 0.02  # 50 pps
+RUN_FOR_S = 30.0
+PEER_HEARTBEAT_S = 0.25
+PEER_MISS_LIMIT = 2
+
+CRASH_AT_S = 5.0
+RESTART_AT_S = 12.0
+PARTITION_AT_S = 18.0
+HEAL_AT_S = 25.0
+
+#: Subscribers and the broker each one attaches to.  broker-3 sits two
+#: hops from the publisher with broker-4 (the crash victim) on its
+#: shortest path — the cross-mesh observer the acceptance bound is about.
+SUBSCRIBER_BROKERS = {"sub-1": "broker-1", "sub-2": "broker-2", "sub-3": "broker-3"}
+
+#: Media-gap budget across the un-announced crash: detection
+#: (miss_limit+1 beat intervals in the worst phase) + LSA flood +
+#: recompute + the in-flight packets lost before reroute.
+MAX_ACCEPTABLE_GAP_S = 1.5
+
+
+def run_soak() -> dict:
+    sim = Simulator()
+    net = Network(sim, SeededStreams(42))
+    bnet = BrokerNetwork.ring(
+        net, 5, autonomous=True,
+        peer_heartbeat_interval_s=PEER_HEARTBEAT_S,
+        peer_miss_limit=PEER_MISS_LIMIT,
+    )
+    sim.run_for(2.0)  # initial LSA convergence
+    assert bnet.broker("broker-0")._routes["broker-3"] == "broker-4"
+
+    publisher = BrokerClient(net.create_host("pub-host"), client_id="pub")
+    publisher.connect(bnet.broker("broker-0"))
+    arrivals = {}
+    subscribers = {}
+    for client_id, broker_name in SUBSCRIBER_BROKERS.items():
+        client = BrokerClient(
+            net.create_host(f"{client_id}-host"), client_id=client_id
+        )
+        client.connect(bnet.broker(broker_name))
+        arrivals[client_id] = []
+        client.subscribe(
+            TOPIC, lambda event, log=arrivals[client_id]: log.append(sim.now)
+        )
+        subscribers[client_id] = client
+    sim.run_for(1.0)
+    assert all(c.connected for c in subscribers.values())
+
+    chaos = ChaosSchedule(bnet, seed=7)
+    chaos.crash_broker(CRASH_AT_S, "broker-4", restart_after=RESTART_AT_S - CRASH_AT_S)
+    chaos.partition(
+        PARTITION_AT_S,
+        [["broker-0", "broker-1", "broker-4"], ["broker-2", "broker-3"]],
+        heal_after=HEAL_AT_S - PARTITION_AT_S,
+    )
+
+    # Sample routing epochs alongside media via the monitor plane.
+    samples = {}
+
+    def sample_tick():
+        for broker in bnet.brokers():
+            samples.setdefault(broker.broker_id, []).append(
+                BrokerSample.capture(broker)
+            )
+        sim.schedule(1.0, sample_tick)
+
+    sample_tick()
+
+    def publish_tick(i=[0]):
+        publisher.publish(TOPIC, i[0], 200)
+        i[0] += 1
+        sim.schedule(PUBLISH_INTERVAL_S, publish_tick)
+
+    publish_tick()
+    sim.run_for(RUN_FOR_S)
+
+    def worst_gap(log, start, end):
+        window = [t for t in log if start <= t <= end]
+        if len(window) < 2:
+            return float("inf")
+        return max(b - a for a, b in zip(window, window[1:]))
+
+    crash_gaps = {
+        cid: worst_gap(log, CRASH_AT_S - 1.0, RESTART_AT_S)
+        for cid, log in arrivals.items()
+    }
+    # During the partition, sub-2/sub-3 are on the far island: media
+    # cannot reach them and MUST not.  Measure their resume gap after the
+    # heal instead (first arrival after HEAL_AT_S minus the heal time).
+    heal_resume = {}
+    for cid, log in arrivals.items():
+        after = [t for t in log if t >= HEAL_AT_S]
+        heal_resume[cid] = (after[0] - HEAL_AT_S) if after else float("inf")
+
+    convergence = {
+        broker.broker_id: broker.last_route_change_at
+        for broker in bnet.brokers()
+    }
+    stats_mid = {
+        broker.broker_id: broker.statistics() for broker in bnet.brokers()
+    }
+
+    # Teardown: all clients hang up; the mesh must drain to zero state.
+    for client in subscribers.values():
+        client.disconnect()
+    publisher.disconnect()
+    sim.run_for(3.0)
+    leaks = {
+        broker.broker_id: (
+            broker.statistics()["local_subscriptions"],
+            broker.statistics()["remote_interest"],
+        )
+        for broker in bnet.brokers()
+    }
+    return {
+        "arrivals": arrivals,
+        "crash_gaps": crash_gaps,
+        "heal_resume": heal_resume,
+        "convergence": convergence,
+        "stats_mid": stats_mid,
+        "samples": samples,
+        "leaks": leaks,
+        "chaos_log": chaos.log,
+        "subscribers": subscribers,
+    }
+
+
+def test_chaos_soak_media_gap_convergence_zero_leak(measure):
+    result = measure(run_soak)
+    crash_gaps = result["crash_gaps"]
+    heal_resume = result["heal_resume"]
+
+    # The chaos timeline fired exactly as scripted.
+    assert [e.kind for e in result["chaos_log"]] == [
+        "crash", "restart", "partition", "heal",
+    ]
+
+    # Cross-mesh media rides out the un-announced crash within budget —
+    # no client ever failed over; the *mesh* rerouted around the corpse.
+    worst_crash_gap = max(crash_gaps.values())
+    assert worst_crash_gap <= MAX_ACCEPTABLE_GAP_S, (
+        f"crash media gap {worst_crash_gap:.2f}s exceeds "
+        f"{MAX_ACCEPTABLE_GAP_S}s budget: {crash_gaps}"
+    )
+    assert all(c.failovers == 0 for c in result["subscribers"].values())
+
+    # After the heal, far-island subscribers resume within budget.
+    worst_resume = max(heal_resume.values())
+    assert worst_resume <= MAX_ACCEPTABLE_GAP_S, (
+        f"post-heal resume {worst_resume:.2f}s exceeds budget: {heal_resume}"
+    )
+
+    # Routing converged: the last route change everywhere happened within
+    # a detection+flood bound of the final fault.
+    detection_bound_s = PEER_HEARTBEAT_S * (PEER_MISS_LIMIT + 2)
+    for broker_id, changed_at in result["convergence"].items():
+        assert changed_at <= HEAL_AT_S + detection_bound_s, (
+            f"{broker_id} still churning routes at t={changed_at:.2f}s"
+        )
+
+    # The faults were detected by the mesh itself.
+    evictions = sum(
+        stats["peers_evicted"] for stats in result["stats_mid"].values()
+    )
+    assert evictions >= 4  # 2 for the crash, 2 for the partition cuts
+    assert all(
+        stats["lsas_originated"] > 0 and stats["routing_epochs"] >= 3
+        for stats in result["stats_mid"].values()
+    )
+
+    # Zero leaked interest after partition+heal and full teardown.
+    assert all(leak == (0, 0) for leak in result["leaks"].values()), (
+        f"leaked subscription state: {result['leaks']}"
+    )
+
+    # Monitoring saw the routing epochs move alongside the media story.
+    sampled_epochs = {
+        broker_id: [s.routing_epochs for s in series]
+        for broker_id, series in result["samples"].items()
+    }
+    assert all(series[-1] > series[0] for series in sampled_epochs.values())
+
+    mean_crash_gap = sum(crash_gaps.values()) / len(crash_gaps)
+    print(simple_table(
+        "Chaos soak — 5-broker autonomous ring, 50 pps, crash/restart + "
+        "partition/heal",
+        [
+            ("crash media gap (worst)", f"{max(crash_gaps.values()):.3f}",
+             f"budget {MAX_ACCEPTABLE_GAP_S}"),
+            ("crash media gap (mean)", f"{mean_crash_gap:.3f}", ""),
+            ("post-heal resume (worst)", f"{worst_resume:.3f}",
+             f"budget {MAX_ACCEPTABLE_GAP_S}"),
+            ("peer evictions", evictions, "crash + partition"),
+            ("leaked entries after teardown",
+             sum(sum(leak) for leak in result["leaks"].values()),
+             "expected 0"),
+        ],
+        ("metric", "value", "note"),
+    ))
+
+    json_artifact("chaos", {
+        "brokers": 5,
+        "topology": "ring",
+        "publish_rate_pps": 1.0 / PUBLISH_INTERVAL_S,
+        "peer_heartbeat_interval_s": PEER_HEARTBEAT_S,
+        "peer_miss_limit": PEER_MISS_LIMIT,
+        "timeline": {
+            "crash_at_s": CRASH_AT_S,
+            "restart_at_s": RESTART_AT_S,
+            "partition_at_s": PARTITION_AT_S,
+            "heal_at_s": HEAL_AT_S,
+        },
+        "chaos_log": [
+            {"at": e.at, "kind": e.kind, "detail": e.detail}
+            for e in result["chaos_log"]
+        ],
+        "crash_media_gap_worst_s": max(crash_gaps.values()),
+        "crash_media_gap_mean_s": mean_crash_gap,
+        "crash_media_gaps_s": crash_gaps,
+        "heal_resume_worst_s": worst_resume,
+        "heal_resume_s": heal_resume,
+        "media_gap_budget_s": MAX_ACCEPTABLE_GAP_S,
+        "last_route_change_at_s": result["convergence"],
+        "peers_evicted_total": evictions,
+        "client_failovers": 0,
+        "per_broker_stats": result["stats_mid"],
+        "routing_epoch_series": sampled_epochs,
+        "leaked_after_teardown": {
+            broker_id: {"local_subscriptions": leak[0], "remote_interest": leak[1]}
+            for broker_id, leak in result["leaks"].items()
+        },
+    })

@@ -23,7 +23,8 @@ the knobs the Figure 3 calibration turns.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Optional, Set, Tuple
+import heapq
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.broker.event import NBEvent
 from repro.broker.links import (
@@ -35,8 +36,11 @@ from repro.broker.links import (
     EventDelivery,
     Heartbeat,
     HeartbeatAck,
+    LinkStateAdvert,
+    LinkStateDigest,
     LinkType,
     PeerEvent,
+    PeerHeartbeat,
     Publish,
     SequenceRequest,
     SslClientLink,
@@ -71,6 +75,11 @@ SEEN_ADVERT_WINDOW = 8192
 
 #: Bound on cached (topic → sequencer) elections.
 SEQUENCER_CACHE_MAX = 4096
+
+#: Every Nth peer-heartbeat tick also carries a link-state digest, so
+#: LSAs lost to the network (floods are unreliable datagrams) are
+#: repaired by anti-entropy within a few heartbeat intervals.
+ANTI_ENTROPY_TICKS = 4
 
 
 class _DedupWindow:
@@ -131,6 +140,9 @@ class Broker:
         route_cache_enabled: bool = True,
         reap_timeout_s: Optional[float] = None,
         reap_check_interval_s: Optional[float] = None,
+        link_state_enabled: bool = False,
+        peer_heartbeat_interval_s: Optional[float] = None,
+        peer_miss_limit: int = 3,
     ):
         self.host = host
         self.sim = host.sim
@@ -181,6 +193,22 @@ class Broker:
         if self.reap_timeout_s is not None:
             self._arm_reaper()
 
+        # Autonomous mesh mode: peer heartbeats detect dead neighbours
+        # without any central announcement, and flooded link-state adverts
+        # let every broker compute its own next-hop table — the
+        # BrokerNetwork stops pushing routes entirely.
+        self.link_state_enabled = link_state_enabled
+        self.peer_heartbeat_interval_s = peer_heartbeat_interval_s
+        self.peer_miss_limit = peer_miss_limit
+        self._peer_last_heard: Dict[str, float] = {}
+        self._peer_hb_timer = None
+        self._hb_tick = 0
+        self._lsdb: Dict[str, Tuple[int, FrozenSet[str]]] = {}
+        self._lsa_epoch = 0
+        self._recompute_pending = False
+        if self.peer_heartbeat_interval_s is not None:
+            self._arm_peer_heartbeat()
+
         # Statistics
         self.events_routed = 0
         self.events_delivered = 0
@@ -189,6 +217,12 @@ class Broker:
         self.heartbeats_received = 0
         self.clients_reaped = 0
         self.outbox_abandons = 0
+        self.peer_heartbeats_received = 0
+        self.peers_evicted = 0
+        self.lsas_originated = 0
+        self.lsas_received = 0
+        self.routing_epochs = 0
+        self.last_route_change_at = -1.0
 
     # --------------------------------------------------------------- info
 
@@ -237,6 +271,11 @@ class Broker:
             "outbox_abandons": self.outbox_abandons,
             "local_subscriptions": len(self._local_subs),
             "remote_interest": len(self._remote_interest),
+            "peer_heartbeats_received": self.peer_heartbeats_received,
+            "peers_evicted": self.peers_evicted,
+            "lsas_originated": self.lsas_originated,
+            "lsas_received": self.lsas_received,
+            "routing_epochs": self.routing_epochs,
         }
 
     # --------------------------------------------------- peer provisioning
@@ -249,13 +288,33 @@ class Broker:
             self._peer_by_address.pop(previous, None)
         self._peers[peer_id] = peer_address
         self._peer_by_address[peer_address] = peer_id
+        self._peer_last_heard[peer_id] = self.sim.now
         self._peers_changed()
+        if self.link_state_enabled:
+            # A link came up (first wiring, or a partition healed): flood
+            # our new adjacency, reconcile databases via digest exchange,
+            # and re-offer known interest over the new edge so the other
+            # side routes events toward us again.
+            self._originate_lsa()
+            self.host.cpu.execute(
+                self.profile.control_cost_s,
+                self._send_peer,
+                peer_id,
+                self._make_digest(),
+            )
+            self._sync_subscriptions_to_peer(peer_id)
 
     def remove_peer(self, peer_id: str) -> None:
         address = self._peers.pop(peer_id, None)
         if address is not None:
             self._peer_by_address.pop(address, None)
+        self._peer_last_heard.pop(peer_id, None)
         self._peers_changed()
+        if self.link_state_enabled:
+            self._originate_lsa()
+
+    def has_peer(self, peer_id: str) -> bool:
+        return peer_id in self._peers
 
     def _peers_changed(self) -> None:
         self._sorted_peers = tuple(sorted(self._peers))
@@ -269,6 +328,9 @@ class Broker:
         own adverts, so this is where its subscription state is released
         instead of leaking forever.
         """
+        if routes != self._routes:
+            self.routing_epochs += 1
+            self.last_route_change_at = self.sim.now
         self._routes = dict(routes)
         self._routes_gen += 1
         self._broker_set_epoch += 1
@@ -293,6 +355,28 @@ class Broker:
                     SubAdvert(origin_broker=origin, pattern=pattern, add=True),
                     skip_peer=None,
                 )
+
+    def _sync_subscriptions_to_peer(self, peer_id: str) -> None:
+        """Offer all known interest over one (newly up) peer link.
+
+        The receiver re-floods anything it did not already know with
+        ``skip_peer`` set to us, which is how subscription state crosses
+        a healed partition without a full mesh-wide re-flood.
+        """
+        cpu, cost = self.host.cpu, self.profile.control_cost_s
+        for pattern in self._local_subs.all_patterns():
+            advert = SubAdvert(
+                origin_broker=self.broker_id, pattern=pattern, add=True
+            )
+            self._seen_adverts.add(advert.advert_id)
+            cpu.execute(cost, self._send_peer, peer_id, advert)
+        for origin in sorted(set(self._remote_interest.values())):
+            for pattern in self._remote_interest.patterns_for(origin):
+                advert = SubAdvert(
+                    origin_broker=origin, pattern=pattern, add=True
+                )
+                self._seen_adverts.add(advert.advert_id)
+                cpu.execute(cost, self._send_peer, peer_id, advert)
 
     # --------------------------------------------------------- client I/O
 
@@ -487,6 +571,7 @@ class Broker:
         sequencer = self.sequencer_for(event.topic)
         if sequencer == self.broker_id:
             event.sequence = self._sequences.get(event.topic, 0)
+            event.sequenced_by = self.broker_id
             self._sequences[event.topic] = event.sequence + 1
             self.host.cpu.execute(
                 self.profile.route_cost_s, self._disseminate, event, exclude
@@ -574,6 +659,8 @@ class Broker:
 
         Runs after the per-event routing cost was charged.
         """
+        if self._closed:
+            return
         self.events_routed += 1
         entry = self.resolve_route(event.topic)
         self._deliver_local(event, exclude, entry)
@@ -629,6 +716,8 @@ class Broker:
     # --------------------------------------------------------- peer plane
 
     def _send_peer(self, peer_id: str, message: Any) -> None:
+        if self._closed:
+            return  # a CPU-deferred send can fire after an abrupt crash
         address = self._peers.get(peer_id)
         if address is None:
             return
@@ -645,12 +734,23 @@ class Broker:
         self._send_peer(next_hop, message)
 
     def _on_peer_message(self, payload: Any, src: Address, datagram: Datagram) -> None:
+        from_peer = self._peer_by_address.get(src)
+        if from_peer is not None:
+            # Any traffic proves liveness — a busy peer that never gets a
+            # heartbeat out between media bursts is still clearly alive.
+            self._peer_last_heard[from_peer] = self.sim.now
         if isinstance(payload, PeerEvent):
             self._on_peer_event(payload)
         elif isinstance(payload, SequenceRequest):
             self._on_sequence_request(payload)
         elif isinstance(payload, SubAdvert):
-            self._on_sub_advert(payload, from_peer=self._peer_by_address.get(src))
+            self._on_sub_advert(payload, from_peer=from_peer)
+        elif isinstance(payload, PeerHeartbeat):
+            self.peer_heartbeats_received += 1
+        elif isinstance(payload, LinkStateAdvert):
+            self._on_link_state_advert(payload, from_peer=from_peer)
+        elif isinstance(payload, LinkStateDigest):
+            self._on_link_state_digest(payload, from_peer=from_peer)
 
     def _on_peer_event(self, peer_event: PeerEvent) -> None:
         event = peer_event.event
@@ -677,6 +777,7 @@ class Broker:
             )
             return
         event.sequence = self._sequences.get(event.topic, 0)
+        event.sequenced_by = self.broker_id
         self._sequences[event.topic] = event.sequence + 1
         self.host.cpu.execute(
             self.profile.route_cost_s, self._disseminate, event, None
@@ -697,7 +798,9 @@ class Broker:
         # it back is pure waste (the sender already deduplicates it).
         self._flood_advert(advert, skip_peer=from_peer)
 
-    def _flood_advert(self, advert: SubAdvert, skip_peer: Optional[str]) -> None:
+    def _flood_advert(self, advert: Any, skip_peer: Optional[str]) -> None:
+        """Flood a dedup-windowed advert (SubAdvert or LinkStateAdvert) to
+        every peer except the one it arrived from."""
         self._seen_adverts.add(advert.advert_id)
         for peer_id in self._sorted_peers:
             if peer_id == skip_peer:
@@ -705,6 +808,181 @@ class Broker:
             self.host.cpu.execute(
                 self.profile.control_cost_s, self._send_peer, peer_id, advert
             )
+
+    # --------------------------------- peer failure detection (heartbeats)
+
+    def _arm_peer_heartbeat(self) -> None:
+        self._peer_hb_timer = self.sim.schedule(
+            self.peer_heartbeat_interval_s, self._peer_heartbeat_tick
+        )
+
+    def _peer_heartbeat_tick(self) -> None:
+        self._peer_hb_timer = None
+        if self._closed:
+            return
+        self._hb_tick += 1
+        deadline = (
+            self.sim.now
+            - self.peer_heartbeat_interval_s * self.peer_miss_limit
+        )
+        for peer_id in [
+            peer
+            for peer in self._sorted_peers
+            if self._peer_last_heard.get(peer, 0.0) < deadline
+        ]:
+            self._evict_peer(peer_id)
+        beat = PeerHeartbeat(origin_broker=self.broker_id)
+        send_digest = (
+            self.link_state_enabled and self._hb_tick % ANTI_ENTROPY_TICKS == 0
+        )
+        cpu, cost = self.host.cpu, self.profile.control_cost_s
+        for peer_id in self._sorted_peers:
+            cpu.execute(cost, self._send_peer, peer_id, beat)
+            if send_digest:
+                cpu.execute(cost, self._send_peer, peer_id, self._make_digest())
+        self._arm_peer_heartbeat()
+
+    def _evict_peer(self, peer_id: str) -> None:
+        """Declare a silent peer dead — no central announcement involved.
+
+        ``remove_peer`` re-originates our LSA; once the flood converges
+        and the dead broker is globally unreachable, the local recompute
+        path (:meth:`set_routes`) purges its remote interest everywhere.
+        """
+        self.peers_evicted += 1
+        self.remove_peer(peer_id)
+
+    # ------------------------------------------- link-state routing (LSAs)
+
+    def _originate_lsa(self) -> None:
+        """Flood a fresh advert for our current adjacency."""
+        self._lsa_epoch += 1
+        self.lsas_originated += 1
+        neighbors = frozenset(self._peers)
+        self._lsdb[self.broker_id] = (self._lsa_epoch, neighbors)
+        self._flood_advert(
+            LinkStateAdvert(
+                origin_broker=self.broker_id,
+                epoch=self._lsa_epoch,
+                neighbors=neighbors,
+            ),
+            skip_peer=None,
+        )
+        self._schedule_recompute()
+
+    def _make_digest(self) -> LinkStateDigest:
+        self._lsdb[self.broker_id] = (self._lsa_epoch, frozenset(self._peers))
+        return LinkStateDigest(
+            origin_broker=self.broker_id,
+            epochs={origin: entry[0] for origin, entry in self._lsdb.items()},
+        )
+
+    def _on_link_state_advert(
+        self, lsa: LinkStateAdvert, from_peer: Optional[str]
+    ) -> None:
+        if not self._seen_adverts.add(lsa.advert_id):
+            return
+        self.control_messages += 1
+        self.lsas_received += 1
+        origin = lsa.origin_broker
+        if origin == self.broker_id:
+            # An echo of our own adjacency at an epoch we never issued in
+            # this incarnation means we restarted while the mesh still
+            # holds our past life's entry.  Jump past it and re-originate
+            # so everyone converges on the live adjacency.
+            if lsa.epoch >= self._lsa_epoch:
+                self._lsa_epoch = lsa.epoch
+                self._originate_lsa()
+            return
+        current = self._lsdb.get(origin)
+        if current is not None and lsa.epoch <= current[0]:
+            return  # stale or already known
+        self._lsdb[origin] = (lsa.epoch, lsa.neighbors)
+        self._flood_advert(lsa, skip_peer=from_peer)
+        self._schedule_recompute()
+
+    def _on_link_state_digest(
+        self, digest: LinkStateDigest, from_peer: Optional[str]
+    ) -> None:
+        if from_peer is None:
+            return
+        self.control_messages += 1
+        self._make_digest()  # refresh our own entry before comparing
+        cpu, cost = self.host.cpu, self.profile.control_cost_s
+        theirs = digest.epochs
+        for origin in sorted(self._lsdb):
+            epoch, neighbors = self._lsdb[origin]
+            if theirs.get(origin, -1) < epoch:
+                lsa = LinkStateAdvert(
+                    origin_broker=origin, epoch=epoch, neighbors=neighbors
+                )
+                self._seen_adverts.add(lsa.advert_id)
+                cpu.execute(cost, self._send_peer, from_peer, lsa)
+        behind = any(
+            origin not in self._lsdb or self._lsdb[origin][0] < epoch
+            for origin, epoch in theirs.items()
+        )
+        if behind:
+            # Ask for the newer entries with our own digest.  Terminates:
+            # a reply is only sent when strictly behind, and epochs only
+            # ever advance.
+            cpu.execute(cost, self._send_peer, from_peer, self._make_digest())
+
+    def _schedule_recompute(self) -> None:
+        """Debounced local route recompute (many LSAs, one Dijkstra)."""
+        if not self.link_state_enabled or self._recompute_pending:
+            return
+        self._recompute_pending = True
+        self.sim.schedule(0.0, self._run_recompute)
+
+    def _run_recompute(self) -> None:
+        self._recompute_pending = False
+        if self._closed:
+            return
+        self._recompute_routes()
+
+    def _recompute_routes(self) -> None:
+        """Compute our next-hop table from the link-state database.
+
+        An edge counts only when *both* endpoints advertise it (a broker
+        that evicted us no longer routes through us, so we must not route
+        through it either).  Unit weights; ties break lexicographically
+        so every broker derives consistent paths.
+        """
+        claimed: Dict[str, FrozenSet[str]] = {
+            origin: entry[1] for origin, entry in self._lsdb.items()
+        }
+        claimed[self.broker_id] = frozenset(self._peers)
+        adjacency: Dict[str, Set[str]] = {
+            origin: {
+                neighbor
+                for neighbor in neighbors
+                if origin in claimed.get(neighbor, ())
+            }
+            for origin, neighbors in claimed.items()
+        }
+        routes: Dict[str, str] = {}
+        dist: Dict[str, int] = {self.broker_id: 0}
+        heap: List[Tuple[int, str, str]] = []
+        for neighbor in sorted(adjacency.get(self.broker_id, ())):
+            heapq.heappush(heap, (1, neighbor, neighbor))
+        while heap:
+            d, node, first_hop = heapq.heappop(heap)
+            if node in dist:
+                continue
+            dist[node] = d
+            routes[node] = first_hop
+            for neighbor in sorted(adjacency.get(node, ())):
+                if neighbor not in dist:
+                    heapq.heappush(heap, (d + 1, neighbor, first_hop))
+        self.set_routes(routes)
+        # Forget unreachable origins: their interest was just purged by
+        # set_routes, and dropping the stale LSDB entry means a restarted
+        # broker re-enters at epoch 1 without fighting its past life.
+        for origin in [
+            o for o in self._lsdb if o != self.broker_id and o not in dist
+        ]:
+            del self._lsdb[origin]
 
     # ------------------------------------------------------------- admin
 
@@ -715,6 +993,9 @@ class Broker:
         if self._reap_timer is not None:
             self._reap_timer.cancel()
             self._reap_timer = None
+        if self._peer_hb_timer is not None:
+            self._peer_hb_timer.cancel()
+            self._peer_hb_timer = None
         for record in list(self._clients.values()):
             if record.outbox is not None:
                 record.outbox.close()

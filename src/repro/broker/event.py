@@ -28,6 +28,9 @@ class NBEvent:
         ordered: request per-topic total ordering (broker sequencing).
         sequence: per-topic sequence number stamped by the sequencing
             broker when ``ordered`` is set.
+        sequenced_by: id of the broker that assigned ``sequence``;
+            receivers use a change of sequencer (failover, partition
+            heal) to restart their per-topic expectations.
     """
 
     __slots__ = (
@@ -40,6 +43,7 @@ class NBEvent:
         "reliable",
         "ordered",
         "sequence",
+        "sequenced_by",
         "headers",
     )
 
@@ -53,6 +57,7 @@ class NBEvent:
         reliable: bool = False,
         ordered: bool = False,
         sequence: Optional[int] = None,
+        sequenced_by: Optional[str] = None,
         headers: Optional[Dict[str, Any]] = None,
     ):
         self.event_id = next(_event_ids)
@@ -64,6 +69,7 @@ class NBEvent:
         self.reliable = reliable
         self.ordered = ordered
         self.sequence = sequence
+        self.sequenced_by = sequenced_by
         self.headers = headers
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, FrozenSet, Optional
+from typing import Any, Callable, Dict, FrozenSet, Optional
 
 from repro.broker.event import NBEvent
 from repro.simnet.firewall import TunnelClient
@@ -149,6 +149,49 @@ class SubAdvert:
     add: bool = True
 
 
+@dataclass
+class PeerHeartbeat:
+    """Broker-to-broker liveness beacon over an established peer link.
+
+    Unlike the client :class:`Heartbeat` there is no ack: both sides beat
+    symmetrically, so each incoming beat (or any other peer traffic)
+    refreshes the sender's liveness and a configurable run of silent
+    intervals declares the peer dead.
+    """
+
+    origin_broker: str
+
+
+@dataclass
+class LinkStateAdvert:
+    """Flooded link-state advert: one broker's current adjacency + epoch.
+
+    Brokers accept an LSA only when its epoch exceeds the one recorded for
+    the origin, re-flood it to all peers except the one it arrived from
+    (dedup-windowed like :class:`SubAdvert`), and recompute next-hop
+    tables locally from the resulting link-state database.
+    """
+
+    advert_id: int = field(default_factory=lambda: next(_advert_ids))
+    origin_broker: str = ""
+    epoch: int = 0
+    neighbors: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class LinkStateDigest:
+    """Anti-entropy summary of a broker's link-state database.
+
+    Sent when a peer link comes up (partition heal) and periodically with
+    heartbeats; the receiver pushes back any LSAs it holds at a strictly
+    newer epoch, which is how divergent halves of a healed partition
+    reconcile without re-flooding everything.
+    """
+
+    origin_broker: str = ""
+    epochs: Dict[str, int] = field(default_factory=dict)
+
+
 def message_size(message: Any, envelope_bytes: int) -> int:
     """Wire size of a broker message."""
     if isinstance(message, (Publish, EventDelivery)):
@@ -164,6 +207,10 @@ def message_size(message: Any, envelope_bytes: int) -> int:
         )
     if isinstance(message, SequenceRequest):
         return envelope_bytes + len(message.event.topic) + message.event.size + 16
+    if isinstance(message, LinkStateAdvert):
+        return CONTROL_BYTES + 8 * len(message.neighbors)
+    if isinstance(message, LinkStateDigest):
+        return CONTROL_BYTES + 12 * len(message.epochs)
     return CONTROL_BYTES
 
 
@@ -215,6 +262,8 @@ class UdpClientLink(ClientLink):
         self.client_address = client_address
 
     def _transmit(self, message: Any, size: int) -> None:
+        if self._socket.closed:
+            return  # broker crashed between scheduling and sending
         self._socket.sendto(message, size, self.client_address)
 
 

@@ -46,10 +46,19 @@ class BrokerSample:
     heartbeats_received: int = 0
     clients_reaped: int = 0
     outbox_abandons: int = 0
+    local_subscriptions: int = 0
+    remote_interest: int = 0
+    peer_heartbeats_received: int = 0
+    peers_evicted: int = 0
+    lsas_originated: int = 0
+    lsas_received: int = 0
+    routing_epochs: int = 0
+    last_route_change_at: float = -1.0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":
         host = broker.host
+        stats = broker.statistics()
         return BrokerSample(
             broker_id=broker.broker_id,
             at=broker.sim.now,
@@ -67,6 +76,14 @@ class BrokerSample:
             heartbeats_received=broker.heartbeats_received,
             clients_reaped=broker.clients_reaped,
             outbox_abandons=broker.outbox_abandons,
+            local_subscriptions=stats["local_subscriptions"],
+            remote_interest=stats["remote_interest"],
+            peer_heartbeats_received=broker.peer_heartbeats_received,
+            peers_evicted=broker.peers_evicted,
+            lsas_originated=broker.lsas_originated,
+            lsas_received=broker.lsas_received,
+            routing_epochs=broker.routing_epochs,
+            last_route_change_at=broker.last_route_change_at,
         )
 
 

@@ -1,18 +1,28 @@
 """Broker network assembly: the "distributed sets of NaradaBrokering nodes".
 
-Builds a graph of brokers over simulated hosts, wires peer links, computes
-shortest-path next-hop routing tables (via networkx), and keeps
-subscription adverts synchronized when topology changes — the "dynamic
-collection of brokers" of Section 2.3.
+Builds a graph of brokers over simulated hosts and wires peer links — the
+"dynamic collection of brokers" of Section 2.3.  Two operating modes:
+
+* **Central** (default, ``autonomous=False``): this object computes every
+  broker's shortest-path next-hop table (via networkx) and pushes it with
+  ``set_routes`` whenever topology changes, and re-syncs subscription
+  adverts itself.  Deterministic and instant — right for calibration
+  benchmarks where failure handling is not under test.
+* **Autonomous** (``autonomous=True``): brokers run peer heartbeats and
+  flooded link-state adverts, detect dead peers themselves, and compute
+  their own routes; this object shrinks to a topology builder plus a
+  chaos driver (``crash_broker`` / ``restart_broker`` / ``cut_link`` /
+  ``restore_link`` / ``partition`` / ``heal``) that injects faults
+  *without telling anyone* — detection and repair are the mesh's job.
 
 Topology builders cover the shapes used by the benchmarks: a single
-broker, a chain, a star, and the hierarchical cluster/super-cluster layout
-NaradaBrokering favours.
+broker, a chain, a star, a ring, and the hierarchical cluster /
+super-cluster layout NaradaBrokering favours.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -22,15 +32,35 @@ from repro.simnet.link import LAN_1G, LinkProfile
 from repro.simnet.network import Network
 from repro.simnet.node import Host
 
+#: Default peer-heartbeat interval when ``autonomous`` is on and no
+#: explicit interval was given.
+DEFAULT_PEER_HEARTBEAT_S = 1.0
+
 
 class BrokerNetwork:
     """A dynamic collection of interconnected brokers."""
 
-    def __init__(self, network: Network, profile: BrokerProfile = NARADA_PROFILE):
+    def __init__(
+        self,
+        network: Network,
+        profile: BrokerProfile = NARADA_PROFILE,
+        autonomous: bool = False,
+        peer_heartbeat_interval_s: Optional[float] = None,
+        peer_miss_limit: int = 3,
+    ):
         self.network = network
         self.profile = profile
+        self.autonomous = autonomous
+        self.peer_heartbeat_interval_s = (
+            peer_heartbeat_interval_s
+            if peer_heartbeat_interval_s is not None
+            else (DEFAULT_PEER_HEARTBEAT_S if autonomous else None)
+        )
+        self.peer_miss_limit = peer_miss_limit
         self.graph = nx.Graph()
         self._brokers: Dict[str, Broker] = {}
+        self._crashed: Dict[str, Tuple[Host, Set[str]]] = {}
+        self._cut: Set[Tuple[str, str]] = set()
 
     # ----------------------------------------------------------- topology
 
@@ -50,6 +80,9 @@ class BrokerNetwork:
             host,
             broker_id=name,
             profile=profile if profile is not None else self.profile,
+            link_state_enabled=self.autonomous,
+            peer_heartbeat_interval_s=self.peer_heartbeat_interval_s,
+            peer_miss_limit=self.peer_miss_limit,
         )
         self._brokers[name] = broker
         self.graph.add_node(name)
@@ -62,6 +95,8 @@ class BrokerNetwork:
         self.graph.add_edge(a, b)
         broker_a.add_peer(b, broker_b.peer_address)
         broker_b.add_peer(a, broker_a.peer_address)
+        if self.autonomous:
+            return  # LSA flood + digest exchange take it from here
         self._recompute_routes()
         # Re-advertise interest so the new edge learns existing state.
         broker_a.sync_subscriptions_to_peers()
@@ -70,21 +105,33 @@ class BrokerNetwork:
     def disconnect(self, a: str, b: str) -> None:
         if self.graph.has_edge(a, b):
             self.graph.remove_edge(a, b)
-        self.broker(a).remove_peer(b)
-        self.broker(b).remove_peer(a)
+        broker_a = self.broker(a)
+        broker_b = self.broker(b)
+        broker_a.remove_peer(b)
+        broker_b.remove_peer(a)
+        if self.autonomous:
+            return
         self._recompute_routes()
+        # Remote interest learned through the removed edge may now need a
+        # different next hop on brokers that never re-heard the adverts;
+        # re-sync from both former endpoints so routing state follows the
+        # new topology instead of waiting for the next natural advert.
+        broker_a.sync_subscriptions_to_peers()
+        broker_b.sync_subscriptions_to_peers()
 
     def remove_broker(self, name: str) -> None:
-        """A broker dies: close it, unpeer it everywhere, and recompute
-        routes — which also purges the dead broker's remote interest on
-        every survivor (see :meth:`Broker.set_routes`)."""
+        """A broker is administratively retired: unpeer it everywhere,
+        recompute routes — which also purges the dead broker's remote
+        interest on every survivor (see :meth:`Broker.set_routes`) — and
+        only then close it, so no survivor ever sends to a closed host."""
         broker = self.broker(name)
         for peer in list(self.graph.neighbors(name)):
             self.broker(peer).remove_peer(name)
         self.graph.remove_node(name)
         del self._brokers[name]
+        if not self.autonomous:
+            self._recompute_routes()
         broker.close()
-        self._recompute_routes()
 
     def _recompute_routes(self) -> None:
         paths = dict(nx.all_pairs_shortest_path(self.graph))
@@ -94,6 +141,85 @@ class BrokerNetwork:
                 if destination != broker_id and len(path) >= 2:
                     routes[destination] = path[1]
             broker.set_routes(routes)
+
+    # ------------------------------------------------------ chaos driving
+    #
+    # Everything below injects failures *without announcing them*: the
+    # graph/bookkeeping here tracks ground truth for the harness, but no
+    # broker is told anything — the mesh must notice via heartbeats and
+    # repair via LSAs.
+
+    def crash_broker(self, name: str) -> None:
+        """Un-announced kill: sockets close, peers learn nothing."""
+        broker = self._brokers.pop(name)
+        self._crashed[name] = (broker.host, set(self.graph.neighbors(name)))
+        self.graph.remove_node(name)
+        broker.close()
+
+    def restart_broker(self, name: str) -> Broker:
+        """Bring a crashed broker back on its old host and re-peer it with
+        every pre-crash neighbour that is alive and not cut off."""
+        host, former_neighbors = self._crashed.pop(name)
+        broker = Broker(
+            host,
+            broker_id=name,
+            profile=self.profile,
+            link_state_enabled=self.autonomous,
+            peer_heartbeat_interval_s=self.peer_heartbeat_interval_s,
+            peer_miss_limit=self.peer_miss_limit,
+        )
+        self._brokers[name] = broker
+        self.graph.add_node(name)
+        for peer in sorted(former_neighbors):
+            if (
+                peer in self._brokers
+                and self._edge_key(name, peer) not in self._cut
+            ):
+                self._repeer(name, peer)
+        return broker
+
+    def _repeer(self, a: str, b: str) -> None:
+        broker_a = self.broker(a)
+        broker_b = self.broker(b)
+        self.graph.add_edge(a, b)
+        broker_a.add_peer(b, broker_b.peer_address)
+        broker_b.add_peer(a, broker_a.peer_address)
+
+    def _edge_key(self, a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Blackhole the path between two brokers' hosts, silently."""
+        self._cut.add(self._edge_key(a, b))
+        self.network.set_path_blocked(a, b, True)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Un-blackhole a path; if either side evicted the other during
+        the outage, re-peer them (the administrative act of plugging the
+        cable back in — LSAs and digests then reconverge the mesh)."""
+        self._cut.discard(self._edge_key(a, b))
+        self.network.set_path_blocked(a, b, False)
+        broker_a = self._brokers.get(a)
+        broker_b = self._brokers.get(b)
+        if broker_a is None or broker_b is None:
+            return  # an endpoint is crashed; restart_broker will re-peer
+        if not (broker_a.has_peer(b) and broker_b.has_peer(a)):
+            self._repeer(a, b)
+
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Split the mesh: cut every live edge crossing group boundaries."""
+        side_of: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                side_of[name] = index
+        for a, b in sorted(self.graph.edges):
+            if side_of.get(a) != side_of.get(b):
+                self.cut_link(a, b)
+
+    def heal(self) -> None:
+        """Restore every link this network currently has cut."""
+        for a, b in sorted(self._cut):
+            self.restore_link(a, b)
 
     # ------------------------------------------------------------- access
 
@@ -136,13 +262,38 @@ class BrokerNetwork:
         name_prefix: str = "broker",
         profile: BrokerProfile = NARADA_PROFILE,
         link: LinkProfile = LAN_1G,
+        **options,
     ) -> "BrokerNetwork":
-        broker_network = cls(network, profile)
+        broker_network = cls(network, profile, **options)
         names = [f"{name_prefix}-{i}" for i in range(count)]
         for name in names:
             broker_network.add_broker(name, link=link)
         for left, right in zip(names, names[1:]):
             broker_network.connect(left, right)
+        return broker_network
+
+    @classmethod
+    def ring(
+        cls,
+        network: Network,
+        count: int,
+        name_prefix: str = "broker",
+        profile: BrokerProfile = NARADA_PROFILE,
+        link: LinkProfile = LAN_1G,
+        **options,
+    ) -> "BrokerNetwork":
+        """A cycle of brokers: every node has two disjoint paths to every
+        other, the smallest topology where losing one link or one broker
+        leaves the mesh connected — the chaos-soak workhorse."""
+        if count < 3:
+            raise ValueError("a ring needs at least 3 brokers")
+        broker_network = cls(network, profile, **options)
+        names = [f"{name_prefix}-{i}" for i in range(count)]
+        for name in names:
+            broker_network.add_broker(name, link=link)
+        for left, right in zip(names, names[1:]):
+            broker_network.connect(left, right)
+        broker_network.connect(names[-1], names[0])
         return broker_network
 
     @classmethod
@@ -153,8 +304,9 @@ class BrokerNetwork:
         name_prefix: str = "broker",
         profile: BrokerProfile = NARADA_PROFILE,
         link: LinkProfile = LAN_1G,
+        **options,
     ) -> "BrokerNetwork":
-        broker_network = cls(network, profile)
+        broker_network = cls(network, profile, **options)
         hub = f"{name_prefix}-hub"
         broker_network.add_broker(hub, link=link)
         for i in range(leaves):
@@ -171,10 +323,11 @@ class BrokerNetwork:
         name_prefix: str = "broker",
         profile: BrokerProfile = NARADA_PROFILE,
         link: LinkProfile = LAN_1G,
+        **options,
     ) -> "BrokerNetwork":
         """Clusters of fully-meshed brokers; cluster gateways form a ring —
         the cluster / super-cluster organization of NaradaBrokering."""
-        broker_network = cls(network, profile)
+        broker_network = cls(network, profile, **options)
         gateways: List[str] = []
         for c, size in enumerate(cluster_sizes):
             members = [f"{name_prefix}-c{c}-{i}" for i in range(size)]

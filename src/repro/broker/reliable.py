@@ -134,14 +134,27 @@ class OrderedInbox:
         self._expected: Dict[str, int] = {}
         self._buffer: Dict[str, Dict[int, NBEvent]] = {}
         self._gap_timers: Dict[str, Timer] = {}
+        self._sequencer: Dict[str, str] = {}
         self.gaps_flushed = 0
         self.stale_dropped = 0
+        self.sequencer_changes = 0
 
     def accept(self, event: NBEvent) -> None:
         if event.sequence is None:
             self._deliver(event)
             return
         topic = event.topic
+        if event.sequenced_by is not None:
+            known = self._sequencer.get(topic)
+            if known is None:
+                self._sequencer[topic] = event.sequenced_by
+            elif known != event.sequenced_by:
+                # The topic was re-sequenced by a different broker (mesh
+                # failover or partition heal): its counter is unrelated to
+                # the old one, so restart expectations at this event.
+                self._sequencer[topic] = event.sequenced_by
+                self.sequencer_changes += 1
+                self._reset_topic(topic, event.sequence)
         expected = self._expected.get(topic, 0)
         if event.sequence < expected:
             self.stale_dropped += 1
@@ -167,6 +180,17 @@ class OrderedInbox:
             if timer is not None:
                 timer.cancel()
 
+    def _reset_topic(self, topic: str, next_expected: int) -> None:
+        """Flush one topic's buffer in order and restart its expectation."""
+        timer = self._gap_timers.pop(topic, None)
+        if timer is not None:
+            timer.cancel()
+        buffer = self._buffer.pop(topic, None)
+        self._expected[topic] = next_expected
+        if buffer:
+            for sequence in sorted(buffer):
+                self._deliver(buffer[sequence])
+
     def reset(self) -> None:
         """Flush everything buffered (in per-topic sequence order) and
         forget sequence expectations.
@@ -181,6 +205,7 @@ class OrderedInbox:
         self._gap_timers.clear()
         buffers, self._buffer = self._buffer, {}
         self._expected.clear()
+        self._sequencer.clear()
         for topic in sorted(buffers):
             buffer = buffers[topic]
             for sequence in sorted(buffer):

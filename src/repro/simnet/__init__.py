@@ -15,6 +15,7 @@ from repro.simnet.cpu import Cpu, GcProfile
 from repro.simnet.nic import Nic
 from repro.simnet.node import Host
 from repro.simnet.network import Network
+from repro.simnet.chaos import ChaosEvent, ChaosSchedule
 from repro.simnet.udp import UdpSocket
 from repro.simnet.tcp import TcpListener, TcpConnection, tcp_connect
 from repro.simnet.multicast import MulticastGroupAddress, is_multicast
@@ -38,6 +39,8 @@ __all__ = [
     "Nic",
     "Host",
     "Network",
+    "ChaosEvent",
+    "ChaosSchedule",
     "UdpSocket",
     "TcpListener",
     "TcpConnection",

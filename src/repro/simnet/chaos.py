@@ -1,0 +1,148 @@
+"""Chaos injection for broker-mesh soaks.
+
+The paper's substrate is a *"dynamic collection of brokers"* expected to
+keep A/V sessions alive across hostile WANs.  A :class:`ChaosSchedule`
+scripts that hostility against a running simulation: timed link flaps,
+loss bursts, network partitions, and un-announced broker crash/restart —
+all deterministic for a given seed, so a chaos soak is as reproducible as
+any other experiment on the kernel.
+
+The schedule drives mechanisms owned elsewhere: path blackholing lives on
+:class:`repro.simnet.network.Network`, link profiles on hosts, and the
+broker-level operations (``cut_link`` / ``restore_link`` / ``partition``
+/ ``heal`` / ``crash_broker`` / ``restart_broker``) on the broker-network
+object passed in.  The object is duck-typed on purpose — ``simnet`` does
+not import the broker package.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ChaosEvent:
+    """One injected fault, recorded at the instant it fired."""
+
+    at: float
+    kind: str
+    detail: str
+
+
+class ChaosSchedule:
+    """Timed fault injection against a broker network.
+
+    All ``at`` times are absolute virtual times.  Faults are injected
+    silently — no broker or client is told anything; detection and repair
+    are the system's job.  Every fired fault is appended to :attr:`log`.
+    """
+
+    def __init__(self, broker_network: Any, seed: int = 0):
+        self.bnet = broker_network
+        self.network = broker_network.network
+        self.sim = self.network.sim
+        self.rng = random.Random(seed)
+        self.log: List[ChaosEvent] = []
+
+    def _fire(self, kind: str, detail: str, action, *args) -> None:
+        action(*args)
+        self.log.append(ChaosEvent(self.sim.now, kind, detail))
+
+    # ------------------------------------------------------------- links
+
+    def cut_link(self, at: float, a: str, b: str) -> None:
+        """Blackhole the peer path between brokers ``a`` and ``b`` at ``at``."""
+        self.sim.schedule_at(
+            at, self._fire, "cut-link", f"{a}<->{b}", self.bnet.cut_link, a, b
+        )
+
+    def restore_link(self, at: float, a: str, b: str) -> None:
+        self.sim.schedule_at(
+            at, self._fire, "restore-link", f"{a}<->{b}",
+            self.bnet.restore_link, a, b,
+        )
+
+    def link_flap(self, at: float, a: str, b: str, down_for: float) -> None:
+        """Cut a link at ``at`` and restore it ``down_for`` seconds later."""
+        self.cut_link(at, a, b)
+        self.restore_link(at + down_for, a, b)
+
+    def random_link_flaps(
+        self,
+        edges: Sequence[Tuple[str, str]],
+        between: Tuple[float, float],
+        count: int,
+        down_for: Tuple[float, float],
+    ) -> None:
+        """Schedule ``count`` flaps on random edges at seeded-random times."""
+        edges = list(edges)
+        start, end = between
+        for _ in range(count):
+            a, b = self.rng.choice(edges)
+            at = self.rng.uniform(start, end)
+            duration = self.rng.uniform(*down_for)
+            self.link_flap(at, a, b, duration)
+
+    # -------------------------------------------------------- partitions
+
+    def partition(
+        self,
+        at: float,
+        groups: Sequence[Iterable[str]],
+        heal_after: Optional[float] = None,
+    ) -> None:
+        """Split the mesh into ``groups`` at ``at``; optionally heal later."""
+        sides = [sorted(group) for group in groups]
+        detail = " | ".join(",".join(side) for side in sides)
+        self.sim.schedule_at(
+            at, self._fire, "partition", detail, self.bnet.partition, sides
+        )
+        if heal_after is not None:
+            self.heal(at + heal_after)
+
+    def heal(self, at: float) -> None:
+        """Restore every link this network currently has cut."""
+        self.sim.schedule_at(at, self._fire, "heal", "all cut links",
+                             self.bnet.heal)
+
+    # ----------------------------------------------------------- brokers
+
+    def crash_broker(
+        self, at: float, name: str, restart_after: Optional[float] = None
+    ) -> None:
+        """Un-announced broker kill at ``at``; optionally restart later."""
+        self.sim.schedule_at(
+            at, self._fire, "crash", name, self.bnet.crash_broker, name
+        )
+        if restart_after is not None:
+            self.sim.schedule_at(
+                at + restart_after, self._fire, "restart", name,
+                self.bnet.restart_broker, name,
+            )
+
+    # ------------------------------------------------------------- hosts
+
+    def loss_burst(
+        self, at: float, host_name: str, duration: float, loss_rate: float = 0.2
+    ) -> None:
+        """Degrade one host's access link to ``loss_rate`` for ``duration``."""
+        def begin() -> None:
+            host = self.network.host(host_name)
+            original = host.link
+            host.link = replace(original, loss_rate=loss_rate)
+
+            def end() -> None:
+                host.link = original
+            self.sim.schedule(
+                duration, self._fire, "loss-burst-end", host_name, end
+            )
+
+        self.sim.schedule_at(
+            at, self._fire, "loss-burst",
+            f"{host_name} loss={loss_rate:g} for {duration:g}s", begin,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChaosSchedule fired={len(self.log)}>"

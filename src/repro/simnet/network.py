@@ -9,7 +9,7 @@ to every joined (host, port) member, honoring per-member path properties.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.simnet.kernel import Simulator
 from repro.simnet.link import LinkProfile, LAN_100M
@@ -38,10 +38,12 @@ class Network:
         self._rng = self.streams.stream("network")
         self._hosts: Dict[str, Host] = {}
         self._path_latency: Dict[Tuple[str, str], float] = {}
+        self._blocked: Set[FrozenSet[str]] = set()
         self._groups: Dict[str, Set[Address]] = {}
         self._taps: List[Callable[[Datagram], None]] = []
         self.delivered_packets = 0
         self.lost_packets = 0
+        self.blackholed_packets = 0
 
     # ------------------------------------------------------------- hosts
 
@@ -76,6 +78,23 @@ class Network:
 
     def fabric_latency(self, src: str, dst: str) -> float:
         return self._path_latency.get((src, dst), self.base_latency_s)
+
+    def set_path_blocked(self, a: str, b: str, blocked: bool = True) -> None:
+        """Blackhole (or restore) the fabric path between two hosts.
+
+        A blocked path silently discards every packet in both directions —
+        the failure mode a WAN link cut or a network partition presents to
+        the endpoints: nothing is delivered and nothing is signalled, so
+        liveness must be inferred from silence.
+        """
+        key = frozenset((a, b))
+        if blocked:
+            self._blocked.add(key)
+        else:
+            self._blocked.discard(key)
+
+    def path_blocked(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._blocked
 
     # ---------------------------------------------------------- multicast
 
@@ -134,6 +153,10 @@ class Network:
         dst_host = self._hosts.get(dst.host)
         if dst_host is None:
             raise UnknownHostError(dst.host)
+        if self._blocked and frozenset((datagram.src.host, dst.host)) in self._blocked:
+            self.lost_packets += 1
+            self.blackholed_packets += 1
+            return
         rng = self._rng
         if src_host is not None and src_host.link.drops(rng):
             self.lost_packets += 1

@@ -246,3 +246,62 @@ def test_ordered_inbox_reset_flushes_buffer_and_forgets_sequence():
     assert inbox.stale_dropped == 0
     sim.run_for(2.0)
     assert inbox.gaps_flushed == 0
+
+
+def test_ordered_inbox_sequencer_change_restarts_expectations():
+    """A re-elected sequencer (mesh failover, partition heal) numbers the
+    topic from its own counter; the inbox must flush what it buffered and
+    adopt the new numbering instead of treating it as stale/gapped."""
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(
+        sim, lambda e: delivered.append((e.sequenced_by, e.sequence)),
+        gap_timeout_s=0.5,
+    )
+
+    def event(sequence, sequenced_by):
+        return NBEvent(
+            "/t", sequence, 10, sequence=sequence, sequenced_by=sequenced_by
+        )
+
+    for i in range(5):
+        inbox.accept(event(i, "b0"))
+    inbox.accept(event(6, "b0"))  # buffered behind the hole at 5
+    assert delivered == [("b0", i) for i in range(5)]
+
+    # New sequencer starts over at 0 — far below the old expectation.
+    inbox.accept(event(0, "b1"))
+    assert inbox.sequencer_changes == 1
+    # The old buffered event was flushed, then the new numbering begins.
+    assert delivered[-2:] == [("b0", 6), ("b1", 0)]
+    assert inbox.stale_dropped == 0
+    inbox.accept(event(1, "b1"))
+    assert delivered[-1] == ("b1", 1)
+    sim.run_for(2.0)
+    assert inbox.gaps_flushed == 0
+
+
+def test_ordered_inbox_sequencer_change_is_per_topic():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import OrderedInbox
+
+    sim = Simulator()
+    delivered = []
+    inbox = OrderedInbox(
+        sim, lambda e: delivered.append((e.topic, e.sequence)), gap_timeout_s=0.5
+    )
+
+    def event(topic, sequence, sequenced_by):
+        return NBEvent(
+            topic, sequence, 10, sequence=sequence, sequenced_by=sequenced_by
+        )
+
+    inbox.accept(event("/a", 0, "b0"))
+    inbox.accept(event("/b", 0, "b0"))
+    inbox.accept(event("/a", 0, "b1"))  # only /a re-sequenced
+    assert inbox.sequencer_changes == 1
+    inbox.accept(event("/b", 1, "b0"))  # /b unaffected, still in order
+    assert delivered == [("/a", 0), ("/b", 0), ("/a", 0), ("/b", 1)]
