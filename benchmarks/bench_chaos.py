@@ -30,6 +30,9 @@ from repro.bench.reporting import json_artifact, simple_table
 from repro.broker.client import BrokerClient
 from repro.broker.monitor import BrokerSample
 from repro.broker.network import BrokerNetwork
+from repro.obs.collector import TraceCollector
+from repro.obs.slo import AlertLog, SloWatchdog
+from repro.obs.trace import Tracer
 from repro.simnet.chaos import ChaosSchedule
 from repro.simnet.kernel import Simulator
 from repro.simnet.network import Network
@@ -40,6 +43,16 @@ PUBLISH_INTERVAL_S = 0.02  # 50 pps
 RUN_FOR_S = 30.0
 PEER_HEARTBEAT_S = 0.25
 PEER_MISS_LIMIT = 2
+
+#: 1-in-10 publishes traced: enough path samples around each fault to
+#: attribute the reroute, at negligible modeled cost.
+TRACE_SAMPLE_RATE = 0.1
+
+#: SLO gap budget for the watchdog — deliberately *tighter* than the
+#: acceptance budget below so the crash and partition outages actually
+#: raise alerts (an SLO that only fires when the test fails is useless).
+ALERT_GAP_BUDGET_S = 0.3
+ALERT_CHECK_INTERVAL_S = 0.25
 
 CRASH_AT_S = 5.0
 RESTART_AT_S = 12.0
@@ -64,6 +77,7 @@ def run_soak() -> dict:
         net, 5, autonomous=True,
         peer_heartbeat_interval_s=PEER_HEARTBEAT_S,
         peer_miss_limit=PEER_MISS_LIMIT,
+        tracer=Tracer(TRACE_SAMPLE_RATE),
     )
     sim.run_for(2.0)  # initial LSA convergence
     assert bnet.broker("broker-0")._routes["broker-3"] == "broker-4"
@@ -84,6 +98,22 @@ def run_soak() -> dict:
         subscribers[client_id] = client
     sim.run_for(1.0)
     assert all(c.connected for c in subscribers.values())
+
+    # Ops plane on the publisher-side island: sampled traces and SLO
+    # alerts keep flowing through broker-0 across the partition.
+    ops_host = net.create_host("ops-host")
+    collector = TraceCollector(ops_host, bnet.broker("broker-0"))
+    alert_log = AlertLog(ops_host, bnet.broker("broker-0"))
+    watchdog = SloWatchdog(
+        ops_host, bnet.broker("broker-0"),
+        check_interval_s=ALERT_CHECK_INTERVAL_S,
+    )
+    for client_id in SUBSCRIBER_BROKERS:
+        watchdog.watch_media_gap(
+            f"media-gap/{client_id}",
+            lambda log=arrivals[client_id]: log[-1] if log else None,
+            ALERT_GAP_BUDGET_S,
+        )
 
     chaos = ChaosSchedule(bnet, seed=7)
     chaos.crash_broker(CRASH_AT_S, "broker-4", restart_after=RESTART_AT_S - CRASH_AT_S)
@@ -139,6 +169,21 @@ def run_soak() -> dict:
         broker.broker_id: broker.statistics() for broker in bnet.brokers()
     }
 
+    # Trace forensics: the reroute around the corpse, and the crash gap
+    # attributed to the lost hop, straight from the sampled trace paths.
+    path_changes = collector.path_changes(TOPIC)
+    crash_attribution = collector.attribute_gap(
+        TOPIC, CRASH_AT_S, CRASH_AT_S + 0.1, delivered_by="broker-3"
+    )
+    probe_status = watchdog.probe_status()
+    alerts = list(alert_log.alerts)
+    traces_collected = len(collector.traces)
+
+    # The ops plane hangs up too: its interest must drain with the rest.
+    watchdog.stop()
+    collector.disconnect()
+    alert_log.disconnect()
+
     # Teardown: all clients hang up; the mesh must drain to zero state.
     for client in subscribers.values():
         client.disconnect()
@@ -161,6 +206,11 @@ def run_soak() -> dict:
         "leaks": leaks,
         "chaos_log": chaos.log,
         "subscribers": subscribers,
+        "path_changes": path_changes,
+        "crash_attribution": crash_attribution,
+        "probe_status": probe_status,
+        "alerts": alerts,
+        "traces_collected": traces_collected,
     }
 
 
@@ -219,6 +269,31 @@ def test_chaos_soak_media_gap_convergence_zero_leak(measure):
     }
     assert all(series[-1] > series[0] for series in sampled_epochs.values())
 
+    # The observability spine saw the same story: sampled traces name
+    # broker-4 as the hop lost across the crash gap ...
+    assert result["traces_collected"] > 0
+    attribution = result["crash_attribution"]
+    assert attribution["explained"], attribution
+    assert "broker-4" in attribution["lost_hops"], attribution
+    assert any(
+        "broker-4" in change["lost_hops"]
+        for change in result["path_changes"]
+    ), result["path_changes"]
+
+    # ... and the SLO watchdog alerted during both outages — only then.
+    alerts = result["alerts"]
+    crash_alerts = [a for a in alerts if CRASH_AT_S <= a.at <= RESTART_AT_S]
+    partition_alerts = [
+        a for a in alerts if PARTITION_AT_S <= a.at <= HEAL_AT_S
+    ]
+    assert any(a.name == "media-gap/sub-3" for a in crash_alerts)
+    assert any(a.name == "media-gap/sub-2" for a in partition_alerts)
+    assert any(a.name == "media-gap/sub-3" for a in partition_alerts)
+    assert len(crash_alerts) + len(partition_alerts) == len(alerts), (
+        f"alerts outside the fault windows: "
+        f"{[a.as_dict() for a in alerts]}"
+    )
+
     mean_crash_gap = sum(crash_gaps.values()) / len(crash_gaps)
     print(simple_table(
         "Chaos soak — 5-broker autonomous ring, 50 pps, crash/restart + "
@@ -230,6 +305,12 @@ def test_chaos_soak_media_gap_convergence_zero_leak(measure):
             ("post-heal resume (worst)", f"{worst_resume:.3f}",
              f"budget {MAX_ACCEPTABLE_GAP_S}"),
             ("peer evictions", evictions, "crash + partition"),
+            ("SLO alerts raised", len(alerts),
+             f"gap budget {ALERT_GAP_BUDGET_S}s"),
+            ("traces collected", result["traces_collected"],
+             f"{TRACE_SAMPLE_RATE:.0%} sampling"),
+            ("crash gap attributed to",
+             ",".join(attribution["lost_hops"]), "from trace paths"),
             ("leaked entries after teardown",
              sum(sum(leak) for leak in result["leaks"].values()),
              "expected 0"),
@@ -264,6 +345,13 @@ def test_chaos_soak_media_gap_convergence_zero_leak(measure):
         "client_failovers": 0,
         "per_broker_stats": result["stats_mid"],
         "routing_epoch_series": sampled_epochs,
+        "trace_sample_rate": TRACE_SAMPLE_RATE,
+        "traces_collected": result["traces_collected"],
+        "path_changes": result["path_changes"],
+        "crash_attribution": attribution,
+        "alert_gap_budget_s": ALERT_GAP_BUDGET_S,
+        "alerts": [a.as_dict() for a in alerts],
+        "probe_status": result["probe_status"],
         "leaked_after_teardown": {
             broker_id: {"local_subscriptions": leak[0], "remote_interest": leak[1]}
             for broker_id, leak in result["leaks"].items()

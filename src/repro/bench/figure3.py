@@ -28,6 +28,8 @@ from repro.bench.workload import (
 from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
+from repro.obs.collector import TraceCollector
+from repro.obs.trace import Tracer
 from repro.rtp.packet import RtpPacket
 from repro.rtp.stats import ReceiverStats
 from repro.simnet.udp import UdpSocket
@@ -43,6 +45,11 @@ class Fig3Config:
     seed: int = 0
     settle_s: float = 8.0
     narada_profile: BrokerProfile = NARADA_PROFILE
+    #: 0.0 = tracing off; e.g. 0.01 samples 1-in-100 published packets
+    #: ("narada" runs only — the JMF baseline has no broker to trace).
+    trace_sample_rate: float = 0.0
+    #: Attach a TraceCollector (on the receiver machine) and summarize.
+    collect_traces: bool = False
 
 
 @dataclass
@@ -54,9 +61,12 @@ class Fig3Result:
     jitter_series_ms: List[float]
     avg_delay_ms: float
     avg_jitter_ms: float
+    p99_delay_ms: float
     max_delay_ms: float
     lost: int
     per_client: Dict[str, dict] = field(default_factory=dict)
+    broker_stats: Dict[str, int] = field(default_factory=dict)
+    trace_summary: Dict[str, object] = field(default_factory=dict)
 
     def summary_row(self) -> str:
         return (
@@ -76,6 +86,12 @@ def _collect(stats: Dict[str, ReceiverStats], system: str,
         [s.jitters_s[:packets] for s in stats.values()]
     )
     lost = sum(s.lost for s in stats.values())
+    ordered = sorted(delay_series)
+    p99 = (
+        ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        if ordered
+        else 0.0
+    )
     return Fig3Result(
         system=system,
         receivers=config.receivers,
@@ -84,6 +100,7 @@ def _collect(stats: Dict[str, ReceiverStats], system: str,
         jitter_series_ms=[j * 1000.0 for j in jitter_series],
         avg_delay_ms=mean(delay_series) * 1000.0,
         avg_jitter_ms=mean(jitter_series) * 1000.0,
+        p99_delay_ms=p99 * 1000.0,
         max_delay_ms=max(delay_series, default=0.0) * 1000.0,
         lost=lost,
         per_client={
@@ -104,8 +121,16 @@ def run_figure3(system: str, config: Fig3Config = Fig3Config()) -> Fig3Result:
 def _run_narada(config: Fig3Config) -> Fig3Result:
     testbed = build_fig3_testbed(config.seed)
     sim = testbed.sim
+    tracer = (
+        Tracer(config.trace_sample_rate)
+        if config.trace_sample_rate > 0.0
+        else None
+    )
     broker = Broker(testbed.server_machine, broker_id="fig3-broker",
-                    profile=config.narada_profile)
+                    profile=config.narada_profile, tracer=tracer)
+    collector = None
+    if config.collect_traces and tracer is not None:
+        collector = TraceCollector(testbed.receiver_machine, broker)
 
     measured = set(colocated_indices(config.receivers, config.colocated))
     stats: Dict[str, ReceiverStats] = {}
@@ -140,7 +165,15 @@ def _run_narada(config: Fig3Config) -> Fig3Result:
     )
     source.start()
     _run_until_measured(sim, source, stats, config)
-    return _collect(stats, "narada", config)
+    result = _collect(stats, "narada", config)
+    result.broker_stats = broker.statistics()
+    result.broker_stats["delivery_p99_s"] = broker.delivery_latency.quantile(
+        0.99
+    )
+    if collector is not None:
+        result.trace_summary = collector.summarize(VIDEO_TOPIC)
+        result.trace_summary.pop("by_hop", None)  # too bulky for JSON
+    return result
 
 
 def _run_jmf(config: Fig3Config) -> Fig3Result:

@@ -56,6 +56,18 @@ from repro.broker.profile import BrokerProfile, NARADA_PROFILE
 from repro.broker.reliable import ReliableOutbox
 from repro.broker.route_cache import NextHopGroups, RouteCache, RouteEntry
 from repro.broker.topic import TopicTrie, validate_pattern, validate_topic
+from repro.obs.metrics import (
+    COST_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    TRACE_TOPIC_PREFIX,
+    CompletedTrace,
+    HopRecord,
+    Tracer,
+    internal_topic,
+)
 from repro.simnet.node import Host
 from repro.simnet.packet import Address, Datagram
 from repro.simnet.tcp import TcpConnection, TcpListener
@@ -143,6 +155,7 @@ class Broker:
         link_state_enabled: bool = False,
         peer_heartbeat_interval_s: Optional[float] = None,
         peer_miss_limit: int = 3,
+        tracer: Optional[Tracer] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -209,7 +222,9 @@ class Broker:
         if self.peer_heartbeat_interval_s is not None:
             self._arm_peer_heartbeat()
 
-        # Statistics
+        # Statistics: plain integer attributes mutated on the hot paths,
+        # all registered (bound) in the metrics registry below so the
+        # registry is the single source of truth for snapshots.
         self.events_routed = 0
         self.events_delivered = 0
         self.events_forwarded = 0
@@ -221,8 +236,65 @@ class Broker:
         self.peers_evicted = 0
         self.lsas_originated = 0
         self.lsas_received = 0
+        self.lsas_deduped = 0
+        self.lsas_stale = 0
         self.routing_epochs = 0
+        self.sequencer_changes = 0
+        self.traces_started = 0
+        self.traces_completed = 0
         self.last_route_change_at = -1.0
+        self._last_sequencers: Dict[str, str] = {}
+
+        # Observability: sampled end-to-end tracing (shared tracer =
+        # collection-wide sampling budget) and the metrics registry.
+        self.tracer = tracer
+        self.metrics = MetricsRegistry()
+        for counter_name in (
+            "events_routed",
+            "events_delivered",
+            "events_forwarded",
+            "control_messages",
+            "heartbeats_received",
+            "clients_reaped",
+            "outbox_abandons",
+            "peer_heartbeats_received",
+            "peers_evicted",
+            "lsas_originated",
+            "lsas_received",
+            "lsas_deduped",
+            "lsas_stale",
+            "routing_epochs",
+            "sequencer_changes",
+            "traces_started",
+            "traces_completed",
+        ):
+            self.metrics.expose(
+                counter_name, lambda name=counter_name: getattr(self, name)
+            )
+        self.metrics.expose("route_cache_hits", lambda: self.route_cache.hits)
+        self.metrics.expose(
+            "route_cache_misses", lambda: self.route_cache.misses
+        )
+        self.metrics.expose(
+            "route_cache_invalidations",
+            lambda: self.route_cache.invalidations,
+        )
+        self.metrics.expose(
+            "route_cache_entries", lambda: len(self.route_cache)
+        )
+        self.metrics.expose(
+            "local_subscriptions", lambda: len(self._local_subs)
+        )
+        self.metrics.expose(
+            "remote_interest", lambda: len(self._remote_interest)
+        )
+        self.metrics.expose("outbox_depth", self._outbox_depth)
+        self.delivery_latency = self.metrics.histogram(
+            "delivery_latency_s", LATENCY_BUCKETS_S
+        )
+        self.routing_cost = self.metrics.histogram(
+            "routing_cost_s", COST_BUCKETS_S
+        )
 
     # --------------------------------------------------------------- info
 
@@ -256,27 +328,19 @@ class Broker:
         return pattern in self._local_subs.patterns_for(client_id)
 
     def statistics(self) -> Dict[str, int]:
-        """The broker's statistics block, including fast-path counters."""
-        return {
-            "events_routed": self.events_routed,
-            "events_delivered": self.events_delivered,
-            "events_forwarded": self.events_forwarded,
-            "control_messages": self.control_messages,
-            "route_cache_hits": self.route_cache.hits,
-            "route_cache_misses": self.route_cache.misses,
-            "route_cache_invalidations": self.route_cache.invalidations,
-            "route_cache_entries": len(self.route_cache),
-            "heartbeats_received": self.heartbeats_received,
-            "clients_reaped": self.clients_reaped,
-            "outbox_abandons": self.outbox_abandons,
-            "local_subscriptions": len(self._local_subs),
-            "remote_interest": len(self._remote_interest),
-            "peer_heartbeats_received": self.peer_heartbeats_received,
-            "peers_evicted": self.peers_evicted,
-            "lsas_originated": self.lsas_originated,
-            "lsas_received": self.lsas_received,
-            "routing_epochs": self.routing_epochs,
-        }
+        """The broker's statistics block, generated from the metrics
+        registry — every registered counter and gauge, by name.  Nothing
+        is hand-listed here, so a counter added to the registry can never
+        silently drift out of the statistics/monitoring surface."""
+        return self.metrics.counters_snapshot()
+
+    def _outbox_depth(self) -> int:
+        """Reliable events pending across every client outbox (gauge)."""
+        return sum(
+            record.outbox.pending_count
+            for record in self._clients.values()
+            if record.outbox is not None
+        )
 
     # --------------------------------------------------- peer provisioning
 
@@ -557,8 +621,22 @@ class Broker:
 
     def _on_publish(self, message: Publish) -> None:
         event = message.event
+        if self.tracer is not None and event.trace is None:
+            if self.tracer.sample(event, self.sim.now) is not None:
+                self.traces_started += 1
+        hop = self._begin_hop(event)
         if event.ordered:
-            self._sequence_then_disseminate(event, exclude=message.client_id)
+            self._sequence_then_disseminate(
+                event, exclude=message.client_id, hop=hop
+            )
+        elif hop is not None:
+            self.host.cpu.execute_traced(
+                self.profile.route_cost_s,
+                self._disseminate,
+                event,
+                message.client_id,
+                hop=hop,
+            )
         else:
             self.host.cpu.execute(
                 self.profile.route_cost_s,
@@ -567,23 +645,49 @@ class Broker:
                 message.client_id,
             )
 
-    def _sequence_then_disseminate(self, event: NBEvent, exclude: Optional[str]) -> None:
+    def _begin_hop(self, event: NBEvent) -> Optional[HopRecord]:
+        """Open a hop record for a traced event arriving at this broker."""
+        if event.trace is None:
+            return None
+        return event.trace.begin_hop(self.broker_id, "broker", self.sim.now)
+
+    def _sequence_then_disseminate(
+        self,
+        event: NBEvent,
+        exclude: Optional[str],
+        hop: Optional[HopRecord] = None,
+    ) -> None:
         sequencer = self.sequencer_for(event.topic)
         if sequencer == self.broker_id:
             event.sequence = self._sequences.get(event.topic, 0)
             event.sequenced_by = self.broker_id
             self._sequences[event.topic] = event.sequence + 1
-            self.host.cpu.execute(
-                self.profile.route_cost_s, self._disseminate, event, exclude
-            )
+            if hop is not None:
+                self.host.cpu.execute_traced(
+                    self.profile.route_cost_s,
+                    self._disseminate, event, exclude, hop=hop,
+                )
+            else:
+                self.host.cpu.execute(
+                    self.profile.route_cost_s, self._disseminate, event, exclude
+                )
         else:
             request = SequenceRequest(event=event, origin_broker=self.broker_id)
-            self.host.cpu.execute(
-                self.profile.forward_cost_s,
-                self._send_peer_toward,
-                sequencer,
-                request,
-            )
+            if hop is not None:
+                hop.link = f"seq:{sequencer}"
+                self.host.cpu.execute_traced(
+                    self.profile.forward_cost_s,
+                    self._send_toward_stamped,
+                    sequencer, request, hop,
+                    hop=hop,
+                )
+            else:
+                self.host.cpu.execute(
+                    self.profile.forward_cost_s,
+                    self._send_peer_toward,
+                    sequencer,
+                    request,
+                )
 
     def sequencer_for(self, topic: str) -> str:
         """Deterministic sequencer election for an ordered topic.
@@ -607,6 +711,14 @@ class Broker:
             self._sequencers[topic] = sequencer
             if len(self._sequencers) > SEQUENCER_CACHE_MAX:
                 del self._sequencers[next(iter(self._sequencers))]
+            # Track re-elections across epochs: a change means in-flight
+            # ordered streams restarted their sequence expectations.
+            previous = self._last_sequencers.get(topic)
+            if previous is not None and previous != sequencer:
+                self.sequencer_changes += 1
+            self._last_sequencers[topic] = sequencer
+            if len(self._last_sequencers) > SEQUENCER_CACHE_MAX:
+                del self._last_sequencers[next(iter(self._last_sequencers))]
         return sequencer
 
     # ------------------------------------------------- routing fast path
@@ -663,6 +775,12 @@ class Broker:
             return
         self.events_routed += 1
         entry = self.resolve_route(event.topic)
+        self.routing_cost.observe(
+            self.profile.route_cost_s
+            + entry.send_cost_s(self.profile, event.size)
+            * len(entry.local_targets)
+            + self.profile.forward_cost_s * len(entry.next_hop_groups)
+        )
         self._deliver_local(event, exclude, entry)
         if entry.next_hop_groups:
             self._forward_groups(event, entry.next_hop_groups)
@@ -680,6 +798,7 @@ class Broker:
         cpu = self.host.cpu
         send_cost = entry.send_cost_s(self.profile, event.size)
         alloc = self.profile.alloc_bytes_per_send
+        delivered: List[str] = []
         for client_id in entry.local_targets:
             if client_id == exclude:
                 continue
@@ -687,11 +806,61 @@ class Broker:
             if record is None:
                 continue
             self.events_delivered += 1
+            delivered.append(client_id)
             cpu.allocate(alloc)
             if event.reliable and record.outbox is not None:
                 cpu.execute(send_cost, record.outbox.send, event)
             else:
                 cpu.execute(send_cost, record.link.send, EventDelivery(event))
+        if not delivered:
+            return
+        if not internal_topic(event.topic):
+            # Management-plane deliveries (monitor samples, traces,
+            # alerts) must not pollute the media-delay histogram.
+            self.delivery_latency.observe(self.sim.now - event.published_at)
+        if event.trace is not None:
+            self._complete_trace(event, delivered)
+
+    def _complete_trace(self, event: NBEvent, delivered: List[str]) -> None:
+        """Close the in-progress hop and publish the finished trace.
+
+        One :class:`CompletedTrace` per *delivering broker* (carrying the
+        receiver list), not per receiver — trace traffic scales with the
+        broker path length, not the fan-out.
+
+        The local-delivery branch is completed on a *fork* of the context
+        so the event's own (shared) in-progress hop stays unstamped for
+        any forward branches forked after this call.
+        """
+        context = event.trace.fork()
+        if context.hops:
+            hop = context.hops[-1]
+            if hop.departed_at is None:
+                hop.departed_at = self.sim.now
+                hop.link = "local"
+        completed = CompletedTrace(
+            trace_id=context.trace_id,
+            topic=context.topic,
+            source=context.source,
+            published_at=context.published_at,
+            delivered_at=self.sim.now,
+            delivered_by=self.broker_id,
+            delivered_to=tuple(delivered),
+            hops=tuple(context.hops),
+        )
+        self.traces_completed += 1
+        trace_event = NBEvent(
+            topic=f"{TRACE_TOPIC_PREFIX}/{self.broker_id}",
+            payload=completed,
+            size=completed.wire_size(),
+            source=self.broker_id,
+            published_at=self.sim.now,
+        )
+        # Disseminated like any publish (charging this broker's modeled
+        # CPU — trace overhead is real overhead), but never itself traced.
+        self.host.cpu.execute(
+            self.profile.route_cost_s, self._disseminate, trace_event, None
+        )
 
     def _forward_to_targets(self, event: NBEvent, targets: Set[str]) -> None:
         key = frozenset(targets)
@@ -706,12 +875,35 @@ class Broker:
         self._forward_groups(event, groups)
 
     def _forward_groups(self, event: NBEvent, groups: NextHopGroups) -> None:
+        if event.trace is None:
+            for next_hop, group_targets in groups:
+                peer_event = PeerEvent(event=event, targets=group_targets)
+                self.events_forwarded += 1
+                self.host.cpu.execute(
+                    self.profile.forward_cost_s,
+                    self._send_peer, next_hop, peer_event,
+                )
+            return
+        # Traced fan-out: clone the event per branch (same event_id, so
+        # reliability/ordering dedup is unaffected) with a forked trace,
+        # so concurrent branches never interleave hop records.
         for next_hop, group_targets in groups:
-            peer_event = PeerEvent(event=event, targets=group_targets)
+            branch = event.fork_for_branch()
+            hop = branch.trace.hops[-1] if branch.trace.hops else None
+            peer_event = PeerEvent(event=branch, targets=group_targets)
             self.events_forwarded += 1
-            self.host.cpu.execute(
-                self.profile.forward_cost_s, self._send_peer, next_hop, peer_event
-            )
+            if hop is not None and hop.departed_at is None:
+                hop.link = next_hop
+                self.host.cpu.execute_traced(
+                    self.profile.forward_cost_s,
+                    self._send_peer_stamped, next_hop, peer_event, hop,
+                    hop=hop,
+                )
+            else:
+                self.host.cpu.execute(
+                    self.profile.forward_cost_s,
+                    self._send_peer, next_hop, peer_event,
+                )
 
     # --------------------------------------------------------- peer plane
 
@@ -732,6 +924,20 @@ class Broker:
         if next_hop is None:
             return
         self._send_peer(next_hop, message)
+
+    def _send_peer_stamped(
+        self, peer_id: str, message: Any, hop: HopRecord
+    ) -> None:
+        """Traced variant of :meth:`_send_peer`: stamp the hop departure
+        at the moment the copy actually leaves this broker."""
+        hop.departed_at = self.sim.now
+        self._send_peer(peer_id, message)
+
+    def _send_toward_stamped(
+        self, destination: str, message: Any, hop: HopRecord
+    ) -> None:
+        hop.departed_at = self.sim.now
+        self._send_peer_toward(destination, message)
 
     def _on_peer_message(self, payload: Any, src: Address, datagram: Datagram) -> None:
         from_peer = self._peer_by_address.get(src)
@@ -754,34 +960,60 @@ class Broker:
 
     def _on_peer_event(self, peer_event: PeerEvent) -> None:
         event = peer_event.event
+        hop = self._begin_hop(event)
         targets = set(peer_event.targets)
         if self.broker_id in targets:
             targets.discard(self.broker_id)
-            self.host.cpu.execute(
-                self.profile.route_cost_s, self._deliver_local, event, None
-            )
+            if hop is not None:
+                # Deliver on a fork when we also forward onward, so the
+                # onward branches keep their own in-progress hop.
+                local = event.fork_for_branch() if targets else event
+                self.host.cpu.execute_traced(
+                    self.profile.route_cost_s,
+                    self._deliver_local, local, None,
+                    hop=local.trace.hops[-1],
+                )
+            else:
+                self.host.cpu.execute(
+                    self.profile.route_cost_s, self._deliver_local, event, None
+                )
             self.events_routed += 1
         if targets:
             self._forward_to_targets(event, targets)
 
     def _on_sequence_request(self, request: SequenceRequest) -> None:
         event = request.event
+        hop = self._begin_hop(event)
         sequencer = self.sequencer_for(event.topic)
         if sequencer != self.broker_id:
             # Not ours (topology may have changed); forward along.
-            self.host.cpu.execute(
-                self.profile.forward_cost_s,
-                self._send_peer_toward,
-                sequencer,
-                request,
-            )
+            if hop is not None:
+                hop.link = f"seq:{sequencer}"
+                self.host.cpu.execute_traced(
+                    self.profile.forward_cost_s,
+                    self._send_toward_stamped, sequencer, request, hop,
+                    hop=hop,
+                )
+            else:
+                self.host.cpu.execute(
+                    self.profile.forward_cost_s,
+                    self._send_peer_toward,
+                    sequencer,
+                    request,
+                )
             return
         event.sequence = self._sequences.get(event.topic, 0)
         event.sequenced_by = self.broker_id
         self._sequences[event.topic] = event.sequence + 1
-        self.host.cpu.execute(
-            self.profile.route_cost_s, self._disseminate, event, None
-        )
+        if hop is not None:
+            self.host.cpu.execute_traced(
+                self.profile.route_cost_s, self._disseminate, event, None,
+                hop=hop,
+            )
+        else:
+            self.host.cpu.execute(
+                self.profile.route_cost_s, self._disseminate, event, None
+            )
 
     def _on_sub_advert(
         self, advert: SubAdvert, from_peer: Optional[str] = None
@@ -881,6 +1113,7 @@ class Broker:
         self, lsa: LinkStateAdvert, from_peer: Optional[str]
     ) -> None:
         if not self._seen_adverts.add(lsa.advert_id):
+            self.lsas_deduped += 1
             return
         self.control_messages += 1
         self.lsas_received += 1
@@ -896,6 +1129,7 @@ class Broker:
             return
         current = self._lsdb.get(origin)
         if current is not None and lsa.epoch <= current[0]:
+            self.lsas_stale += 1
             return  # stale or already known
         self._lsdb[origin] = (lsa.epoch, lsa.neighbors)
         self._flood_advert(lsa, skip_peer=from_peer)

@@ -43,6 +43,8 @@ from repro.broker.links import (
 )
 from repro.broker.reliable import OrderedInbox, ReliableInbox
 from repro.broker.topic import compile_pattern, match_compiled, validate_topic
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import internal_topic
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
 
@@ -73,6 +75,7 @@ class BrokerClient:
         envelope_bytes: int = 66,
         keepalive_interval_s: Optional[float] = None,
         keepalive_miss_limit: int = KEEPALIVE_MISS_LIMIT,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -115,6 +118,27 @@ class BrokerClient:
         self.link_losses = 0
         self.failovers = 0
         self.subscriptions_replayed = 0
+        # Optional per-client metrics registry (one registry per client —
+        # names are not namespaced).  ``receive_latency_s`` observes the
+        # end-to-end publish→dispatch delay of every non-management event.
+        self.metrics = metrics
+        self._receive_latency = (
+            metrics.histogram("receive_latency_s", LATENCY_BUCKETS_S)
+            if metrics is not None
+            else None
+        )
+        if metrics is not None:
+            for counter_name in (
+                "events_published",
+                "events_received",
+                "link_losses",
+                "failovers",
+                "subscriptions_replayed",
+            ):
+                metrics.expose(
+                    counter_name,
+                    lambda name=counter_name: getattr(self, name),
+                )
 
     # ----------------------------------------------------------- connect
 
@@ -471,6 +495,8 @@ class BrokerClient:
 
     def _dispatch(self, event: NBEvent) -> None:
         self.events_received += 1
+        if self._receive_latency is not None and not internal_topic(event.topic):
+            self._receive_latency.observe(self.sim.now - event.published_at)
         for _pattern, compiled, handler in self._handlers:
             if match_compiled(compiled, event.topic):
                 handler(event)

@@ -31,6 +31,8 @@ class NBEvent:
         sequenced_by: id of the broker that assigned ``sequence``;
             receivers use a change of sequencer (failover, partition
             heal) to restart their per-topic expectations.
+        trace: sampled :class:`~repro.obs.trace.TraceContext`, or None
+            for the (vast) untraced majority of events.
     """
 
     __slots__ = (
@@ -45,6 +47,7 @@ class NBEvent:
         "sequence",
         "sequenced_by",
         "headers",
+        "trace",
     )
 
     def __init__(
@@ -71,6 +74,31 @@ class NBEvent:
         self.sequence = sequence
         self.sequenced_by = sequenced_by
         self.headers = headers
+        self.trace = None
+
+    def fork_for_branch(self) -> "NBEvent":
+        """Clone this (traced) event for one fan-out branch.
+
+        The clone keeps ``event_id`` — reliability/ordering dedup key on
+        it — and carries a forked trace so concurrent branches never
+        interleave hop records on a shared context.
+        """
+        clone = NBEvent(
+            topic=self.topic,
+            payload=self.payload,
+            size=self.size,
+            source=self.source,
+            published_at=self.published_at,
+            reliable=self.reliable,
+            ordered=self.ordered,
+            sequence=self.sequence,
+            sequenced_by=self.sequenced_by,
+            headers=self.headers,
+        )
+        clone.event_id = self.event_id
+        if self.trace is not None:
+            clone.trace = self.trace.fork()
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(

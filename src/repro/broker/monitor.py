@@ -5,14 +5,21 @@ operators need it to see broker load across the distributed collection.
 A :class:`BrokerMonitor` samples one broker's counters periodically and
 publishes :class:`BrokerSample` events on the management topic
 ``/narada/monitor/<broker-id>``; a :class:`MonitoringClient` subscribes
-(wildcard) and keeps per-broker history — the data an admission or
-load-balancing policy would consume.
+(wildcard) and keeps bounded per-broker history — the data an admission
+or load-balancing policy would consume.
+
+Anti-drift: :meth:`BrokerSample.capture` splats ``Broker.statistics()``
+(itself generated from the broker's metrics registry) into the dataclass
+constructor.  A counter registered on the broker but missing here raises
+``TypeError`` at the first capture instead of silently vanishing from
+the monitoring surface.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
@@ -23,67 +30,73 @@ from repro.simnet.node import Host
 MONITOR_TOPIC_PREFIX = "/narada/monitor"
 
 #: Wire size of one encoded sample.
-SAMPLE_BYTES = 120
+SAMPLE_BYTES = 160
+
+#: Default per-broker history cap for :class:`MonitoringClient`.
+DEFAULT_HISTORY_LIMIT = 720
 
 
 @dataclass
 class BrokerSample:
-    """One telemetry sample from one broker."""
+    """One telemetry sample from one broker.
+
+    The counter fields mirror ``Broker.statistics()`` *exactly* — they
+    are filled by keyword splat in :meth:`capture`, so the two can never
+    drift apart without a loud ``TypeError``.
+    """
 
     broker_id: str
     at: float
     clients: int
-    events_routed: int
-    events_delivered: int
-    events_forwarded: int
     cpu_busy_s: float
     gc_pauses: int
     nic_sent_packets: int
     nic_dropped_packets: int
+    last_route_change_at: float = -1.0
+    # Delivery-latency percentiles exported from the broker's histogram.
+    delivery_p50_s: float = 0.0
+    delivery_p99_s: float = 0.0
+    # --- Broker.statistics() counters/gauges (registry-generated) ---
+    events_routed: int = 0
+    events_delivered: int = 0
+    events_forwarded: int = 0
+    control_messages: int = 0
     route_cache_hits: int = 0
     route_cache_misses: int = 0
     route_cache_invalidations: int = 0
+    route_cache_entries: int = 0
     heartbeats_received: int = 0
     clients_reaped: int = 0
     outbox_abandons: int = 0
+    outbox_depth: int = 0
     local_subscriptions: int = 0
     remote_interest: int = 0
     peer_heartbeats_received: int = 0
     peers_evicted: int = 0
     lsas_originated: int = 0
     lsas_received: int = 0
+    lsas_deduped: int = 0
+    lsas_stale: int = 0
     routing_epochs: int = 0
-    last_route_change_at: float = -1.0
+    sequencer_changes: int = 0
+    traces_started: int = 0
+    traces_completed: int = 0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":
         host = broker.host
-        stats = broker.statistics()
         return BrokerSample(
             broker_id=broker.broker_id,
             at=broker.sim.now,
             clients=broker.client_count(),
-            events_routed=broker.events_routed,
-            events_delivered=broker.events_delivered,
-            events_forwarded=broker.events_forwarded,
             cpu_busy_s=host.cpu.busy_time,
             gc_pauses=host.cpu.gc_pauses,
             nic_sent_packets=host.nic.sent_packets,
             nic_dropped_packets=host.nic.dropped_packets,
-            route_cache_hits=broker.route_cache.hits,
-            route_cache_misses=broker.route_cache.misses,
-            route_cache_invalidations=broker.route_cache.invalidations,
-            heartbeats_received=broker.heartbeats_received,
-            clients_reaped=broker.clients_reaped,
-            outbox_abandons=broker.outbox_abandons,
-            local_subscriptions=stats["local_subscriptions"],
-            remote_interest=stats["remote_interest"],
-            peer_heartbeats_received=broker.peer_heartbeats_received,
-            peers_evicted=broker.peers_evicted,
-            lsas_originated=broker.lsas_originated,
-            lsas_received=broker.lsas_received,
-            routing_epochs=broker.routing_epochs,
             last_route_change_at=broker.last_route_change_at,
+            delivery_p50_s=broker.delivery_latency.quantile(0.50),
+            delivery_p99_s=broker.delivery_latency.quantile(0.99),
+            **broker.statistics(),
         )
 
 
@@ -99,6 +112,8 @@ class BrokerMonitor:
         broker: Broker,
         interval_s: float = 5.0,
         monitor_id: Optional[str] = None,
+        keepalive_interval_s: Optional[float] = None,
+        failover_brokers: Optional[List[Broker]] = None,
     ):
         self.broker = broker
         self.sim = broker.sim
@@ -106,7 +121,10 @@ class BrokerMonitor:
         self.client = BrokerClient(
             broker.host,
             client_id=monitor_id or f"monitor/{broker.broker_id}",
+            keepalive_interval_s=keepalive_interval_s,
         )
+        if failover_brokers:
+            self.client.set_failover_brokers(failover_brokers)
         self.client.connect(broker)
         self._timer: Optional[Timer] = None
         self.samples_published = 0
@@ -122,27 +140,63 @@ class BrokerMonitor:
 
     def _tick(self) -> None:
         sample = BrokerSample.capture(self.broker)
-        self.client.publish(
-            monitor_topic(self.broker.broker_id), sample, SAMPLE_BYTES
-        )
-        self.samples_published += 1
+        if self.client.connected:
+            self.client.publish(
+                monitor_topic(self.broker.broker_id), sample, SAMPLE_BYTES
+            )
+            self.samples_published += 1
         self._timer = self.sim.schedule(self.interval_s, self._tick)
 
 
 class MonitoringClient:
-    """Collects samples from every monitored broker (wildcard subscribe)."""
+    """Collects samples from every monitored broker (wildcard subscribe).
 
-    def __init__(self, host: Host, broker: Broker,
-                 client_id: str = "monitoring-console"):
-        self.client = BrokerClient(host, client_id=client_id)
+    History is bounded: each broker keeps the newest ``history_limit``
+    samples (older ones are counted in :attr:`dropped_samples`), so a
+    long soak cannot grow the console's memory without bound.  Duplicate
+    deliveries of the same sample (e.g. republished across a failover
+    replay) are dropped.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        broker: Broker,
+        client_id: str = "monitoring-console",
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+        keepalive_interval_s: Optional[float] = None,
+        failover_brokers: Optional[List[Broker]] = None,
+    ):
+        if history_limit < 2:
+            raise ValueError("history_limit must be at least 2")
+        self.history_limit = history_limit
+        self.client = BrokerClient(
+            host, client_id=client_id,
+            keepalive_interval_s=keepalive_interval_s,
+        )
+        if failover_brokers:
+            self.client.set_failover_brokers(failover_brokers)
         self.client.connect(broker)
-        self.history: Dict[str, List[BrokerSample]] = {}
+        self.history: Dict[str, Deque[BrokerSample]] = {}
+        self.dropped_samples = 0
+        self.duplicate_samples = 0
         self.client.subscribe(f"{MONITOR_TOPIC_PREFIX}/#", self._on_sample)
 
     def _on_sample(self, event: NBEvent) -> None:
         sample = event.payload
-        if isinstance(sample, BrokerSample):
-            self.history.setdefault(sample.broker_id, []).append(sample)
+        if not isinstance(sample, BrokerSample):
+            return
+        window = self.history.get(sample.broker_id)
+        if window is None:
+            window = self.history[sample.broker_id] = deque(
+                maxlen=self.history_limit
+            )
+        if window and window[-1].at >= sample.at:
+            self.duplicate_samples += 1
+            return
+        if len(window) == window.maxlen:
+            self.dropped_samples += 1  # the deque evicts the oldest
+        window.append(sample)
 
     def brokers_seen(self) -> List[str]:
         return sorted(self.history)
@@ -153,8 +207,8 @@ class MonitoringClient:
 
     def delivery_rate(self, broker_id: str) -> float:
         """Events delivered per second over the sampled window."""
-        samples = self.history.get(broker_id, [])
-        if len(samples) < 2:
+        samples = self.history.get(broker_id)
+        if not samples or len(samples) < 2:
             return 0.0
         first, last = samples[0], samples[-1]
         window = last.at - first.at

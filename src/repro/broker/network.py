@@ -28,6 +28,7 @@ import networkx as nx
 
 from repro.broker.broker import Broker
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
+from repro.obs.trace import Tracer
 from repro.simnet.link import LAN_1G, LinkProfile
 from repro.simnet.network import Network
 from repro.simnet.node import Host
@@ -47,10 +48,14 @@ class BrokerNetwork:
         autonomous: bool = False,
         peer_heartbeat_interval_s: Optional[float] = None,
         peer_miss_limit: int = 3,
+        tracer: Optional[Tracer] = None,
     ):
         self.network = network
         self.profile = profile
         self.autonomous = autonomous
+        #: Shared by every broker in the collection, so the sampling
+        #: budget (1-in-N) is collection-wide and survives restarts.
+        self.tracer = tracer
         self.peer_heartbeat_interval_s = (
             peer_heartbeat_interval_s
             if peer_heartbeat_interval_s is not None
@@ -83,6 +88,7 @@ class BrokerNetwork:
             link_state_enabled=self.autonomous,
             peer_heartbeat_interval_s=self.peer_heartbeat_interval_s,
             peer_miss_limit=self.peer_miss_limit,
+            tracer=self.tracer,
         )
         self._brokers[name] = broker
         self.graph.add_node(name)
@@ -167,6 +173,7 @@ class BrokerNetwork:
             link_state_enabled=self.autonomous,
             peer_heartbeat_interval_s=self.peer_heartbeat_interval_s,
             peer_miss_limit=self.peer_miss_limit,
+            tracer=self.tracer,
         )
         self._brokers[name] = broker
         self.graph.add_node(name)

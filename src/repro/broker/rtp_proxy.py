@@ -25,6 +25,7 @@ from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
 from repro.broker.event import NBEvent
 from repro.broker.links import LinkType
+from repro.obs.trace import Tracer
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
 from repro.simnet.transport import UDP_HEADER_BYTES
@@ -42,9 +43,13 @@ class RtpProxy:
         link_type: LinkType = LinkType.UDP,
         keepalive_interval_s: Optional[float] = None,
         failover_brokers: Optional[List[Broker]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.host = host
         self.proxy_id = proxy_id
+        #: Samples at the media ingress edge: a traced packet carries its
+        #: proxy hop before the first broker hop.
+        self.tracer = tracer
         self.client = BrokerClient(
             host,
             client_id=f"rtp-proxy/{proxy_id}",
@@ -62,6 +67,11 @@ class RtpProxy:
         ] = {}
         self.packets_in = 0
         self.packets_out = 0
+        #: First outbound delivery per topic (virtual time) — what the
+        #: gateways' "join → first media" latency is measured against.
+        self.first_media_at: Dict[str, float] = {}
+        #: Fired once per topic on its first outbound delivery.
+        self.on_first_media: Optional[Callable[[str, float], None]] = None
 
     @property
     def failovers(self) -> int:
@@ -77,9 +87,21 @@ class RtpProxy:
 
         def on_packet(payload, src, datagram, topic=topic):
             self.packets_in += 1
-            self.client.publish(
+            event = self.client.publish(
                 topic, payload, max(1, datagram.size - UDP_HEADER_BYTES)
             )
+            if self.tracer is not None:
+                context = self.tracer.sample(event, self.client.sim.now)
+                if context is not None:
+                    # The proxy is the media-ingress hop: the publish CPU
+                    # cost is charged to it, the wire to the first broker
+                    # shows up as that broker hop's link share.
+                    hop = context.begin_hop(
+                        self.proxy_id, "proxy", self.client.sim.now
+                    )
+                    hop.cpu_s = self.client.publish_cpu_cost_s
+                    hop.departed_at = self.client.sim.now
+                    hop.link = self.client.broker_id or "broker"
 
         socket.on_receive(on_packet)
         self._inbound[socket.port] = (socket, topic)
@@ -104,6 +126,11 @@ class RtpProxy:
             if sock.closed:
                 return
             self.packets_out += 1
+            if event.topic not in self.first_media_at:
+                now = self.client.sim.now
+                self.first_media_at[event.topic] = now
+                if self.on_first_media is not None:
+                    self.on_first_media(event.topic, now)
             sock.sendto(event.payload, event.size, dst)
 
         self.client.subscribe(topic, on_event)

@@ -7,6 +7,9 @@ Commands:
 * ``capacity --media video|audio [--points 100,200,...]`` —
   run a broker-capacity sweep.
 * ``demo`` — run the heterogeneous-conference smoke scenario.
+* ``trace-demo`` — stream media across a 5-broker mesh, crash a transit
+  broker, and print the sampled-trace forensics: hop-by-hop delay
+  attribution, the reroute, and the SLO alert the outage raised.
 * ``info`` — print the system inventory and calibration constants.
 """
 
@@ -82,6 +85,93 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_demo(args: argparse.Namespace) -> int:
+    """Observability walk-through: trace a stream, crash a broker,
+    explain the gap from the collected traces."""
+    from repro.broker import BrokerClient, BrokerNetwork
+    from repro.obs.collector import TraceCollector
+    from repro.obs.slo import AlertLog, SloWatchdog
+    from repro.obs.trace import Tracer
+    from repro.simnet import Network, SeededStreams, Simulator
+
+    topic = "/demo/session-0/video"
+    sim = Simulator()
+    net = Network(sim, SeededStreams(args.seed))
+    bnet = BrokerNetwork.ring(
+        net, 5, autonomous=True,
+        peer_heartbeat_interval_s=0.25, peer_miss_limit=2,
+        tracer=Tracer(args.sample_rate),
+    )
+    sim.run_for(2.0)
+    publisher = BrokerClient(net.create_host("pub-host"), client_id="pub")
+    publisher.connect(bnet.broker("broker-0"))
+    subscriber = BrokerClient(net.create_host("sub-host"), client_id="sub")
+    subscriber.connect(bnet.broker("broker-3"))
+    arrivals: List[float] = []
+    subscriber.subscribe(topic, lambda event: arrivals.append(sim.now))
+
+    ops = net.create_host("ops-host")
+    collector = TraceCollector(ops, bnet.broker("broker-0"))
+    alert_log = AlertLog(ops, bnet.broker("broker-0"))
+    watchdog = SloWatchdog(ops, bnet.broker("broker-0"),
+                           check_interval_s=0.25)
+    watchdog.watch_media_gap(
+        "media-gap/sub", lambda: arrivals[-1] if arrivals else None,
+        budget_s=0.3,
+    )
+    sim.run_for(0.5)
+
+    def publish_tick(i=[0]):
+        publisher.publish(topic, i[0], 500)
+        i[0] += 1
+        sim.schedule(0.02, publish_tick)  # 50 pps
+
+    print(f"streaming {topic} at 50 pps, broker-0 -> broker-3, "
+          f"{args.sample_rate:.0%} trace sampling...")
+    publish_tick()
+    sim.run_for(2.0)
+
+    traces = collector.for_topic(topic, delivered_by="broker-3")
+    if not traces:
+        print("no traces collected (sample rate too low?)")
+        return 1
+    trace = traces[-1]
+    print(f"\none sampled trace (#{trace.trace_id}), "
+          f"end-to-end {trace.total_s * 1000:.2f} ms:")
+    print(f"  {'node':<12} {'arrive':>8} {'depart':>8} "
+          f"{'cpu us':>8} {'queue us':>9}  link")
+    for hop in trace.hops:
+        departed = f"{hop.departed_at:.4f}" if hop.departed_at else "-"
+        print(f"  {hop.node:<12} {hop.arrived_at:>8.4f} {departed:>8} "
+              f"{hop.cpu_s * 1e6:>8.1f} {hop.queue_wait_s * 1e6:>9.1f}"
+              f"  {hop.link}")
+    attribution = trace.attribution()
+    print(f"  attribution: cpu {attribution['cpu_s'] * 1000:.3f} ms, "
+          f"queue {attribution['queue_s'] * 1000:.3f} ms, "
+          f"link {attribution['link_s'] * 1000:.3f} ms")
+
+    crash_at = sim.now
+    print(f"\ncrashing broker-4 (the transit hop) at t={crash_at:.2f}s...")
+    bnet.crash_broker("broker-4")
+    sim.run_for(4.0)
+
+    forensics = collector.attribute_gap(
+        topic, crash_at, crash_at + 0.1, delivered_by="broker-3"
+    )
+    if forensics["explained"]:
+        print(f"media gap explained by the trace paths:")
+        print(f"  before: {' -> '.join(forensics['before_path'])}")
+        print(f"  after:  {' -> '.join(forensics['after_path'])}")
+        print(f"  lost hop(s): {', '.join(forensics['lost_hops'])}")
+    for alert in alert_log.alerts:
+        print(f"alert [{alert.name}] at t={alert.at:.2f}s: "
+              f"{alert.kind} {alert.value:.2f} > budget {alert.target}")
+    ok = (forensics.get("lost_hops") == ("broker-4",)
+          and bool(alert_log.alerts))
+    print("trace-demo OK" if ok else "trace-demo FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.baselines.jmf import JMF_PROFILE
@@ -131,6 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the heterogeneous demo")
     demo.set_defaults(handler=_cmd_demo)
+
+    trace_demo = sub.add_parser(
+        "trace-demo",
+        help="trace a stream across a crash and explain the gap",
+    )
+    trace_demo.add_argument("--sample-rate", type=float, default=0.2)
+    trace_demo.add_argument("--seed", type=int, default=12)
+    trace_demo.set_defaults(handler=_cmd_trace_demo)
 
     info = sub.add_parser("info", help="inventory + calibration")
     info.set_defaults(handler=_cmd_info)

@@ -45,6 +45,7 @@ from repro.core.xgsp.messages import (
 )
 from repro.core.xgsp.roster import Member
 from repro.core.xgsp.session import Session, SessionState, allocate_session_id
+from repro.obs.metrics import SIGNALING_BUCKETS_S, MetricsRegistry
 from repro.simnet.node import Host
 
 SERVER_TOPIC = "/xgsp/signaling/server"
@@ -69,6 +70,7 @@ class XgspSessionServer:
         broker: Broker,
         server_id: str = "xgsp-session-server",
         link_type: LinkType = LinkType.TCP,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -79,6 +81,18 @@ class XgspSessionServer:
         self.client.connect(broker, link_type=link_type)
         self.client.subscribe(SERVER_TOPIC, self._on_request_event)
         self.requests_handled = 0
+        # Observability: request transit time over the broker plane
+        # (publish at the requester -> handling here), one leg of every
+        # gateway's join latency.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.signaling_latency = self.metrics.histogram(
+            "signaling_latency_s", SIGNALING_BUCKETS_S
+        )
+        self.metrics.expose("requests_handled", lambda: self.requests_handled)
+        self.metrics.expose("sessions", lambda: len(self._sessions))
+        self.metrics.expose(
+            "active_sessions", lambda: len(self.active_sessions())
+        )
 
     # ----------------------------------------------------------- queries
 
@@ -110,6 +124,7 @@ class XgspSessionServer:
             message = xml_codec.decode(payload["xml"])
         except Exception:
             return
+        self.signaling_latency.observe(self.sim.now - event.published_at)
         reply_to = payload.get("reply_to")
         response = self.handle_message(message)
         if response is not None and reply_to:

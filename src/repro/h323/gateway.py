@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.broker.broker import Broker
 from repro.broker.rtp_proxy import RtpProxy
+from repro.obs.metrics import SIGNALING_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.core.xgsp.client import XgspClient
 from repro.core.xgsp.messages import JoinAccepted, LeaveSession
 from repro.core.xgsp.translation import (
@@ -45,6 +47,8 @@ class H323XgspGateway(H323Terminal):
         h225_port: int = 1740,
         failover_brokers: Optional[List[Broker]] = None,
         keepalive_interval_s: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         super().__init__(
             host,
@@ -73,6 +77,20 @@ class H323XgspGateway(H323Terminal):
         self.joins_accepted = 0
         self.joins_rejected = 0
         self.failovers = 0
+        # Observability: Setup -> Connect join latency and Connect ->
+        # first outbound media, mirroring the SIP gateway's histograms.
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.join_latency = self.metrics.histogram(
+            "join_latency_s", SIGNALING_BUCKETS_S
+        )
+        self.join_to_first_media = self.metrics.histogram(
+            "join_to_first_media_s", SIGNALING_BUCKETS_S
+        )
+        self.metrics.expose("joins_accepted", lambda: self.joins_accepted)
+        self.metrics.expose("joins_rejected", lambda: self.joins_rejected)
+        self.metrics.expose("failovers", lambda: self.failovers)
+        self._setup_at: Dict[str, float] = {}
         self.on_incoming_call = self._on_conference_setup
         gatekeeper.add_alias_resolver(self._resolve_alias)
 
@@ -94,6 +112,7 @@ class H323XgspGateway(H323Terminal):
         if join is None:
             return False
         call_id = setup.call_id
+        self._setup_at[call_id] = self.host.sim.now
 
         def on_join_response(response) -> None:
             call = self._calls.get(call_id)
@@ -108,6 +127,7 @@ class H323XgspGateway(H323Terminal):
                         if self._failover_brokers else None
                     ),
                     failover_brokers=self._failover_brokers or None,
+                    tracer=self.tracer,
                 )
                 self._joins[call_id] = (response, proxy)
                 call.on_connected = self._on_call_connected
@@ -115,6 +135,7 @@ class H323XgspGateway(H323Terminal):
                 self.accept_incoming(call)
             else:
                 self.joins_rejected += 1
+                self._setup_at.pop(call_id, None)
                 self.reject_incoming(call, reason="xgsp-join-rejected")
 
         self.xgsp.request(
@@ -125,6 +146,7 @@ class H323XgspGateway(H323Terminal):
         return "defer"
 
     def _on_join_timeout(self, call_id: str) -> None:
+        self._setup_at.pop(call_id, None)
         call = self._calls.get(call_id)
         if call is not None:
             self.reject_incoming(call, reason="xgsp-timeout")
@@ -166,6 +188,15 @@ class H323XgspGateway(H323Terminal):
         if entry is None:
             return
         accepted, proxy = entry
+        connected_at = self.host.sim.now
+        setup_at = self._setup_at.pop(call.call_id, None)
+        if setup_at is not None:
+            self.join_latency.observe(connected_at - setup_at)
+        proxy.on_first_media = (
+            lambda _topic, at: self.join_to_first_media.observe(
+                at - connected_at
+            )
+        )
         for media in accepted.media:
             destination = call.remote_media_address(media.kind)
             if destination is not None:
@@ -174,6 +205,7 @@ class H323XgspGateway(H323Terminal):
     # ----------------------------------------------------------- teardown
 
     def _on_call_released(self, call: H323Call) -> None:
+        self._setup_at.pop(call.call_id, None)
         entry = self._joins.pop(call.call_id, None)
         if entry is None:
             return

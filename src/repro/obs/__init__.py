@@ -1,0 +1,62 @@
+"""Observability spine: metrics registry, event tracing, SLO watchdogs.
+
+``metrics`` and ``trace`` are dependency-free and imported eagerly —
+they are what the broker core pulls in.  ``collector`` and ``slo`` sit
+*above* the broker (they are broker clients), so they are exported
+lazily via PEP 562 to keep ``repro.broker.broker`` → ``repro.obs`` from
+becoming an import cycle.
+"""
+
+from repro.obs.metrics import (
+    COST_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    SIGNALING_BUCKETS_S,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    ALERT_TOPIC_PREFIX,
+    NARADA_PREFIX,
+    TRACE_TOPIC_PREFIX,
+    CompletedTrace,
+    HopRecord,
+    TraceContext,
+    Tracer,
+    internal_topic,
+)
+
+_LAZY = {
+    "TraceCollector": ("repro.obs.collector", "TraceCollector"),
+    "SloAlert": ("repro.obs.slo", "SloAlert"),
+    "SloWatchdog": ("repro.obs.slo", "SloWatchdog"),
+    "AlertLog": ("repro.obs.slo", "AlertLog"),
+}
+
+__all__ = [
+    "COST_BUCKETS_S",
+    "LATENCY_BUCKETS_S",
+    "SIGNALING_BUCKETS_S",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ALERT_TOPIC_PREFIX",
+    "NARADA_PREFIX",
+    "TRACE_TOPIC_PREFIX",
+    "CompletedTrace",
+    "HopRecord",
+    "TraceContext",
+    "Tracer",
+    "internal_topic",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -85,6 +85,28 @@ class Cpu:
             self._busy = True
             self._service_next()
 
+    def execute_traced(
+        self, cost_s: float, fn: Callable[..., Any], *args: Any, hop: Any
+    ) -> None:
+        """Like :meth:`execute`, but attribute the work to a trace hop.
+
+        When the item completes, ``hop.cpu_s`` gains the service time and
+        ``hop.queue_wait_s`` gains everything else that elapsed since the
+        enqueue — FIFO queueing behind other work *and* any stop-the-world
+        GC pauses the item sat through.  The wrapper only exists on the
+        sampled path; untraced work keeps calling :meth:`execute`.
+        """
+        enqueued_at = self.sim.now
+
+        def charged(*inner_args: Any) -> None:
+            hop.cpu_s += cost_s
+            hop.queue_wait_s += max(
+                0.0, self.sim.now - enqueued_at - cost_s
+            )
+            fn(*inner_args)
+
+        self.execute(cost_s, charged, *args)
+
     def allocate(self, nbytes: int) -> None:
         """Account a heap allocation; may trigger a GC pause.
 

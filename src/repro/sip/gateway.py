@@ -25,6 +25,8 @@ from typing import Dict, List, Optional
 
 from repro.broker.broker import Broker
 from repro.broker.rtp_proxy import RtpProxy
+from repro.obs.metrics import SIGNALING_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.core.xgsp.client import XgspClient
 from repro.core.xgsp.messages import (
     JoinAccepted,
@@ -60,7 +62,9 @@ class SipXgspGateway:
     def __init__(self, proxy: SipProxy, broker: Broker,
                  gateway_id: str = "sip-gateway",
                  failover_brokers: Optional[List[Broker]] = None,
-                 keepalive_interval_s: float = 1.0):
+                 keepalive_interval_s: float = 1.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.proxy = proxy
         self.broker = broker
         self.sim = proxy.sim
@@ -79,6 +83,22 @@ class SipXgspGateway:
         self.joins_accepted = 0
         self.joins_rejected = 0
         self.failovers = 0
+        # Observability: the tutorial's operational metrics — join
+        # latency (INVITE -> 200 OK, i.e. signaling + XGSP round trip)
+        # and join -> first outbound media.  Legs' RTP proxies share the
+        # gateway tracer so media ingress hops are stamped per proxy.
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.join_latency = self.metrics.histogram(
+            "join_latency_s", SIGNALING_BUCKETS_S
+        )
+        self.join_to_first_media = self.metrics.histogram(
+            "join_to_first_media_s", SIGNALING_BUCKETS_S
+        )
+        self.metrics.expose("joins_accepted", lambda: self.joins_accepted)
+        self.metrics.expose("joins_rejected", lambda: self.joins_rejected)
+        self.metrics.expose("failovers", lambda: self.failovers)
+        self.metrics.expose("legs", lambda: len(self._legs))
         proxy.register_app_prefix(CONFERENCE_PREFIX, self._on_request)
 
     def _on_broker_failover(self, _client, broker: Broker) -> None:
@@ -123,6 +143,7 @@ class SipXgspGateway:
             transaction.respond(response_for(request, 400, "Bad Request"))
             return
         call_id = request.call_id or ""
+        invited_at = self.sim.now
 
         def on_join_response(response) -> None:
             if isinstance(response, JoinRejected):
@@ -133,7 +154,9 @@ class SipXgspGateway:
                 transaction.respond(response_for(request, 500, "Signaling Error"))
                 return
             self.joins_accepted += 1
-            self._complete_invite(request, transaction, offer, response, call_id)
+            self._complete_invite(
+                request, transaction, offer, response, call_id, invited_at
+            )
 
         self.xgsp.request(
             join,
@@ -150,6 +173,7 @@ class SipXgspGateway:
         offer: SessionDescription,
         accepted: JoinAccepted,
         call_id: str,
+        invited_at: float,
     ) -> None:
         # Per-participant RTP proxy leg, deployed next to the broker.
         proxy = RtpProxy(
@@ -159,6 +183,7 @@ class SipXgspGateway:
                 self._keepalive_interval_s if self._failover_brokers else None
             ),
             failover_brokers=self._failover_brokers or None,
+            tracer=self.tracer,
         )
         leg = _GatewayLeg(
             call_id=call_id,
@@ -182,6 +207,11 @@ class SipXgspGateway:
         ok.set("Contact", f"<{self.proxy.address.host}:{self.proxy.address.port}>")
         ok.set("Content-Type", "application/sdp")
         transaction.respond(ok)
+        joined_at = self.sim.now
+        self.join_latency.observe(joined_at - invited_at)
+        proxy.on_first_media = (
+            lambda _topic, at: self.join_to_first_media.observe(at - joined_at)
+        )
 
     # ---------------------------------------------------------------- BYE
 

@@ -56,6 +56,102 @@ def test_console_sees_all_brokers_in_network(net, sim):
     assert console.brokers_seen() == ["broker-0", "broker-1", "broker-2"]
 
 
+def test_history_is_capped_and_drops_counted(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    monitor = BrokerMonitor(broker, interval_s=0.5)
+    console = MonitoringClient(
+        net.create_host("console-host"), broker, history_limit=3
+    )
+    sim.run_for(0.5)
+    monitor.start()
+    sim.run_for(5.0)
+    monitor.stop()
+    sim.run_for(0.5)  # drain the last in-flight sample
+    window = console.history["b0"]
+    assert len(window) == 3
+    assert console.dropped_samples == monitor.samples_published - 3
+    assert console.dropped_samples > 0
+    # The cap keeps the NEWEST samples.
+    assert window[-1].at == max(s.at for s in window)
+    assert window[0].at > 0.5  # the earliest samples were evicted
+
+
+def test_history_limit_validated(net, sim):
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    with pytest.raises(ValueError):
+        MonitoringClient(
+            net.create_host("console-host"), broker, history_limit=1
+        )
+
+
+def test_duplicate_samples_dropped(net, sim):
+    import types
+
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    console = MonitoringClient(net.create_host("console-host"), broker)
+    sim.run_for(0.5)
+    sample = BrokerSample.capture(broker)
+    for _ in range(3):  # e.g. republished across a failover replay
+        console._on_sample(types.SimpleNamespace(payload=sample))
+    assert len(console.history["b0"]) == 1
+    assert console.duplicate_samples == 2
+    console._on_sample(types.SimpleNamespace(payload="not-a-sample"))
+    assert len(console.history["b0"]) == 1
+
+
+def test_monitor_rides_broker_failover(net, sim):
+    bnet = BrokerNetwork.chain(net, 2)
+    primary = bnet.broker("broker-0")
+    backup = bnet.broker("broker-1")
+    monitor = BrokerMonitor(
+        primary, interval_s=0.5,
+        keepalive_interval_s=0.25, failover_brokers=[backup],
+    )
+    console = MonitoringClient(net.create_host("console-host"), backup)
+    sim.run_for(1.0)
+    monitor.start()
+    sim.run_for(2.0)
+    seen_before = len(console.history["broker-0"])
+    assert seen_before >= 2
+
+    # The monitored broker dies un-announced; the monitor's client fails
+    # over to the backup and keeps the telemetry stream flowing.
+    bnet.crash_broker("broker-0")
+    sim.run_for(4.0)
+    monitor.stop()
+    assert monitor.client.failovers == 1
+    assert monitor.client.broker_id == "broker-1"
+    assert len(console.history["broker-0"]) > seen_before
+
+
+def test_monitor_observes_client_reaping(net, sim):
+    broker = Broker(
+        net.create_host("broker-host"), broker_id="b0", reap_timeout_s=1.0
+    )
+    monitor = BrokerMonitor(
+        broker, interval_s=0.5, keepalive_interval_s=0.25
+    )
+    console = MonitoringClient(
+        net.create_host("console-host"), broker,
+        keepalive_interval_s=0.25,
+    )
+    # A client that subscribes, then goes silent forever (no keepalive).
+    victim = make_client(net, sim, broker, "victim")
+    victim.subscribe("/t", lambda e: None)
+    sim.run_for(0.5)
+    monitor.start()
+    assert BrokerSample.capture(broker).local_subscriptions == 2
+
+    sim.run_for(5.0)
+    monitor.stop()
+    latest = console.latest("b0")
+    assert latest is not None
+    assert latest.clients_reaped == 1
+    # The corpse's interest was expired with it (console's /narada sub
+    # is the one that remains).
+    assert latest.local_subscriptions == 1
+
+
 def test_stop_halts_sampling(net, sim):
     broker = Broker(net.create_host("broker-host"), broker_id="b0")
     monitor = BrokerMonitor(broker, interval_s=1.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the metrics registry: counters, histograms, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    counter = Counter("events")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_histogram_buckets_and_moments():
+    histogram = Histogram("lat", bounds=(0.1, 0.5, 1.0))
+    for value in (0.05, 0.3, 0.3, 0.9, 3.0):
+        histogram.observe(value)
+    assert histogram.count == 5
+    assert histogram.sum == pytest.approx(4.55)
+    assert histogram.max == 3.0
+    assert histogram.mean == pytest.approx(0.91)
+    # Buckets: <=0.1 ->1, <=0.5 ->2, <=1.0 ->1, overflow ->1.
+    assert histogram.counts == [1, 2, 1, 1]
+
+
+def test_histogram_quantile_upper_edge():
+    histogram = Histogram("lat", bounds=(0.1, 0.5, 1.0))
+    for value in (0.05, 0.3, 0.3, 0.9):
+        histogram.observe(value)
+    # p50 rank falls in the 0.5 bucket; the edge bounds it from above.
+    assert histogram.quantile(0.50) == 0.5
+    assert histogram.quantile(0.99) == 1.0
+    # Overflow bucket reports the observed maximum.
+    histogram.observe(7.0)
+    assert histogram.quantile(0.99) == 7.0
+
+
+def test_histogram_empty_is_zero():
+    histogram = Histogram("lat")
+    assert histogram.quantile(0.99) == 0.0
+    assert histogram.mean == 0.0
+    assert histogram.summary()["count"] == 0
+
+
+def test_histogram_summary_keys():
+    histogram = Histogram("lat")
+    histogram.observe(0.003)
+    summary = histogram.summary()
+    assert set(summary) == {"count", "mean", "p50", "p95", "p99", "max"}
+    assert summary["count"] == 1
+
+
+def test_registry_counter_and_expose():
+    registry = MetricsRegistry()
+    counter = registry.counter("events_routed")
+    counter.inc(3)
+    backing = {"value": 7}
+    registry.expose("queue_depth", lambda: backing["value"])
+    snapshot = registry.counters_snapshot()
+    assert snapshot == {"events_routed": 3, "queue_depth": 7}
+    backing["value"] = 9
+    assert registry.counters_snapshot()["queue_depth"] == 9
+
+
+def test_registry_rejects_cross_family_collision():
+    registry = MetricsRegistry()
+    registry.counter("events")
+    with pytest.raises(ValueError):
+        registry.expose("events", lambda: 0)
+    with pytest.raises(ValueError):
+        registry.histogram("events")
+    # Re-fetching an owned metric under the same family is fine.
+    assert registry.counter("events") is registry.counter("events")
+
+
+def test_registry_snapshot_flattens_histograms():
+    registry = MetricsRegistry()
+    registry.counter("events").inc()
+    histogram = registry.histogram("delivery_latency_s", LATENCY_BUCKETS_S)
+    histogram.observe(0.004)
+    snapshot = registry.snapshot()
+    assert snapshot["events"] == 1
+    assert snapshot["delivery_latency_s_count"] == 1
+    assert snapshot["delivery_latency_s_p99"] == 0.005  # bucket upper edge
+
+
+def test_registry_queries():
+    registry = MetricsRegistry()
+    registry.counter("a")
+    registry.expose("b", lambda: 1)
+    histogram = registry.histogram("c")
+    assert registry.names() == ["a", "b", "c"]
+    assert registry.has("a") and registry.has("b") and registry.has("c")
+    assert not registry.has("d")
+    assert registry.get_histogram("c") is histogram
+    assert registry.get_histogram("a") is None

@@ -1,0 +1,95 @@
+"""SLO watchdog: probes, episode-based alerting, the alert log."""
+
+from repro.broker import Broker, BrokerClient
+from repro.obs.metrics import Histogram
+from repro.obs.slo import AlertLog, SloAlert, SloWatchdog
+
+
+def make_plane(net, sim):
+    broker = Broker(net.create_host("b-host"), broker_id="b0")
+    watchdog = SloWatchdog(
+        net.create_host("ops-host"), broker, check_interval_s=0.25
+    )
+    log = AlertLog(net.create_host("log-host"), broker)
+    sim.run_for(0.1)
+    return broker, watchdog, log
+
+
+def test_gauge_probe_alerts_once_per_episode(net, sim):
+    broker, watchdog, log = make_plane(net, sim)
+    depth = {"value": 0}
+    watchdog.watch_gauge("outbox-depth", lambda: depth["value"], target=10)
+    sim.run_for(1.0)
+    assert log.alerts == []  # under target: silent
+
+    depth["value"] = 50
+    sim.run_for(2.0)
+    # A sustained breach is ONE episode, not eight ticks of alerts.
+    assert len(log.named("outbox-depth")) == 1
+    alert = log.named("outbox-depth")[0]
+    assert isinstance(alert, SloAlert)
+    assert alert.value == 50 and alert.target == 10
+    assert alert.kind == "gauge"
+
+    # Recovery re-arms the probe; a second breach is a second episode.
+    depth["value"] = 0
+    sim.run_for(1.0)
+    depth["value"] = 99
+    sim.run_for(1.0)
+    assert len(log.named("outbox-depth")) == 2
+    assert watchdog.probe_status()["outbox-depth"]["violations"] == 2
+
+
+def test_quantile_probe_has_warmup_guard(net, sim):
+    broker, watchdog, log = make_plane(net, sim)
+    histogram = Histogram("delivery_latency_s", bounds=(0.01, 0.1, 1.0))
+    watchdog.watch_quantile(
+        "p99-delivery", histogram, target_s=0.05, min_count=10
+    )
+    # A few slow warm-up samples must not page anyone.
+    for _ in range(5):
+        histogram.observe(0.5)
+    sim.run_for(1.0)
+    assert log.named("p99-delivery") == []
+    for _ in range(10):
+        histogram.observe(0.5)
+    sim.run_for(1.0)
+    assert len(log.named("p99-delivery")) == 1
+    assert log.named("p99-delivery")[0].kind == "latency"
+
+
+def test_media_gap_probe_fires_during_silence(net, sim):
+    broker, watchdog, log = make_plane(net, sim)
+    last = {"at": None}
+    watchdog.watch_media_gap("gap", lambda: last["at"], budget_s=0.5)
+    sim.run_for(2.0)
+    assert log.alerts == []  # stream never started: no gap to report
+
+    last["at"] = sim.now  # first delivery
+    sim.run_for(2.0)  # then silence well past the budget
+    gap_alerts = log.named("gap")
+    assert len(gap_alerts) == 1
+    assert gap_alerts[0].kind == "media_gap"
+    assert gap_alerts[0].value > 0.5
+    # The alert fired DURING the outage, not after recovery.
+    assert gap_alerts[0].at <= sim.now
+
+
+def test_alert_log_windows_and_stop(net, sim):
+    broker, watchdog, log = make_plane(net, sim)
+    depth = {"value": 100}
+    watchdog.watch_gauge("g", lambda: depth["value"], target=1)
+    sim.run_for(1.0)
+    assert len(log.alerts) == 1
+    first_at = log.alerts[0].at
+    assert log.between(first_at - 0.1, first_at + 0.1) == log.alerts
+    assert log.between(first_at + 1.0, first_at + 2.0) == []
+
+    # stop() halts probing and disconnects the watchdog's client.
+    watchdog.stop()
+    depth["value"] = 0
+    sim.run_for(1.0)
+    depth["value"] = 500
+    sim.run_for(1.0)
+    assert len(log.alerts) == 1
+    assert not watchdog.client.connected
