@@ -47,6 +47,7 @@ from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from repro.obs.trace import internal_topic
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
+from repro.util.backoff import ExponentialBackoff
 
 EventHandler = Callable[[NBEvent], None]
 
@@ -104,7 +105,9 @@ class BrokerClient:
         self._keepalive_timer = None
         self._missed_heartbeats = 0
         self._failover_brokers: List[Broker] = []
-        self._failover_attempt = 0
+        self._failover_backoff = ExponentialBackoff(
+            CONTROL_RETRY_S, FAILOVER_MAX_BACKOFF_S, first_immediate=True
+        )
         self._failover_timer = None
         self._reconnecting = False
         self._broker: Optional[Broker] = None
@@ -227,7 +230,7 @@ class BrokerClient:
 
     def _cancel_failover(self) -> None:
         self._reconnecting = False
-        self._failover_attempt = 0
+        self._failover_backoff.reset()
         if self._failover_timer is not None:
             self._failover_timer.cancel()
             self._failover_timer = None
@@ -280,7 +283,7 @@ class BrokerClient:
         self._ordered_inbox.reset()
         if self.on_disconnected is not None:
             self.on_disconnected(self)
-        self._failover_attempt = 0
+        self._failover_backoff.reset()
         self._schedule_failover_attempt()
 
     def _schedule_failover_attempt(self) -> None:
@@ -292,14 +295,9 @@ class BrokerClient:
             broker for broker in self._failover_brokers
             if broker is not self._broker
         ] or self._failover_brokers
-        attempt = self._failover_attempt
-        self._failover_attempt += 1
+        attempt = self._failover_backoff.attempts
+        delay = self._failover_backoff.next_delay()
         broker = candidates[attempt % len(candidates)]
-        delay = (
-            0.0
-            if attempt == 0
-            else min(CONTROL_RETRY_S * (2 ** (attempt - 1)), FAILOVER_MAX_BACKOFF_S)
-        )
         self._failover_timer = self.sim.schedule(
             delay, self._attempt_reconnect, broker
         )
@@ -311,6 +309,19 @@ class BrokerClient:
             transport, self._transport = self._transport, None
             transport.close()
         self.connect(broker, self._link_type, self._proxy_address)
+
+    def kill(self) -> None:
+        """Silent process death (chaos injection): tear the transport
+        down with no Disconnect, no failover, no callbacks.  The broker
+        learns nothing — reaping or outbox abandonment must notice."""
+        self._cancel_failover()
+        self._cancel_control_timers()
+        self.connected = False
+        self.broker_id = None
+        self._pending.clear()
+        if self._transport is not None:
+            transport, self._transport = self._transport, None
+            transport.kill()
 
     def reconnect(self, broker: Broker) -> None:
         """Manually fail over to ``broker``: tear down the current
@@ -462,7 +473,7 @@ class BrokerClient:
             self._connect_timer.cancel()
             self._connect_timer = None
         reconnecting, self._reconnecting = self._reconnecting, False
-        self._failover_attempt = 0
+        self._failover_backoff.reset()
         self._missed_heartbeats = 0
         if reconnecting:
             # Replay before flushing queued publishes, so events queued

@@ -320,6 +320,7 @@ class ClientTransport:
     def __init__(self) -> None:
         self.on_message: Optional[Callable[[Any], None]] = None
         self.on_ready: Optional[Callable[[], None]] = None
+        self.killed = False
 
     def start(self) -> None:
         """Begin connection setup; ``on_ready`` fires when sends may begin."""
@@ -334,6 +335,13 @@ class ClientTransport:
 
     def close(self) -> None:
         """Release sockets/connections."""
+
+    def kill(self) -> None:
+        """Silent process death: close, and swallow any writes already
+        queued on the CPU — a dead process's buffered output never hits
+        the wire (chaos injection; see :meth:`BrokerClient.kill`)."""
+        self.killed = True
+        self.close()
 
 
 class UdpClientTransport(ClientTransport):
@@ -353,6 +361,8 @@ class UdpClientTransport(ClientTransport):
         return self._socket.local_address
 
     def send(self, message: Any, size: int) -> None:
+        if self.killed:
+            return
         self._socket.sendto(message, size, self._broker)
 
     def _on_datagram(self, payload: Any, src: Address, datagram: Any) -> None:
@@ -383,6 +393,8 @@ class TcpClientTransport(ClientTransport):
         )
 
     def send(self, message: Any, size: int) -> None:
+        if self.killed:
+            return
         if self._connection is None:
             raise RuntimeError("transport not started")
         self._connection.send(message, size)

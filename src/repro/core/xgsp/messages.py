@@ -161,3 +161,59 @@ class ListSessions(XgspMessage):
 @dataclass
 class SessionList(XgspMessage):
     sessions: List[Dict] = field(default_factory=list)
+
+
+# ----------------------------------------------------------- replication
+#
+# Control-plane survivability vocabulary (DESIGN.md §5d): the elected
+# leader journals every session mutation as a versioned SessionOp on the
+# journal topic; standbys apply them to maintain hot copies and elect a
+# replacement on leader death.
+
+
+@dataclass
+class SessionOp(XgspMessage):
+    """One journaled state mutation, applied by every standby replica.
+
+    ``data`` is a structural patch (not the request): replaying the
+    original request on a standby would re-run non-idempotent logic like
+    session-id allocation, so the leader journals the *effect* instead.
+    ``request_key``/``response_xml`` replicate the duplicate-suppression
+    table — a retried request answered by the next leader returns the
+    recorded response rather than double-applying.
+    """
+
+    version: int = 0
+    kind: str = ""  # create | join | leave | terminate | floor | mute
+    session_id: str = ""
+    data: Dict = field(default_factory=dict)
+    request_key: str = ""
+    response_xml: str = ""
+    leader: str = ""
+
+
+@dataclass
+class ReplicaHeartbeat(XgspMessage):
+    """Replica liveness beacon on the replica control topic."""
+
+    server_id: str = ""
+    leader: str = ""  # who the sender believes leads (itself, if leading)
+    version: int = 0  # sender's journal version (standby lag visibility)
+    epoch: int = 0  # sender's replica-set epoch (election cache key)
+
+
+@dataclass
+class SnapshotRequest(XgspMessage):
+    """A late-joining standby asks the leader for full state."""
+
+    server_id: str = ""
+
+
+@dataclass
+class SnapshotResponse(XgspMessage):
+    """Full control-plane state at ``version``: sessions + dedup table."""
+
+    version: int = 0
+    leader: str = ""
+    sessions: List[Dict] = field(default_factory=list)
+    applied: List[Dict] = field(default_factory=list)  # {key, response_xml}

@@ -132,6 +132,50 @@ class Session:
     def terminate(self) -> None:
         self.state = SessionState.TERMINATED
 
+    # -------------------------------------------------------- replication
+
+    def to_snapshot(self) -> Dict:
+        """Full state dump for replica snapshot transfer (see DESIGN.md
+        §5d) — everything :meth:`from_snapshot` needs to rebuild an
+        identical hot copy, roster and floor state included."""
+        return {
+            "session_id": self.session_id,
+            "title": self.title,
+            "creator": self.creator,
+            "mode": self.mode,
+            "community": self.community,
+            "state": self.state,
+            "floor_holder": self.floor_holder,
+            "media_kinds": sorted(self.media),
+            "members": [
+                {
+                    "participant": member.participant,
+                    "community": member.community,
+                    "terminal": member.terminal,
+                    "joined_at": member.joined_at,
+                    "media_kinds": list(member.media_kinds),
+                    "muted": member.muted,
+                }
+                for member in self.roster.members()
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict) -> "Session":
+        session = cls(
+            session_id=data["session_id"],
+            title=data["title"],
+            creator=data["creator"],
+            media_kinds=list(data["media_kinds"]),
+            mode=data["mode"],
+            community=data["community"],
+        )
+        session.state = data["state"]
+        session.floor_holder = data["floor_holder"]
+        for member in data["members"]:
+            session.roster.add(Member(**member))
+        return session
+
     def describe(self) -> Dict:
         return {
             "session_id": self.session_id,

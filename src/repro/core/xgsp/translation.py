@@ -15,14 +15,23 @@ own:
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional
 
 from repro.core.xgsp.messages import JoinAccepted, JoinSession
 from repro.h323.pdu import MediaCapability, Setup
+from repro.obs.metrics import MetricsRegistry
 from repro.rtp.packet import PayloadType
 from repro.simnet.packet import Address
 from repro.sip.message import SipRequest, parse_name_addr, parse_uri
 from repro.sip.sdp import SessionDescription
+
+_log = logging.getLogger(__name__)
+
+#: Module-level registry: translation is pure functions, so the dropped
+#: input accounting lives here instead of on a component instance.
+METRICS = MetricsRegistry()
+_swallowed = METRICS.counter("swallowed_errors")
 
 #: Prefix that marks a URI/alias as an XGSP conference.
 CONFERENCE_PREFIX = "conf-"
@@ -53,7 +62,11 @@ def session_id_from_alias(alias: str) -> Optional[str]:
 def session_id_from_sip_uri(uri: str) -> Optional[str]:
     try:
         user, _domain = parse_uri(uri)
-    except Exception:
+    except Exception as exc:
+        _swallowed.inc()
+        _log.debug(
+            "unparseable SIP URI %r dropped (%s)", uri, type(exc).__name__
+        )
         return None
     return session_id_from_alias(user)
 

@@ -47,12 +47,17 @@ class XgspWebServer:
         directory: Optional[XgspDirectory] = None,
         soap_port: int = 8080,
         participant_id: str = "xgsp-web-server",
+        signaling_retries: int = 2,
     ):
         self.host = host
         self.sim = host.sim
         self.directory = directory if directory is not None else XgspDirectory()
+        # Retries ride the server's duplicate suppression, so a portal
+        # request survives a session-server failover without re-entering
+        # the SOAP operation (DESIGN.md §5d).
         self.signaling = XgspClient(
-            host, broker, participant_id, link_type=LinkType.TCP
+            host, broker, participant_id, link_type=LinkType.TCP,
+            max_retries=signaling_retries,
         )
         self.calendar = MeetingCalendar(self.signaling)
         self.soap = SoapService(host, soap_port)

@@ -41,6 +41,10 @@ MESSAGE_TYPES: Dict[str, Type] = {
         m.SessionAnnouncement,
         m.ListSessions,
         m.SessionList,
+        m.SessionOp,
+        m.ReplicaHeartbeat,
+        m.SnapshotRequest,
+        m.SnapshotResponse,
     )
 }
 

@@ -47,6 +47,7 @@ class H323XgspGateway(H323Terminal):
         h225_port: int = 1740,
         failover_brokers: Optional[List[Broker]] = None,
         keepalive_interval_s: float = 1.0,
+        signaling_retries: int = 2,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -64,12 +65,15 @@ class H323XgspGateway(H323Terminal):
         self.gateway_id = gateway_id
         self._failover_brokers = list(failover_brokers or [])
         self._keepalive_interval_s = keepalive_interval_s
+        # Same idempotent-retry posture as the SIP gateway: a retried
+        # join keeps its request id across a session-server failover.
         self.xgsp = XgspClient(
             host, broker, gateway_id,
             keepalive_interval_s=(
                 keepalive_interval_s if self._failover_brokers else None
             ),
             failover_brokers=self._failover_brokers or None,
+            max_retries=signaling_retries,
         )
         self.xgsp.broker_client.on_failover = self._on_broker_failover
         # call_id -> (JoinAccepted, RtpProxy)

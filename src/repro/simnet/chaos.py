@@ -122,6 +122,18 @@ class ChaosSchedule:
                 self.bnet.restart_broker, name,
             )
 
+    # ----------------------------------------------------------- services
+
+    def kill_service(self, at: float, name: str, action: Any) -> None:
+        """Un-announced kill of an application-layer service at ``at``.
+
+        ``action`` is the service's silent-death callable (e.g. an XGSP
+        session server's ``crash``) — the schedule stays duck-typed, same
+        as for the broker network.  Used for mid-conference session-server
+        kills in the control-plane failover soaks (DESIGN.md §5d).
+        """
+        self.sim.schedule_at(at, self._fire, "kill-service", name, action)
+
     # ------------------------------------------------------------- hosts
 
     def loss_burst(

@@ -63,6 +63,7 @@ class SipXgspGateway:
                  gateway_id: str = "sip-gateway",
                  failover_brokers: Optional[List[Broker]] = None,
                  keepalive_interval_s: float = 1.0,
+                 signaling_retries: int = 2,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None):
         self.proxy = proxy
@@ -71,12 +72,16 @@ class SipXgspGateway:
         self.gateway_id = gateway_id
         self._failover_brokers = list(failover_brokers or [])
         self._keepalive_interval_s = keepalive_interval_s
+        # Retried joins keep their request id, so a session-server
+        # failover mid-INVITE resolves via duplicate suppression rather
+        # than a SIP-level timeout (DESIGN.md §5d).
         self.xgsp = XgspClient(
             proxy.host, broker, gateway_id,
             keepalive_interval_s=(
                 keepalive_interval_s if self._failover_brokers else None
             ),
             failover_brokers=self._failover_brokers or None,
+            max_retries=signaling_retries,
         )
         self.xgsp.broker_client.on_failover = self._on_broker_failover
         self._legs: Dict[str, _GatewayLeg] = {}  # SIP Call-Id -> leg

@@ -9,8 +9,10 @@ gateway and the chat-room service attach to the proxy.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
 from repro.sip.message import (
@@ -21,6 +23,8 @@ from repro.sip.message import (
 )
 from repro.sip.registrar import LocationService
 from repro.sip.transaction import SIP_PORT, ServerTransaction, SipEndpoint
+
+_log = logging.getLogger(__name__)
 
 #: Application handler: receives (request, source, transaction); returns
 #: True when it consumed the request.
@@ -36,6 +40,7 @@ class SipProxy(SipEndpoint):
         domain: str,
         port: int = SIP_PORT,
         location: Optional[LocationService] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         super().__init__(host, port)
         self.domain = domain
@@ -44,6 +49,15 @@ class SipProxy(SipEndpoint):
         self._prefix_handlers: Dict[str, AppHandler] = {}
         self.forwarded_requests = 0
         self.forwarded_responses = 0
+        self.swallowed_errors = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.expose(
+            "forwarded_requests", lambda: self.forwarded_requests
+        )
+        self.metrics.expose(
+            "forwarded_responses", lambda: self.forwarded_responses
+        )
+        self.metrics.expose("swallowed_errors", lambda: self.swallowed_errors)
 
     # ------------------------------------------------------- applications
 
@@ -65,7 +79,12 @@ class SipProxy(SipEndpoint):
     ) -> None:
         try:
             user, domain = parse_uri(request.uri)
-        except Exception:
+        except Exception as exc:
+            self.swallowed_errors += 1
+            _log.debug(
+                "proxy %s rejected unparseable URI %r (%s)",
+                self.domain, request.uri, type(exc).__name__,
+            )
             if transaction is not None:
                 transaction.respond(response_for(request, 400, "Bad Request"))
             return

@@ -7,13 +7,17 @@ bindings with expirations; the proxy consults it for routing.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
 from repro.sip.message import SipRequest, parse_name_addr, parse_uri, response_for
 from repro.sip.transaction import ServerTransaction, SipEndpoint
+
+_log = logging.getLogger(__name__)
 
 DEFAULT_EXPIRES_S = 3600.0
 
@@ -59,10 +63,15 @@ class SipRegistrar(SipEndpoint):
         host: Host,
         port: int = 5070,
         location: Optional[LocationService] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         super().__init__(host, port)
         self.location = location if location is not None else LocationService()
         self.registrations = 0
+        self.swallowed_errors = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.expose("registrations", lambda: self.registrations)
+        self.metrics.expose("swallowed_errors", lambda: self.swallowed_errors)
 
     def on_request(
         self,
@@ -83,7 +92,12 @@ class SipRegistrar(SipEndpoint):
             return
         try:
             parse_uri(aor)
-        except Exception:
+        except Exception as exc:
+            self.swallowed_errors += 1
+            _log.debug(
+                "registrar rejected unparseable AoR %r (%s)",
+                aor, type(exc).__name__,
+            )
             transaction.respond(response_for(request, 400, "Bad Request"))
             return
         expires = float(request.get("Expires", str(DEFAULT_EXPIRES_S)) or 0)

@@ -9,13 +9,17 @@ callback.  Optionally validates calls client-side against a WSDL document
 from __future__ import annotations
 
 import itertools
+import logging
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
 from repro.simnet.tcp import TcpConnection, tcp_connect
 from repro.soap.envelope import SoapEnvelope, SoapFault, parse_envelope
 from repro.soap.wsdl import WsdlDocument
+
+_log = logging.getLogger(__name__)
 
 ResultCallback = Callable[[Dict[str, Any]], None]
 FaultCallback = Callable[[SoapFault], None]
@@ -56,7 +60,7 @@ class _ContainerLink:
 class SoapClient:
     """Issues SOAP requests and routes responses to callbacks."""
 
-    def __init__(self, host: Host):
+    def __init__(self, host: Host, metrics: Optional[MetricsRegistry] = None):
         self.host = host
         self.sim = host.sim
         self._links: Dict[Address, _ContainerLink] = {}
@@ -65,6 +69,14 @@ class SoapClient:
         self.requests_sent = 0
         self.responses_received = 0
         self.faults_received = 0
+        self.swallowed_errors = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.expose("requests_sent", lambda: self.requests_sent)
+        self.metrics.expose(
+            "responses_received", lambda: self.responses_received
+        )
+        self.metrics.expose("faults_received", lambda: self.faults_received)
+        self.metrics.expose("swallowed_errors", lambda: self.swallowed_errors)
 
     def import_wsdl(self, wsdl: WsdlDocument) -> None:
         """Enable client-side call validation for a service."""
@@ -105,7 +117,12 @@ class SoapClient:
     def _on_message(self, payload: Any, size: int, connection: TcpConnection) -> None:
         try:
             envelope = parse_envelope(payload)
-        except Exception:
+        except Exception as exc:
+            self.swallowed_errors += 1
+            _log.debug(
+                "SOAP client dropped unparseable message (%s)",
+                type(exc).__name__,
+            )
             return
         callbacks = self._pending.pop(envelope.message_id, None)
         if callbacks is None:

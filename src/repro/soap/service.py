@@ -7,13 +7,17 @@ registered handler, and answered with a response or fault envelope.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simnet.node import Host
 from repro.simnet.packet import Address
 from repro.simnet.tcp import TcpConnection, TcpListener
 from repro.soap.envelope import SoapEnvelope, SoapFault, parse_envelope
 from repro.soap.wsdl import WsdlDocument, WsdlError
+
+_log = logging.getLogger(__name__)
 
 #: Handler signature: handler(**params) -> dict result body, or a
 #: :class:`PendingResult` for asynchronous completion.
@@ -64,13 +68,19 @@ class PendingResult:
 class SoapService:
     """A container hosting named services with WSDL-validated dispatch."""
 
-    def __init__(self, host: Host, port: int = SOAP_PORT):
+    def __init__(self, host: Host, port: int = SOAP_PORT,
+                 metrics: Optional[MetricsRegistry] = None):
         self.host = host
         self.sim = host.sim
         self._listener = TcpListener(host, port, on_connection=self._on_connection)
         self._services: Dict[str, Tuple[WsdlDocument, Dict[str, OperationHandler]]] = {}
         self.requests_served = 0
         self.faults_returned = 0
+        self.swallowed_errors = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.expose("requests_served", lambda: self.requests_served)
+        self.metrics.expose("faults_returned", lambda: self.faults_returned)
+        self.metrics.expose("swallowed_errors", lambda: self.swallowed_errors)
 
     @property
     def address(self) -> Address:
@@ -113,8 +123,14 @@ class SoapService:
     def _handle(self, payload: Any, connection: TcpConnection) -> None:
         try:
             envelope = parse_envelope(payload)
-        except Exception:
-            return  # not a SOAP envelope; drop
+        except Exception as exc:
+            # Not a SOAP envelope: counted drop, never a silent one.
+            self.swallowed_errors += 1
+            _log.debug(
+                "SOAP service dropped unparseable payload (%s)",
+                type(exc).__name__,
+            )
+            return
         if envelope.kind != "request":
             return
         reply = self._dispatch(envelope, connection)

@@ -1,0 +1,5 @@
+"""Small shared utilities with no simulation dependencies."""
+
+from repro.util.backoff import ExponentialBackoff
+
+__all__ = ["ExponentialBackoff"]

@@ -37,6 +37,16 @@ def roundtrip(message):
                               participant="p", detail="h323"),
         m.ListSessions(community="sip"),
         m.SessionList(sessions=[{"session_id": "s", "members": 3}]),
+        m.SessionOp(version=7, kind="join", session_id="s",
+                    data={"participant": "p", "muted": False},
+                    request_key="/xgsp/signaling/client/p#12",
+                    response_xml="<xgsp/>", leader="xgsp-a"),
+        m.ReplicaHeartbeat(server_id="xgsp-b", leader="xgsp-a",
+                           version=7, epoch=2),
+        m.SnapshotRequest(server_id="xgsp-c"),
+        m.SnapshotResponse(version=7, leader="xgsp-a",
+                           sessions=[{"session_id": "s", "members": []}],
+                           applied=[{"key": "k", "response_xml": "<xgsp/>"}]),
     ],
 )
 def test_roundtrip_all_message_types(message):
@@ -44,7 +54,7 @@ def test_roundtrip_all_message_types(message):
 
 
 def test_every_registered_type_has_distinct_name():
-    assert len(xml_codec.MESSAGE_TYPES) == 14
+    assert len(xml_codec.MESSAGE_TYPES) == 18
 
 
 def test_unregistered_type_rejected():

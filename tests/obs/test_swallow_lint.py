@@ -1,0 +1,109 @@
+"""Anti-drift lint: no silent exception swallows anywhere in ``src/``.
+
+Walks every module under ``src/repro`` for ``except Exception`` (or
+bare ``except``) handlers whose body neither counts nor logs — i.e.
+consists only of ``pass`` / bare ``return`` / ``continue``.  Every
+legitimate drop must be a *counted* drop (a ``swallowed_errors``
+increment and a debug log of the exception class); anything else hides
+real failures from the whole observability surface.
+
+Escape hatch: a ``# noqa: swallow`` comment on the ``except`` line
+allowlists a handler the lint would otherwise reject.
+"""
+
+import ast
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+ALLOW_TAG = "# noqa: swallow"
+
+#: Statement types that do nothing observable on their own.
+_SILENT_STMTS = (ast.Pass, ast.Continue, ast.Break)
+
+
+def _is_silent(statement: ast.stmt) -> bool:
+    if isinstance(statement, _SILENT_STMTS):
+        return True
+    if isinstance(statement, ast.Return):
+        # ``return``/``return None``/``return <constant>`` produce no
+        # side effect; returning a computed value may still count.
+        return statement.value is None or isinstance(
+            statement.value, ast.Constant
+        )
+    return False
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except
+        return True
+    return isinstance(handler.type, ast.Name) and handler.type.id in (
+        "Exception",
+        "BaseException",
+    )
+
+
+def silent_swallows(path: Path):
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or not _broad_handler(node):
+            continue
+        if ALLOW_TAG in lines[node.lineno - 1]:
+            continue
+        if all(_is_silent(statement) for statement in node.body):
+            yield node.lineno
+
+
+def test_no_silent_exception_swallows_in_src():
+    offenders = []
+    checked = 0
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        checked += 1
+        for lineno in silent_swallows(path):
+            offenders.append(f"{path.relative_to(SRC_ROOT.parent)}:{lineno}")
+    assert checked > 50  # the walk found the real tree
+    assert not offenders, (
+        "silent `except Exception` swallows (count the drop in "
+        "swallowed_errors + log the exception class, or tag the line "
+        f"with `{ALLOW_TAG}`): {offenders}"
+    )
+
+
+def test_lint_catches_a_silent_swallow(tmp_path):
+    """The lint itself works — guards against a silently no-op walker."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        pass\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    assert list(silent_swallows(bad)) == [4, 8]
+
+
+def test_lint_accepts_counted_and_allowlisted(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(
+        "def f(self):\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception as exc:\n"
+        "        self.swallowed_errors += 1\n"
+        "        return\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:  # noqa: swallow\n"
+        "        pass\n"
+        "    try:\n"
+        "        g()\n"
+        "    except ValueError:\n"
+        "        pass\n"
+    )
+    assert list(silent_swallows(good)) == []

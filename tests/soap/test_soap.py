@@ -179,3 +179,72 @@ class TestServiceClient:
     def test_binding_unknown_operation_rejected(self, net, container):
         with pytest.raises(WsdlError):
             container.bind("Echo", "nonexistent", lambda: {})
+
+
+class TestFaultPaths:
+    """A handler blowing up mid-request must fault that one call only —
+    the container keeps serving, and every drop is a counted drop."""
+
+    def test_service_usable_after_handler_fault(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        faults, results = [], []
+        client.invoke(container.address, "Echo", "fail", {},
+                      on_fault=faults.append)
+        sim.run_for(2.0)
+        assert faults and faults[0].code == "Server.Internal"
+        assert container.faults_returned == 1
+
+        # Same client, same container, next request: business as usual.
+        client.invoke(container.address, "Echo", "say", {"text": "still up"},
+                      on_result=results.append)
+        sim.run_for(2.0)
+        assert results == [{"echo": "STILL UP"}]
+        assert container.requests_served == 1  # successes only
+        assert container.faults_returned == 1
+
+    def test_alternating_faults_and_successes(self, net, sim, container):
+        client = SoapClient(net.create_host("client"))
+        outcomes = []
+        for i in range(6):
+            if i % 2 == 0:
+                client.invoke(container.address, "Echo", "fail", {},
+                              on_fault=lambda f: outcomes.append("fault"))
+            else:
+                client.invoke(container.address, "Echo", "say",
+                              {"text": f"m{i}"},
+                              on_result=lambda b: outcomes.append("ok"))
+        sim.run_for(3.0)
+        assert sorted(outcomes) == ["fault"] * 3 + ["ok"] * 3
+        assert container.faults_returned == 3
+        assert container.requests_served == 3  # successes only
+
+    def test_unparseable_payload_is_counted_drop(self, net, sim, container):
+        # Drive the dispatch path with garbage, as a mis-speaking peer
+        # would: the drop is counted, never silent, and the container
+        # still serves well-formed requests afterward.
+        assert container.swallowed_errors == 0
+        container._handle("<definitely-not-soap", None)
+        assert container.swallowed_errors == 1
+        client = SoapClient(net.create_host("client"))
+        results = []
+        client.invoke(container.address, "Echo", "say", {"text": "ok"},
+                      on_result=results.append)
+        sim.run_for(2.0)
+        assert results == [{"echo": "OK"}]
+
+    def test_client_unparseable_reply_is_counted_drop(self, net, container):
+        client = SoapClient(net.create_host("client"))
+        assert client.swallowed_errors == 0
+        client._on_message("<garbage", 8, None)
+        assert client.swallowed_errors == 1
+
+    def test_metrics_registry_exposes_fault_counters(self, net, sim,
+                                                     container):
+        client = SoapClient(net.create_host("client"))
+        client.invoke(container.address, "Echo", "fail", {})
+        sim.run_for(2.0)
+        snapshot = container.metrics.counters_snapshot()
+        assert snapshot["requests_served"] == 0  # the only call faulted
+        assert snapshot["faults_returned"] == 1
+        assert snapshot["swallowed_errors"] == 0
+        assert client.metrics.counters_snapshot()["requests_sent"] == 1

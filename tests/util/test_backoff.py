@@ -1,0 +1,70 @@
+"""Unit tests for the shared retry-backoff policy."""
+
+import random
+
+import pytest
+
+from repro.util.backoff import ExponentialBackoff
+
+
+def test_doubles_until_cap():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    assert [backoff.next_delay() for _ in range(7)] == [
+        0.5, 1.0, 2.0, 4.0, 8.0, 8.0, 8.0
+    ]
+    assert backoff.attempts == 7
+
+
+def test_first_immediate_prepends_zero_without_consuming_a_step():
+    backoff = ExponentialBackoff(0.5, 8.0, first_immediate=True)
+    assert [backoff.next_delay() for _ in range(6)] == [
+        0.0, 0.5, 1.0, 2.0, 4.0, 8.0
+    ]
+
+
+def test_reset_returns_to_first_step():
+    backoff = ExponentialBackoff(1.0, 16.0)
+    for _ in range(4):
+        backoff.next_delay()
+    backoff.reset()
+    assert backoff.attempts == 0
+    assert backoff.next_delay() == 1.0
+
+
+def test_peek_does_not_advance():
+    backoff = ExponentialBackoff(1.0, 16.0)
+    assert backoff.peek_delay() == 1.0
+    assert backoff.peek_delay() == 1.0
+    assert backoff.next_delay() == 1.0
+    assert backoff.peek_delay() == 2.0
+
+
+def test_jitter_bounded_and_seed_deterministic():
+    a = ExponentialBackoff(1.0, 64.0, jitter_frac=0.2, rng=random.Random(7))
+    b = ExponentialBackoff(1.0, 64.0, jitter_frac=0.2, rng=random.Random(7))
+    delays_a = [a.next_delay() for _ in range(6)]
+    delays_b = [b.next_delay() for _ in range(6)]
+    assert delays_a == delays_b  # same seed, same schedule
+    for i, delay in enumerate(delays_a):
+        nominal = min(1.0 * 2.0 ** i, 64.0)
+        assert nominal * 0.8 <= delay <= nominal * 1.2
+
+
+def test_zero_jitter_is_exact():
+    backoff = ExponentialBackoff(0.25, 2.0, jitter_frac=0.0)
+    assert backoff.next_delay() == 0.25
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base_s": 0.0, "cap_s": 1.0},
+        {"base_s": -1.0, "cap_s": 1.0},
+        {"base_s": 2.0, "cap_s": 1.0},
+        {"base_s": 1.0, "cap_s": 2.0, "jitter_frac": 1.0},
+        {"base_s": 1.0, "cap_s": 2.0, "jitter_frac": -0.1},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ExponentialBackoff(**kwargs)
