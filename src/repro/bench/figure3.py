@@ -67,6 +67,8 @@ class Fig3Result:
     per_client: Dict[str, dict] = field(default_factory=dict)
     broker_stats: Dict[str, int] = field(default_factory=dict)
     trace_summary: Dict[str, object] = field(default_factory=dict)
+    #: Kernel events the whole run dispatched (throughput accounting).
+    events_processed: int = 0
 
     def summary_row(self) -> str:
         return (
@@ -166,6 +168,7 @@ def _run_narada(config: Fig3Config) -> Fig3Result:
     source.start()
     _run_until_measured(sim, source, stats, config)
     result = _collect(stats, "narada", config)
+    result.events_processed = sim.events_processed
     result.broker_stats = broker.statistics()
     result.broker_stats["delivery_p99_s"] = broker.delivery_latency.quantile(
         0.99
@@ -215,7 +218,9 @@ def _run_jmf(config: Fig3Config) -> Fig3Result:
     source = make_paper_video_source(sim, send, seed=config.seed)
     source.start()
     _run_until_measured(sim, source, stats, config)
-    return _collect(stats, "jmf", config)
+    result = _collect(stats, "jmf", config)
+    result.events_processed = sim.events_processed
+    return result
 
 
 def _run_until_measured(sim, source, stats, config: Fig3Config) -> None:

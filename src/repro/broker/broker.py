@@ -26,7 +26,7 @@ import hashlib
 import heapq
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.broker.event import NBEvent
+from repro.broker.event import NBEvent, freeze_payload
 from repro.broker.links import (
     ClientLink,
     Connect,
@@ -156,6 +156,7 @@ class Broker:
         peer_heartbeat_interval_s: Optional[float] = None,
         peer_miss_limit: int = 3,
         tracer: Optional[Tracer] = None,
+        zero_copy: bool = True,
     ):
         self.host = host
         self.sim = host.sim
@@ -186,6 +187,11 @@ class Broker:
         # (topic → sequencer) elections per broker-set epoch.
         self.route_cache = RouteCache()
         self.route_cache_enabled = route_cache_enabled
+        #: Share one EventDelivery envelope (and precomputed wire size)
+        #: across the whole local fan-out instead of allocating one per
+        #: destination.  Off restores the per-destination copies; both
+        #: modes are bit-identical (see tests/broker/test_determinism.py).
+        self.zero_copy = zero_copy
         self._broker_set_epoch = 0
         self._sequencer_epoch = -1
         self._sequencers: Dict[str, str] = {}
@@ -796,22 +802,43 @@ class Broker:
         if not entry.local_targets:
             return
         cpu = self.host.cpu
+        charge_gc = cpu.gc_profile is not None
+        execute = cpu.execute
+        clients = self._clients
         send_cost = entry.send_cost_s(self.profile, event.size)
         alloc = self.profile.alloc_bytes_per_send
+        if len(entry.local_targets) > 1:
+            # The payload is about to be shared across receivers (it
+            # always was, through per-destination envelopes); freeze it so
+            # a mutating receiver fails loudly instead of corrupting its
+            # peers.  Mode-independent, so zero_copy on/off stays
+            # bit-identical.
+            event.payload = freeze_payload(event.payload)
+        if self.zero_copy:
+            # One envelope + one wire-size computation for the whole
+            # fan-out; destinations are distinguished by their link.
+            shared = EventDelivery(event)
+            wire_size = self.profile.envelope_bytes + len(event.topic) + event.size
+        else:
+            shared = None
+            wire_size = 0
         delivered: List[str] = []
         for client_id in entry.local_targets:
             if client_id == exclude:
                 continue
-            record = self._clients.get(client_id)
+            record = clients.get(client_id)
             if record is None:
                 continue
             self.events_delivered += 1
             delivered.append(client_id)
-            cpu.allocate(alloc)
+            if charge_gc:
+                cpu.allocate(alloc)
             if event.reliable and record.outbox is not None:
-                cpu.execute(send_cost, record.outbox.send, event)
+                execute(send_cost, record.outbox.send, event)
+            elif shared is not None:
+                execute(send_cost, record.link.send_sized, shared, wire_size)
             else:
-                cpu.execute(send_cost, record.link.send, EventDelivery(event))
+                execute(send_cost, record.link.send, EventDelivery(event))
         if not delivered:
             return
         if not internal_topic(event.topic):
@@ -833,11 +860,10 @@ class Broker:
         any forward branches forked after this call.
         """
         context = event.trace.fork()
-        if context.hops:
-            hop = context.hops[-1]
-            if hop.departed_at is None:
-                hop.departed_at = self.sim.now
-                hop.link = "local"
+        hop = context.open_hop
+        if hop is not None and hop.departed_at is None:
+            hop.departed_at = self.sim.now
+            hop.link = "local"
         completed = CompletedTrace(
             trace_id=context.trace_id,
             topic=context.topic,
@@ -846,7 +872,7 @@ class Broker:
             delivered_at=self.sim.now,
             delivered_by=self.broker_id,
             delivered_to=tuple(delivered),
-            hops=tuple(context.hops),
+            context=context,
         )
         self.traces_completed += 1
         trace_event = NBEvent(
@@ -889,7 +915,7 @@ class Broker:
         # so concurrent branches never interleave hop records.
         for next_hop, group_targets in groups:
             branch = event.fork_for_branch()
-            hop = branch.trace.hops[-1] if branch.trace.hops else None
+            hop = branch.trace.open_hop
             peer_event = PeerEvent(event=branch, targets=group_targets)
             self.events_forwarded += 1
             if hop is not None and hop.departed_at is None:

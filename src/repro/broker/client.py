@@ -42,7 +42,7 @@ from repro.broker.links import (
     message_size,
 )
 from repro.broker.reliable import OrderedInbox, ReliableInbox
-from repro.broker.topic import compile_pattern, match_compiled, validate_topic
+from repro.broker.topic import compile_pattern, match_segments, validate_topic
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from repro.obs.trace import internal_topic
 from repro.simnet.node import Host
@@ -508,9 +508,13 @@ class BrokerClient:
         self.events_received += 1
         if self._receive_latency is not None and not internal_topic(event.topic):
             self._receive_latency.observe(self.sim.now - event.published_at)
-        for _pattern, compiled, handler in self._handlers:
-            if match_compiled(compiled, event.topic):
-                handler(event)
+        handlers = self._handlers
+        if handlers:
+            # Split once per event, not once per handler pattern.
+            topic_segments = event.topic[1:].split("/")
+            for _pattern, compiled, handler in handlers:
+                if match_segments(compiled, topic_segments):
+                    handler(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "up" if self.connected else "down"

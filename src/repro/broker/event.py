@@ -8,9 +8,32 @@ services (reliability, ordering).
 from __future__ import annotations
 
 import itertools
+from types import MappingProxyType
 from typing import Any, Dict, Optional
 
 _event_ids = itertools.count(1)
+
+
+def freeze_payload(payload: Any) -> Any:
+    """Return an immutable view of common mutable payload containers.
+
+    The broker fans one payload object out to every matching receiver (the
+    zero-copy optimization, but the ``NBEvent`` inside per-destination
+    envelopes was always shared), so a receiver mutating it would silently
+    corrupt what its peers see.  Freezing at fan-out turns that silent
+    corruption into an immediate ``TypeError`` at the mutation site.
+    Payload types we can't cheaply freeze pass through unchanged.
+    """
+    kind = type(payload)
+    if kind is dict:
+        return MappingProxyType(payload)
+    if kind is list:
+        return tuple(payload)
+    if kind is bytearray:
+        return bytes(payload)
+    if kind is set:
+        return frozenset(payload)
+    return payload
 
 
 class NBEvent:

@@ -27,15 +27,96 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from repro.broker.broker import Broker
+from repro.broker.client import BrokerClient
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
 from repro.obs.trace import Tracer
+from repro.simnet.kernel import Simulator
 from repro.simnet.link import LAN_1G, LinkProfile
 from repro.simnet.network import Network
 from repro.simnet.node import Host
+from repro.simnet.shard import EpochCoordinator, thaw_payload
 
 #: Default peer-heartbeat interval when ``autonomous`` is on and no
 #: explicit interval was given.
 DEFAULT_PEER_HEARTBEAT_S = 1.0
+
+#: Client-id / host-name prefix of the per-shard bridge clients; events
+#: published by a client with this prefix are never re-exported (loop
+#: prevention for bridged topics).
+XSHARD_GATEWAY_PREFIX = "xshard-gw"
+
+#: Default epoch length for sharded stepping: cross-shard messages are
+#: delivered at the first epoch boundary after export, so this must stay
+#: at or below the modelled inter-region latency (10 ms ~ the smallest
+#: WAN paths in the deployment examples).
+DEFAULT_SHARD_EPOCH_S = 0.010
+
+
+class _BrokerShard:
+    """One region: an independent world stepped by the epoch coordinator.
+
+    Implements the :class:`repro.simnet.shard.ShardWorld` protocol over a
+    ``(Simulator, Network, BrokerNetwork)`` triple plus one bridge client
+    that captures bridged-topic publishes for export and republishes
+    peer-shard exports at epoch boundaries.
+    """
+
+    __slots__ = ("index", "sim", "net", "brokers", "gateway", "_exports", "_bridges")
+
+    def __init__(self, index: int, net: Network, brokers: "BrokerNetwork"):
+        self.index = index
+        self.sim = net.sim
+        self.net = net
+        self.brokers = brokers
+        self.gateway: Optional[BrokerClient] = None
+        self._exports: List[Tuple[Optional[int], Tuple[str, object, int]]] = []
+        self._bridges: List[str] = []
+
+    # -------------------------------------------------- bridge wiring
+
+    def ensure_gateway(self) -> BrokerClient:
+        if self.gateway is None:
+            # ``self.brokers`` is the parent (sharded) BrokerNetwork for
+            # shard 0 and a plain single-shard sibling otherwise; in both
+            # cases ``_brokers`` holds exactly this shard's own brokers.
+            local = self.brokers._brokers
+            if not local:
+                raise RuntimeError(
+                    f"shard {self.index} has no brokers; add brokers before "
+                    "bridging topics"
+                )
+            name = f"{XSHARD_GATEWAY_PREFIX}-{self.index}"
+            host = self.net.create_host(f"{name}-host")
+            self.gateway = BrokerClient(host, client_id=name)
+            self.gateway.connect(local[sorted(local)[0]])
+        return self.gateway
+
+    def bridge(self, pattern: str) -> None:
+        if pattern in self._bridges:
+            return
+        self._bridges.append(pattern)
+        self.ensure_gateway().subscribe(pattern, self._capture)
+
+    def _capture(self, event) -> None:
+        if event.source.startswith(XSHARD_GATEWAY_PREFIX):
+            return  # a peer shard's injection: do not echo it back out
+        self._exports.append(
+            (None, (event.topic, thaw_payload(event.payload), event.size))
+        )
+
+    # ------------------------------------------- ShardWorld protocol
+
+    def advance(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def drain_exports(self):
+        exports, self._exports = self._exports, []
+        return exports
+
+    def inject(self, messages, now: float) -> None:
+        gateway = self.ensure_gateway()
+        for topic, payload, size in messages:
+            gateway.publish(topic, payload, size)
 
 
 class BrokerNetwork:
@@ -49,7 +130,11 @@ class BrokerNetwork:
         peer_heartbeat_interval_s: Optional[float] = None,
         peer_miss_limit: int = 3,
         tracer: Optional[Tracer] = None,
+        shards: int = 1,
+        shard_epoch_s: float = DEFAULT_SHARD_EPOCH_S,
     ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.network = network
         self.profile = profile
         self.autonomous = autonomous
@@ -66,6 +151,40 @@ class BrokerNetwork:
         self._brokers: Dict[str, Broker] = {}
         self._crashed: Dict[str, Tuple[Host, Set[str]]] = {}
         self._cut: Set[Tuple[str, str]] = set()
+        # ------------------------------------------- region sharding
+        # ``shards=1`` (the default) is exactly the legacy single-world
+        # path: no coordinator, no gateways, no behaviour change.  With
+        # ``shards=N`` this instance owns shard 0 (on the caller's
+        # ``network``) and builds N-1 sibling worlds, each with its own
+        # Simulator and a Network seeded from a deterministic fork of
+        # the caller's stream factory; drive them with :meth:`run`.
+        self.shards = shards
+        self.shard_epoch_s = shard_epoch_s
+        self._shard_of: Dict[str, int] = {}
+        self._next_shard = 0
+        self._shard_worlds: List[_BrokerShard] = []
+        self._coordinator: Optional[EpochCoordinator] = None
+        if shards > 1:
+            self._shard_worlds.append(_BrokerShard(0, network, self))
+            for index in range(1, shards):
+                streams = network.streams.fork(f"shard-{index}")
+                net = Network(
+                    Simulator(),
+                    streams=streams,
+                    base_latency_s=network.base_latency_s,
+                )
+                sibling = BrokerNetwork(
+                    net,
+                    profile=profile,
+                    autonomous=autonomous,
+                    peer_heartbeat_interval_s=peer_heartbeat_interval_s,
+                    peer_miss_limit=peer_miss_limit,
+                    tracer=tracer,
+                )
+                self._shard_worlds.append(_BrokerShard(index, net, sibling))
+            self._coordinator = EpochCoordinator(
+                self._shard_worlds, epoch_s=shard_epoch_s
+            )
 
     # ----------------------------------------------------------- topology
 
@@ -75,8 +194,31 @@ class BrokerNetwork:
         host: Optional[Host] = None,
         link: LinkProfile = LAN_1G,
         profile: Optional[BrokerProfile] = None,
+        shard: Optional[int] = None,
     ) -> Broker:
-        """Create a broker named ``name``; a host is created unless given."""
+        """Create a broker named ``name``; a host is created unless given.
+
+        With ``shards=N``, ``shard`` pins the broker to a region
+        (default: round-robin in add order).  Brokers in different
+        shards live in different simulations and can only exchange
+        events through :meth:`bridge_topic`.
+        """
+        if self.shards > 1:
+            if shard is None:
+                shard = self._next_shard
+                self._next_shard = (self._next_shard + 1) % self.shards
+            elif not 0 <= shard < self.shards:
+                raise ValueError(f"shard {shard} outside 0..{self.shards - 1}")
+            if name in self._shard_of:
+                raise ValueError(f"duplicate broker {name!r}")
+            self._shard_of[name] = shard
+            if shard != 0:
+                world = self._shard_worlds[shard]
+                return world.brokers.add_broker(
+                    name, host=host, link=link, profile=profile
+                )
+        elif shard is not None and shard != 0:
+            raise ValueError("shard placement requires BrokerNetwork(shards=N)")
         if name in self._brokers:
             raise ValueError(f"duplicate broker {name!r}")
         if host is None:
@@ -96,6 +238,19 @@ class BrokerNetwork:
 
     def connect(self, a: str, b: str) -> None:
         """Create a peer link between brokers ``a`` and ``b``."""
+        if self.shards > 1:
+            shard_a = self._shard_of.get(a)
+            shard_b = self._shard_of.get(b)
+            if shard_a != shard_b:
+                raise ValueError(
+                    f"brokers {a!r} (shard {shard_a}) and {b!r} (shard "
+                    f"{shard_b}) live in different shards; peer links cannot "
+                    "cross shard boundaries — use bridge_topic() for "
+                    "cross-region traffic"
+                )
+            if shard_a not in (None, 0):
+                self._shard_worlds[shard_a].brokers.connect(a, b)
+                return
         broker_a = self.broker(a)
         broker_b = self.broker(b)
         self.graph.add_edge(a, b)
@@ -228,26 +383,91 @@ class BrokerNetwork:
         for a, b in sorted(self._cut):
             self.restore_link(a, b)
 
-    # ------------------------------------------------------------- access
+    # --------------------------------------------------- sharded stepping
 
-    def broker(self, name: str) -> Broker:
+    def bridge_topic(self, pattern: str) -> None:
+        """Export ``pattern`` across every shard boundary.
+
+        Each shard's bridge client subscribes to the pattern; events it
+        captures are republished into every *other* shard at the next
+        epoch boundary.  Requires ``shards > 1`` and at least one broker
+        per shard.
+        """
+        if self.shards == 1:
+            raise RuntimeError("bridge_topic requires BrokerNetwork(shards=N)")
+        for world in self._shard_worlds:
+            world.bridge(pattern)
+
+    def run(self, until: float) -> None:
+        """Advance the simulation(s) to virtual time ``until``.
+
+        Single-shard: simply runs the underlying simulator (identical to
+        calling ``network.sim.run(until=...)`` yourself).  Sharded: steps
+        every shard world in lockstep epochs of ``shard_epoch_s``,
+        exchanging bridged events at each boundary (see
+        :mod:`repro.simnet.shard` for the determinism contract).
+        """
+        if self._coordinator is None:
+            self.network.sim.run(until=until)
+        else:
+            self._coordinator.run(until)
+
+    def shard_of(self, name: str) -> int:
+        """The shard index a broker was placed in (0 when unsharded)."""
+        if self.shards == 1:
+            self.broker(name)  # raises KeyError for unknown names
+            return 0
         try:
-            return self._brokers[name]
+            return self._shard_of[name]
         except KeyError:
             raise KeyError(f"unknown broker {name!r}") from None
 
+    def shard_world(self, index: int) -> "_BrokerShard":
+        """Access one shard's world (its sim/net/brokers) for inspection."""
+        if self.shards == 1:
+            raise RuntimeError("shard_world requires BrokerNetwork(shards=N)")
+        return self._shard_worlds[index]
+
+    @property
+    def messages_exchanged(self) -> int:
+        """Cross-shard events relayed at epoch boundaries so far."""
+        return (
+            self._coordinator.messages_exchanged
+            if self._coordinator is not None
+            else 0
+        )
+
+    # ------------------------------------------------------------- access
+
+    def broker(self, name: str) -> Broker:
+        broker = self._brokers.get(name)
+        if broker is not None:
+            return broker
+        if self.shards > 1:
+            shard = self._shard_of.get(name)
+            if shard is not None and shard != 0:
+                return self._shard_worlds[shard].brokers.broker(name)
+        raise KeyError(f"unknown broker {name!r}")
+
     def brokers(self) -> List[Broker]:
-        return [self._brokers[name] for name in sorted(self._brokers)]
+        return [self.broker(name) for name in self.broker_ids()]
 
     def broker_ids(self) -> List[str]:
+        if self.shards > 1:
+            return sorted(self._shard_of)
         return sorted(self._brokers)
 
     def __len__(self) -> int:
+        if self.shards > 1:
+            return len(self._shard_of)
         return len(self._brokers)
 
     def close(self) -> None:
         for broker in self._brokers.values():
             broker.close()
+        for world in self._shard_worlds:
+            if world.index != 0:
+                world.brokers.close()
 
     # -------------------------------------------------------- topologies
 

@@ -28,7 +28,23 @@ class ReliableOutbox:
     ``on_abandon`` fires when an event exhausts its retry budget — the
     link is presumed dead, and the owner (the broker) can tear down the
     client's state instead of retrying the next event into the void.
+
+    Pending entries are plain ``(event, timer, retries)`` tuples — the
+    most compact per-event representation available (cheaper than a
+    slotted instance) — keyed by event id.
     """
+
+    __slots__ = (
+        "sim",
+        "_send",
+        "resend_interval_s",
+        "max_interval_s",
+        "max_retries",
+        "on_abandon",
+        "_pending",
+        "retransmissions",
+        "abandoned",
+    )
 
     def __init__(
         self,
@@ -95,6 +111,8 @@ class ReliableOutbox:
 class ReliableInbox:
     """Client-side dedup of redelivered reliable events."""
 
+    __slots__ = ("_seen", "_order", "max_remembered", "duplicates")
+
     def __init__(self, max_remembered: int = 4096):
         self._seen: Set[int] = set()
         self._order: Deque[int] = deque()
@@ -121,6 +139,19 @@ class OrderedInbox:
     Out-of-order arrivals are buffered; a gap older than ``gap_timeout_s``
     is flushed (delivery continues past the hole, which is counted).
     """
+
+    __slots__ = (
+        "sim",
+        "_deliver",
+        "gap_timeout_s",
+        "_expected",
+        "_buffer",
+        "_gap_timers",
+        "_sequencer",
+        "gaps_flushed",
+        "stale_dropped",
+        "sequencer_changes",
+    )
 
     def __init__(
         self,

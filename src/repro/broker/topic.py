@@ -58,15 +58,26 @@ def compile_pattern(pattern: str) -> Tuple[str, ...]:
 
 def match_compiled(pattern_segments: Tuple[str, ...], topic: str) -> bool:
     """Fast match of a compiled pattern against a concrete topic."""
-    topic_segments = topic[1:].split("/")
+    return match_segments(pattern_segments, topic[1:].split("/"))
+
+
+def match_segments(
+    pattern_segments: Tuple[str, ...], topic_segments: List[str]
+) -> bool:
+    """Match a compiled pattern against a pre-split topic.
+
+    Callers dispatching one event against several patterns split the topic
+    once and use this directly instead of re-splitting per pattern.
+    """
+    n = len(topic_segments)
     for i, pattern_segment in enumerate(pattern_segments):
         if pattern_segment == MULTI:
             return True
-        if i >= len(topic_segments):
+        if i >= n:
             return False
         if pattern_segment != SINGLE and pattern_segment != topic_segments[i]:
             return False
-    return len(pattern_segments) == len(topic_segments)
+    return len(pattern_segments) == n
 
 
 def match_topic(pattern: str, topic: str) -> bool:

@@ -11,6 +11,10 @@ Commands:
   broker, and print the sampled-trace forensics: hop-by-hop delay
   attribution, the reroute, and the SLO alert the outage raised.
 * ``info`` — print the system inventory and calibration constants.
+* ``profile [--packets N] [--sort tottime|cumulative] [--limit N]`` —
+  run the Figure-3 workload under cProfile and print the hottest
+  frames: the profile-first entry point of the raw-speed work (attack
+  the top frames, re-run, repeat).
 """
 
 from __future__ import annotations
@@ -196,6 +200,33 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    import time
+
+    from repro.bench.figure3 import Fig3Config, run_figure3
+
+    config = Fig3Config(packets=args.packets, seed=args.seed)
+    print(f"profiling figure-3 narada workload "
+          f"({config.receivers} receivers, {config.packets} packets)...")
+    profiler = cProfile.Profile()
+    t0 = time.process_time()
+    profiler.enable()
+    result = run_figure3("narada", config)
+    profiler.disable()
+    cpu_s = time.process_time() - t0
+    events = result.events_processed
+    print(f"  {events} kernel events in {cpu_s:.2f} CPU-s "
+          f"({events / cpu_s:,.0f} events/sec), "
+          f"avg delay {result.avg_delay_ms:.2f} ms")
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.limit)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,6 +263,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="inventory + calibration")
     info.set_defaults(handler=_cmd_info)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile the fig3 hot path, print top frames"
+    )
+    profile.add_argument("--packets", type=int, default=300)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--sort", choices=("tottime", "cumulative"),
+                         default="tottime")
+    profile.add_argument("--limit", type=int, default=25)
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 

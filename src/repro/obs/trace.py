@@ -24,7 +24,6 @@ are never themselves sampled — tracing the tracer would recurse.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 #: Management topic prefixes.
@@ -98,9 +97,18 @@ class HopRecord:
 
 
 class TraceContext:
-    """The trace attached to one sampled event: id + append-only hops."""
+    """The trace attached to one sampled event: id + append-only hops.
 
-    __slots__ = ("trace_id", "topic", "source", "published_at", "hops")
+    Hops are held as an immutable tuple of *finalized* records
+    (``_frozen``, structure-shared by every fork) plus at most one
+    *in-progress* record (``_open``).  :meth:`fork` is therefore O(1)
+    regardless of path length — it reuses the frozen prefix and copies
+    only the open hop — where it used to copy the whole list per fan-out
+    branch.  The public :attr:`hops` view materializes a list on demand;
+    nothing on the hot path reads it.
+    """
+
+    __slots__ = ("trace_id", "topic", "source", "published_at", "_frozen", "_open")
 
     def __init__(
         self,
@@ -114,44 +122,122 @@ class TraceContext:
         self.topic = topic
         self.source = source
         self.published_at = published_at
-        self.hops: List[HopRecord] = hops if hops is not None else []
+        if hops:
+            self._frozen: Tuple[HopRecord, ...] = tuple(hops[:-1])
+            self._open: Optional[HopRecord] = hops[-1]
+        else:
+            self._frozen = ()
+            self._open = None
+
+    @property
+    def hops(self) -> List[HopRecord]:
+        """All hop records in path order (materialized view)."""
+        open_hop = self._open
+        if open_hop is None:
+            return list(self._frozen)
+        return [*self._frozen, open_hop]
+
+    @property
+    def open_hop(self) -> Optional[HopRecord]:
+        """The in-progress (not yet departed) hop, if any."""
+        return self._open
+
+    def hop_count(self) -> int:
+        return len(self._frozen) + (1 if self._open is not None else 0)
 
     def begin_hop(self, node: str, kind: str, now: float) -> HopRecord:
+        open_hop = self._open
+        if open_hop is not None:
+            self._frozen = self._frozen + (open_hop,)
         hop = HopRecord(node, kind, now)
-        self.hops.append(hop)
+        self._open = hop
         return hop
 
     def fork(self) -> "TraceContext":
         """Branch the trace for one fan-out edge.
 
         Finalized hops are shared (they are never mutated again); only
-        the in-progress last hop is copied so each branch stamps its own
+        the in-progress hop is copied so each branch stamps its own
         departure and link.
         """
-        hops = list(self.hops)
-        if hops:
-            hops[-1] = hops[-1].copy()
-        return TraceContext(
-            self.topic, self.source, self.published_at,
-            trace_id=self.trace_id, hops=hops,
-        )
+        clone = TraceContext.__new__(TraceContext)
+        clone.trace_id = self.trace_id
+        clone.topic = self.topic
+        clone.source = self.source
+        clone.published_at = self.published_at
+        clone._frozen = self._frozen
+        open_hop = self._open
+        clone._open = open_hop.copy() if open_hop is not None else None
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Trace #{self.trace_id} {self.topic} hops={len(self.hops)}>"
+        return f"<Trace #{self.trace_id} {self.topic} hops={self.hop_count()}>"
 
 
-@dataclass
 class CompletedTrace:
-    """One finished broker path, published on ``/narada/trace/<broker>``."""
+    """One finished broker path, published on ``/narada/trace/<broker>``.
 
-    trace_id: int
-    topic: str
-    source: str
-    published_at: float
-    delivered_at: float
-    delivered_by: str
-    delivered_to: Tuple[str, ...]
-    hops: Tuple[HopRecord, ...] = field(default_factory=tuple)
+    Constructed either from an explicit ``hops`` tuple, or — on the
+    delivery path — from a forked :class:`TraceContext`, in which case
+    the hop tuple is *not* materialized until someone (the collector, a
+    report) actually reads :attr:`hops`; size accounting runs off the hop
+    count alone.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "topic",
+        "source",
+        "published_at",
+        "delivered_at",
+        "delivered_by",
+        "delivered_to",
+        "_frozen",
+        "_open",
+        "_hops",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        topic: str,
+        source: str,
+        published_at: float,
+        delivered_at: float,
+        delivered_by: str,
+        delivered_to: Tuple[str, ...] = (),
+        hops: Optional[Tuple[HopRecord, ...]] = None,
+        context: Optional[TraceContext] = None,
+    ):
+        self.trace_id = trace_id
+        self.topic = topic
+        self.source = source
+        self.published_at = published_at
+        self.delivered_at = delivered_at
+        self.delivered_by = delivered_by
+        self.delivered_to = delivered_to
+        if context is not None:
+            self._frozen = context._frozen
+            self._open = context._open
+            self._hops: Optional[Tuple[HopRecord, ...]] = None
+        else:
+            self._frozen = ()
+            self._open = None
+            self._hops = tuple(hops) if hops is not None else ()
+
+    @property
+    def hops(self) -> Tuple[HopRecord, ...]:
+        hops = self._hops
+        if hops is None:
+            open_hop = self._open
+            hops = self._frozen if open_hop is None else self._frozen + (open_hop,)
+            self._hops = hops
+        return hops
+
+    def hop_count(self) -> int:
+        if self._hops is not None:
+            return len(self._hops)
+        return len(self._frozen) + (1 if self._open is not None else 0)
 
     @property
     def total_s(self) -> float:
@@ -177,7 +263,7 @@ class CompletedTrace:
         }
 
     def wire_size(self) -> int:
-        return TRACE_BASE_BYTES + TRACE_HOP_BYTES * len(self.hops)
+        return TRACE_BASE_BYTES + TRACE_HOP_BYTES * self.hop_count()
 
     def as_dict(self) -> dict:
         return {
@@ -192,6 +278,12 @@ class CompletedTrace:
             **self.attribution(),
         }
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompletedTrace #{self.trace_id} {self.topic} "
+            f"by={self.delivered_by} hops={self.hop_count()}>"
+        )
+
 
 class Tracer:
     """Deterministic 1-in-N sampling of published events.
@@ -201,6 +293,8 @@ class Tracer:
     broker collection (network-wide 1%), or each entry point (broker,
     RTP proxy) can run its own.
     """
+
+    __slots__ = ("sample_rate", "interval", "_publishes", "sampled")
 
     def __init__(self, sample_rate: float = 0.01):
         if not 0.0 < sample_rate <= 1.0:

@@ -8,7 +8,6 @@ clocks the paper's delay measurements require.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import IntEnum
 
 #: RTP fixed header size in bytes.
@@ -35,9 +34,11 @@ class PayloadType(IntEnum):
         return 90000  # video payload types
 
 
-@dataclass
 class RtpPacket:
     """One RTP packet.
+
+    A slotted plain class (not a dataclass): media streams allocate one
+    of these per packet, so instance dict elimination matters.
 
     Attributes:
         ssrc: synchronization source id of the stream.
@@ -49,21 +50,46 @@ class RtpPacket:
         wallclock_sent: sender virtual time, for delay measurement.
     """
 
-    ssrc: int
-    sequence: int
-    timestamp: int
-    payload_type: PayloadType
-    payload_size: int
-    marker: bool = False
-    wallclock_sent: float = 0.0
+    __slots__ = (
+        "ssrc",
+        "sequence",
+        "timestamp",
+        "payload_type",
+        "payload_size",
+        "marker",
+        "wallclock_sent",
+    )
 
-    def __post_init__(self) -> None:
-        if not 0 <= self.sequence < SEQ_MOD:
-            raise ValueError(f"sequence {self.sequence} out of 16-bit range")
-        if not 0 <= self.timestamp < TS_MOD:
-            raise ValueError(f"timestamp {self.timestamp} out of 32-bit range")
-        if self.payload_size < 0:
+    def __init__(
+        self,
+        ssrc: int,
+        sequence: int,
+        timestamp: int,
+        payload_type: PayloadType,
+        payload_size: int,
+        marker: bool = False,
+        wallclock_sent: float = 0.0,
+    ):
+        if not 0 <= sequence < SEQ_MOD:
+            raise ValueError(f"sequence {sequence} out of 16-bit range")
+        if not 0 <= timestamp < TS_MOD:
+            raise ValueError(f"timestamp {timestamp} out of 32-bit range")
+        if payload_size < 0:
             raise ValueError("payload_size must be non-negative")
+        self.ssrc = ssrc
+        self.sequence = sequence
+        self.timestamp = timestamp
+        self.payload_type = payload_type
+        self.payload_size = payload_size
+        self.marker = marker
+        self.wallclock_sent = wallclock_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RtpPacket(ssrc={self.ssrc}, sequence={self.sequence}, "
+            f"timestamp={self.timestamp}, payload_type={self.payload_type!r}, "
+            f"payload_size={self.payload_size}, marker={self.marker})"
+        )
 
     @property
     def wire_size(self) -> int:

@@ -126,15 +126,34 @@ class Network:
         self._taps.append(tap)
 
     def route(self, datagram: Datagram) -> None:
-        """Entry point from a sending NIC after serialization completes."""
-        for tap in self._taps:
-            tap(datagram)
-        if is_multicast(datagram.dst.host):
-            self._route_multicast(datagram)
-        else:
-            self._route_unicast(datagram, datagram.dst)
+        """Route a datagram whose serialization completes *now*."""
+        self.route_future(datagram, self.sim.now)
 
-    def _route_multicast(self, datagram: Datagram) -> None:
+    def route_future(self, datagram: Datagram, tx_done: float) -> None:
+        """Entry point from a sending NIC.
+
+        ``tx_done`` is the (possibly future) virtual time at which the
+        NIC's arithmetic serialization model says the last bit leaves the
+        wire; propagation is added on top so the whole send pipeline costs
+        one kernel event.  Loss/jitter are sampled here — at enqueue — in
+        send order, which is deterministic for a given seed exactly like
+        the old sample-at-completion order was.
+        """
+        if self._taps:
+            for tap in self._taps:
+                tap(datagram)
+        dst = datagram.dst
+        # Fast path: concrete destination host (group addresses are never
+        # registered as hosts, so a hit here skips the multicast parse).
+        dst_host = self._hosts.get(dst.host)
+        if dst_host is None:
+            if is_multicast(dst.host):
+                self._route_multicast(datagram, tx_done)
+                return
+            raise UnknownHostError(dst.host)
+        self._route_unicast_at(datagram, dst, dst_host, tx_done)
+
+    def _route_multicast(self, datagram: Datagram, tx_done: float) -> None:
         members = self._groups.get(datagram.dst.host)
         if not members:
             return
@@ -144,32 +163,42 @@ class Network:
                 continue  # no loopback to the sending socket
             copy = datagram.clone()
             copy.dst = member
-            self._route_unicast(copy, member, group=datagram.dst.host)
+            self._route_unicast_at(copy, member, self.host(member.host), tx_done)
 
-    def _route_unicast(
-        self, datagram: Datagram, dst: Address, group: Optional[str] = None
+    def _route_unicast_at(
+        self, datagram: Datagram, dst: Address, dst_host: Host, tx_done: float
     ) -> None:
-        src_host = self._hosts.get(datagram.src.host)
-        dst_host = self._hosts.get(dst.host)
-        if dst_host is None:
-            raise UnknownHostError(dst.host)
-        if self._blocked and frozenset((datagram.src.host, dst.host)) in self._blocked:
+        src_name = datagram.src.host
+        if self._blocked and frozenset((src_name, dst.host)) in self._blocked:
             self.lost_packets += 1
             self.blackholed_packets += 1
             return
-        rng = self._rng
-        if src_host is not None and src_host.link.drops(rng):
-            self.lost_packets += 1
-            return
-        if dst_host.link.drops(rng):
-            self.lost_packets += 1
-            return
-        latency = self.fabric_latency(datagram.src.host, dst.host)
+        rand = self._rng.random
+        src_host = self._hosts.get(src_name)
         if src_host is not None:
-            latency += src_host.link.sample_latency(rng)
-        latency += dst_host.link.sample_latency(rng)
+            link = src_host.link
+            if link.loss_rate > 0.0 and rand() < link.loss_rate:
+                self.lost_packets += 1
+                return
+        dst_link = dst_host.link
+        if dst_link.loss_rate > 0.0 and rand() < dst_link.loss_rate:
+            self.lost_packets += 1
+            return
+        latency = self._path_latency.get((src_name, dst.host), self.base_latency_s)
+        if src_host is not None:
+            link = src_host.link
+            latency += link.latency_s
+            jitter = link.jitter_s
+            if jitter:
+                # Same draw as rng.uniform(0, jitter), minus the frame.
+                latency += jitter * rand()
+        latency += dst_link.latency_s
+        jitter = dst_link.jitter_s
+        if jitter:
+            latency += jitter * rand()
         self.delivered_packets += 1
-        self.sim.schedule(latency, dst_host.deliver, datagram)
+        sim = self.sim
+        sim.schedule(tx_done - sim.now + latency, dst_host.deliver, datagram)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Network hosts={len(self._hosts)} groups={len(self._groups)}>"

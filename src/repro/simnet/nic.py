@@ -4,12 +4,22 @@ The NIC is a single transmit queue: datagrams serialize at the link rate
 and excess packets wait; when the buffer is full, arrivals are tail-dropped.
 For the Figure 3 experiment this models the 240 Mbps aggregate the paper's
 reflector host pushes through its interface.
+
+Serialization is tracked *arithmetically* rather than with one kernel
+timer per packet: the NIC keeps the virtual time at which its transmitter
+frees up (``_free_at``) plus a lazily-purged ledger of not-yet-started
+packets for tail-drop accounting.  Each accepted datagram's completion
+time is ``max(now, free_at) + size/rate`` — identical to simulating the
+queue event-by-event, but with zero kernel events of its own.  When the
+NIC is wired to a :class:`~repro.simnet.network.Network` the completion
+time is handed straight to ``route_future`` so the whole
+serialize-then-propagate pipeline costs a single kernel event per packet.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Tuple
 
 from repro.simnet.kernel import Simulator
 from repro.simnet.packet import Datagram
@@ -17,9 +27,27 @@ from repro.simnet.packet import Datagram
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.link import LinkProfile
 
+#: Signature of the fused delivery hook: ``(datagram, tx_done_time)``.
+RouteFuture = Callable[[Datagram, float], None]
+
 
 class Nic:
     """Transmit-side interface queue for one host."""
+
+    __slots__ = (
+        "sim",
+        "link",
+        "_deliver",
+        "_route_future",
+        "queue_limit_bytes",
+        "_sec_per_byte",
+        "_free_at",
+        "_pending",
+        "_queued_bytes",
+        "sent_packets",
+        "sent_bytes",
+        "dropped_packets",
+    )
 
     def __init__(
         self,
@@ -27,52 +55,75 @@ class Nic:
         link: "LinkProfile",
         deliver: Callable[[Datagram], None],
         queue_limit_bytes: int = 2 * 1024 * 1024,
+        route_future: Optional[RouteFuture] = None,
     ):
         self.sim = sim
         self.link = link
         self._deliver = deliver
+        self._route_future = route_future
         self.queue_limit_bytes = queue_limit_bytes
-        self._queue: Deque[Datagram] = deque()
+        self._sec_per_byte = 8.0 / link.bandwidth_bps
+        self._free_at = 0.0
+        # (service_start_time, size) of accepted packets that have not yet
+        # begun serialization; the in-service packet is *not* queued, which
+        # matches the event-driven queue (it popped on service start).
+        self._pending: Deque[Tuple[float, int]] = deque()
         self._queued_bytes = 0
-        self._busy = False
         self.sent_packets = 0
         self.sent_bytes = 0
         self.dropped_packets = 0
 
+    def _purge(self, now: float) -> int:
+        """Drop ledger entries whose serialization has started; returns
+        the bytes still waiting."""
+        pending = self._pending
+        queued = self._queued_bytes
+        while pending and pending[0][0] <= now:
+            queued -= pending.popleft()[1]
+        self._queued_bytes = queued
+        return queued
+
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        self._purge(self.sim.now)
+        return len(self._pending)
 
     @property
     def queued_bytes(self) -> int:
-        return self._queued_bytes
+        return self._purge(self.sim.now)
 
     def enqueue(self, datagram: Datagram) -> bool:
         """Queue a datagram for transmission; False if tail-dropped."""
-        if self._queued_bytes + datagram.size > self.queue_limit_bytes:
+        now = self.sim.now
+        size = datagram.size
+        pending = self._pending
+        queued = self._queued_bytes
+        while pending and pending[0][0] <= now:
+            queued -= pending.popleft()[1]
+        if queued + size > self.queue_limit_bytes:
+            self._queued_bytes = queued
             self.dropped_packets += 1
             return False
-        self._queue.append(datagram)
-        self._queued_bytes += datagram.size
-        if not self._busy:
-            self._busy = True
-            self._transmit_next()
+        free_at = self._free_at
+        start = free_at if free_at > now else now
+        done = start + size * self._sec_per_byte
+        self._free_at = done
+        if start > now:
+            pending.append((start, size))
+            queued += size
+        self._queued_bytes = queued
+        self.sent_packets += 1
+        self.sent_bytes += size
+        route_future = self._route_future
+        if route_future is not None:
+            route_future(datagram, done)
+        else:
+            self.sim.schedule(done - now, self._fire, datagram)
         return True
 
-    def _transmit_next(self) -> None:
-        if not self._queue:
-            self._busy = False
-            return
-        datagram = self._queue.popleft()
-        self._queued_bytes -= datagram.size
-        tx_time = datagram.size * 8.0 / self.link.bandwidth_bps
-        self.sim.schedule(tx_time, self._transmitted, datagram)
-
-    def _transmitted(self, datagram: Datagram) -> None:
-        self.sent_packets += 1
-        self.sent_bytes += datagram.size
+    def _fire(self, datagram: Datagram) -> None:
+        """Un-fused completion path (standalone NICs without a network)."""
         self._deliver(datagram)
-        self._transmit_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Nic depth={len(self._queue)} sent={self.sent_packets} dropped={self.dropped_packets}>"
+        return f"<Nic sent={self.sent_packets} dropped={self.dropped_packets}>"

@@ -47,10 +47,13 @@ class Host:
         self.link = link
         self.recv_cpu_cost_s = recv_cpu_cost_s
         self.cpu = Cpu(network.sim, name=f"{name}.cpu", gc_profile=gc_profile)
-        self.nic = Nic(network.sim, link, network.route)
+        self.nic = Nic(
+            network.sim, link, network.route, route_future=network.route_future
+        )
         self.firewall = firewall
         self.multicast_enabled = multicast_enabled
         self._handlers: Dict[int, Tuple[Handler, Optional[float]]] = {}
+        self._src_addrs: Dict[int, Address] = {}  # port -> cached source Address
         self._next_ephemeral = EPHEMERAL_BASE
         self.received_packets = 0
         self.received_bytes = 0
@@ -93,8 +96,11 @@ class Host:
 
     def send(self, src_port: int, dst: Address, payload: Any, size: int) -> bool:
         """Transmit a datagram; returns False if the NIC tail-dropped it."""
+        src = self._src_addrs.get(src_port)
+        if src is None:
+            src = self._src_addrs[src_port] = Address(self.name, src_port)
         datagram = Datagram(
-            src=Address(self.name, src_port),
+            src=src,
             dst=dst,
             payload=payload,
             size=size,

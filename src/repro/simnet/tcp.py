@@ -14,7 +14,6 @@ endpoints' single ports.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simnet.kernel import Timer
@@ -43,19 +42,38 @@ DEFAULT_WINDOW = 64
 MAX_RETRIES = 8
 
 
-@dataclass
 class TcpSegment:
-    """One wire segment of the simplified TCP."""
+    """One wire segment of the simplified TCP (slotted: per-wire-packet)."""
 
-    conn_id: int
-    kind: str
-    seq: int = 0
-    ack: int = 0
-    msg: Any = None
-    msg_id: int = 0
-    frag: int = 0
-    nfrags: int = 1
-    data_size: int = 0
+    __slots__ = (
+        "conn_id", "kind", "seq", "ack",
+        "msg", "msg_id", "frag", "nfrags", "data_size",
+    )
+
+    def __init__(
+        self,
+        conn_id: int,
+        kind: str,
+        seq: int = 0,
+        ack: int = 0,
+        msg: Any = None,
+        msg_id: int = 0,
+        frag: int = 0,
+        nfrags: int = 1,
+        data_size: int = 0,
+    ):
+        self.conn_id = conn_id
+        self.kind = kind
+        self.seq = seq
+        self.ack = ack
+        self.msg = msg
+        self.msg_id = msg_id
+        self.frag = frag
+        self.nfrags = nfrags
+        self.data_size = data_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TcpSegment {self.kind} conn={self.conn_id} seq={self.seq}>"
 
 
 class TcpConnection:

@@ -1,0 +1,198 @@
+"""Bit-identical determinism across the raw-speed fast paths.
+
+The perf pass added mode switches — the batched kernel dispatch loop
+(``Simulator(batched=...)``), zero-copy fan-out (``Broker(zero_copy=...)``)
+and region-sharded stepping (``BrokerNetwork(shards=N)``).  Every switch
+must be *purely* mechanical: same seed in, same delivery trace out —
+event ids, sequence numbers, and delivery times identical to the last
+bit.  These tests run one lossy/jittery pub-sub workload under each
+mode pair and compare full traces, not summaries.
+"""
+
+import pytest
+
+from repro.broker import Broker, BrokerClient, BrokerNetwork
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import LinkProfile
+from repro.simnet.network import Network
+from repro.simnet.rng import SeededStreams
+
+#: Enough jitter + loss that RNG draw order differences would show.
+FLAKY = LinkProfile(
+    bandwidth_bps=10e6, latency_s=0.003, jitter_s=0.002, loss_rate=0.02
+)
+
+SEED = 1234
+
+
+def run_workload(batched=True, zero_copy=True, events=60):
+    """One seeded pub-sub run; returns the full delivery trace.
+
+    Three subscribers (fan-out > 1, so the zero-copy envelope path and
+    payload freezing both engage), one publisher, plain + ordered
+    events, lossy jittery links everywhere.
+    """
+    sim = Simulator(batched=batched)
+    net = Network(sim, SeededStreams(SEED))
+    broker = Broker(
+        net.create_host("broker-host", link=FLAKY),
+        broker_id="b0",
+        zero_copy=zero_copy,
+    )
+    trace = []
+
+    def receiver(name):
+        def on_event(event):
+            trace.append(
+                (name, event.event_id, event.sequence, event.topic, sim.now)
+            )
+        return on_event
+
+    subscribers = []
+    for index in range(3):
+        name = f"sub-{index}"
+        client = BrokerClient(net.create_host(name, link=FLAKY), client_id=name)
+        client.connect(broker)
+        client.subscribe("/room/#", receiver(name))
+        subscribers.append(client)
+    publisher = BrokerClient(
+        net.create_host("pub-host", link=FLAKY), client_id="pub"
+    )
+    publisher.connect(broker)
+    sim.run(until=1.0)
+
+    def publish_some(index):
+        topic = "/room/ctrl" if index % 5 == 0 else "/room/video"
+        publisher.publish(
+            topic, {"n": index}, 200 + index, ordered=(index % 5 == 0)
+        )
+
+    for index in range(events):
+        sim.schedule_at(1.0 + index * 0.01, publish_some, index)
+    sim.run(until=3.0)
+    assert trace, "workload delivered nothing — scenario is broken"
+    return normalize(trace, id_field=1)
+
+
+def normalize(trace, id_field):
+    """Rebase event ids: the id counter is process-global, so two
+    identical runs see the same id *deltas* at a different offset."""
+    base = min(entry[id_field] for entry in trace)
+    return [
+        entry[:id_field] + (entry[id_field] - base,) + entry[id_field + 1:]
+        for entry in trace
+    ]
+
+
+def test_batched_kernel_matches_legacy_loop():
+    assert run_workload(batched=True) == run_workload(batched=False)
+
+
+def test_zero_copy_fanout_matches_per_destination_copies():
+    assert run_workload(zero_copy=True) == run_workload(zero_copy=False)
+
+
+def test_all_fast_paths_off_matches_all_on():
+    both_on = run_workload(batched=True, zero_copy=True)
+    both_off = run_workload(batched=False, zero_copy=False)
+    assert both_on == both_off
+
+
+def sharded_trace(shards):
+    """Single-shard-capable workload run through the BrokerNetwork API."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    collection = BrokerNetwork(net, shards=shards)
+    collection.add_broker("b0", link=FLAKY, shard=0 if shards > 1 else None)
+    broker = collection.broker("b0")
+    trace = []
+    client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
+    client.connect(broker)
+    client.subscribe(
+        "/room/#",
+        lambda event: trace.append((event.event_id, event.topic, sim.now)),
+    )
+    publisher = BrokerClient(net.create_host("pub", link=FLAKY), client_id="pub")
+    publisher.connect(broker)
+    for index in range(40):
+        sim.schedule_at(
+            1.0 + index * 0.01, publisher.publish, "/room/video", index, 300
+        )
+    collection.run(3.0)
+    assert trace
+    return normalize(trace, id_field=0)
+
+
+def test_shards_1_is_bit_identical_to_legacy_event_loop():
+    """``shards=1`` must be *exactly* the legacy path, not merely close."""
+    legacy = []
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    collection = BrokerNetwork(net)  # no shards argument at all
+    collection.add_broker("b0", link=FLAKY)
+    broker = collection.broker("b0")
+    client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
+    client.connect(broker)
+    client.subscribe(
+        "/room/#",
+        lambda event: legacy.append((event.event_id, event.topic, sim.now)),
+    )
+    publisher = BrokerClient(net.create_host("pub", link=FLAKY), client_id="pub")
+    publisher.connect(broker)
+    for index in range(40):
+        sim.schedule_at(
+            1.0 + index * 0.01, publisher.publish, "/room/video", index, 300
+        )
+    sim.run(until=3.0)
+
+    assert sharded_trace(shards=1) == normalize(legacy, id_field=0)
+
+
+def test_shared_payload_mutation_is_detected():
+    """Zero-copy shares one payload across receivers; mutating it must
+    fail loudly (freeze-at-fan-out), not silently corrupt peers."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    failures = []
+
+    def mutator(event):
+        with pytest.raises(TypeError):
+            event.payload["hacked"] = True
+        failures.append(event.event_id)
+
+    seen = []
+    for index in range(2):
+        name = f"sub-{index}"
+        client = BrokerClient(net.create_host(name), client_id=name)
+        client.connect(broker)
+        client.subscribe("/room/#", mutator if index == 0 else seen.append)
+    publisher = BrokerClient(net.create_host("pub"), client_id="pub")
+    publisher.connect(broker)
+    sim.run(until=1.0)
+    publisher.publish("/room/video", {"frame": 1}, 500)
+    sim.run(until=2.0)
+
+    assert failures, "mutating subscriber never received the event"
+    assert seen and seen[0].payload["frame"] == 1  # reads still work
+
+
+def test_list_and_set_payloads_freeze_too():
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    broker = Broker(net.create_host("broker-host"), broker_id="b0")
+    received = []
+    for index in range(2):
+        name = f"sub-{index}"
+        client = BrokerClient(net.create_host(name), client_id=name)
+        client.connect(broker)
+        client.subscribe("/room/#", received.append)
+    publisher = BrokerClient(net.create_host("pub"), client_id="pub")
+    publisher.connect(broker)
+    sim.run(until=1.0)
+    publisher.publish("/room/a", [1, 2, 3], 100)
+    publisher.publish("/room/b", {7, 8}, 100)
+    sim.run(until=2.0)
+
+    payloads = {type(event.payload) for event in received}
+    assert payloads == {tuple, frozenset}

@@ -1,0 +1,106 @@
+"""Unit tests for the epoch-stepped shard engine (simnet.shard)."""
+
+from types import MappingProxyType
+
+import pytest
+
+from repro.simnet.shard import (
+    EpochCoordinator,
+    ProcessShardPool,
+    thaw_payload,
+)
+
+
+class EchoWorld:
+    """Minimal ShardWorld: advances a clock, exports what it was told to,
+    records what it was injected with."""
+
+    def __init__(self, index, exports=()):
+        self.index = index
+        self.now = 0.0
+        self.advanced = []
+        self.injected = []
+        self._exports = list(exports)
+
+    def advance(self, until):
+        self.advanced.append(until)
+        self.now = until
+
+    def drain_exports(self):
+        exports, self._exports = self._exports, []
+        return exports
+
+    def inject(self, messages, now):
+        self.injected.extend((message, now) for message in messages)
+
+
+def test_epochs_advance_all_worlds_in_lockstep():
+    worlds = [EchoWorld(0), EchoWorld(1), EchoWorld(2)]
+    coordinator = EpochCoordinator(worlds, epoch_s=0.25)
+    coordinator.run(1.0)
+    assert coordinator.epochs_run == 4
+    for world in worlds:
+        assert world.advanced == [0.25, 0.5, 0.75, 1.0]
+    # Partial final epoch: run() never oversteps ``until``.
+    coordinator.run(1.1)
+    assert worlds[0].advanced[-1] == pytest.approx(1.1)
+
+
+def test_directed_and_broadcast_exchange():
+    worlds = [
+        EchoWorld(0, exports=[(2, "to-two"), (None, "to-all")]),
+        EchoWorld(1),
+        EchoWorld(2),
+    ]
+    coordinator = EpochCoordinator(worlds, epoch_s=0.5)
+    coordinator.run(0.5)
+    assert [m for m, _ in worlds[1].injected] == ["to-all"]
+    assert [m for m, _ in worlds[2].injected] == ["to-two", "to-all"]
+    assert worlds[0].injected == []  # no self-delivery of broadcasts
+    assert coordinator.messages_exchanged == 3
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        EpochCoordinator([], epoch_s=0.1)
+    with pytest.raises(ValueError):
+        EpochCoordinator([EchoWorld(0)], epoch_s=0.0)
+
+
+def test_thaw_payload_reverses_freeze():
+    frozen = MappingProxyType({"a": 1})
+    thawed = thaw_payload(frozen)
+    assert type(thawed) is dict and thawed == {"a": 1}
+    for passthrough in ((1, 2), b"x", frozenset({3}), "plain"):
+        assert thaw_payload(passthrough) is passthrough
+
+
+class RelayWorld:
+    """Process-mode world: exports one greeting, then echoes whatever it
+    receives back as a broadcast (picklable, built inside the worker)."""
+
+    def __init__(self, index):
+        self.index = index
+        self.sim = None
+        self._exports = [(None, f"hello-from-{index}")]
+
+    def advance(self, until):
+        self.now = until
+
+    def drain_exports(self):
+        exports, self._exports = self._exports, []
+        return exports
+
+    def inject(self, messages, now):
+        self._exports.extend(
+            (None, f"{self.index}-echoes-{message}") for message in messages
+        )
+
+
+def test_process_pool_exchanges_across_worker_processes():
+    with ProcessShardPool([RelayWorld, RelayWorld], epoch_s=0.5) as pool:
+        pool.run(1.5)  # 3 epochs: greet, deliver, echo back
+        assert pool.epochs_run == 3
+        # Every epoch boundary relays 2 broadcasts (greetings, then each
+        # round of echoes): 3 epochs x 2 messages.
+        assert pool.messages_exchanged == 6
