@@ -29,6 +29,9 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.broker.event import NBEvent, freeze_payload
 from repro.broker.links import (
     ClientLink,
+    ClusterDigest,
+    ClusterInterestAdvert,
+    ClusterLsa,
     Connect,
     ConnectAck,
     Disconnect,
@@ -55,7 +58,12 @@ from repro.broker.links import (
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
 from repro.broker.reliable import ReliableOutbox
 from repro.broker.route_cache import NextHopGroups, RouteCache, RouteEntry
-from repro.broker.topic import TopicTrie, validate_pattern, validate_topic
+from repro.broker.topic import (
+    TopicTrie,
+    summarize_patterns,
+    validate_pattern,
+    validate_topic,
+)
 from repro.obs.metrics import (
     COST_BUCKETS_S,
     LATENCY_BUCKETS_S,
@@ -79,14 +87,47 @@ UDP_PORT = 3045
 TCP_PORT = 3046
 SSL_PORT = 3047
 
-#: Advert-dedup window size.  Advert ids only need to be remembered for
-#: as long as a flood can still echo them around the broker graph, so a
-#: bounded insertion-ordered window is enough — an unbounded set would
-#: grow forever on a long-running broker.
+#: Advert-dedup window size (floor).  Advert ids only need to be
+#: remembered for as long as a flood can still echo them around the
+#: broker graph, so a bounded LRU window is enough — an unbounded set
+#: would grow forever on a long-running broker.  The effective cap
+#: scales with mesh size (see :meth:`Broker.set_routes`): a flood's
+#: echo lifetime grows with the reachable broker set.
 SEEN_ADVERT_WINDOW = 8192
+
+#: Per-reachable-broker contribution to the dedup window cap.
+DEDUP_PER_BROKER = 128
 
 #: Bound on cached (topic → sequencer) elections.
 SEQUENCER_CACHE_MAX = 4096
+
+#: Cap on the aggregated interest summary a cluster gateway exports.
+#: Above this many distinct patterns, prefixes are collapsed (widened)
+#: until the summary fits — see
+#: :func:`repro.broker.topic.summarize_patterns`.  Deliberately small:
+#: a collapsed summary over-approximates, and a false positive only
+#: costs one wasted inter-cluster forward that the entry gateway drops,
+#: while a large budget delays collapse until per-cluster interest is
+#: so wide that exact-list churn floods the overlay first.
+INTEREST_SUMMARY_BUDGET = 16
+
+#: Minimum spacing between two summary floods from one gateway.  Below
+#: the collapse budget every subscription change alters the exact
+#: summary, so a churn burst would otherwise export one overlay flood
+#: per op — this coalesces the burst into at most one flood per
+#: interval, trading up to that much added cross-cluster propagation
+#: delay for a bounded overlay rate.
+SUMMARY_REFRESH_MIN_INTERVAL_S = 0.25
+
+#: Hysteresis on summary collapse: once a gateway has exported a
+#: collapsed (widened) summary it keeps collapsing until the cluster's
+#: interest shrinks below ``INTEREST_SUMMARY_BUDGET // 2``.  A cluster
+#: sitting *at* the budget would otherwise flap between the exact
+#: pattern list and the wildcard form on every churn transient, and
+#: each flap makes every remote cluster install/withdraw the full diff
+#: as per-pattern proxy floods — an advert storm out of one
+#: subscription's worth of churn.
+SUMMARY_COLLAPSE_RELEASE = 2
 
 #: Every Nth peer-heartbeat tick also carries a link-state digest, so
 #: LSAs lost to the network (floods are unreliable datagrams) are
@@ -95,13 +136,23 @@ ANTI_ENTROPY_TICKS = 4
 
 
 class _DedupWindow:
-    """Insertion-ordered dedup set with a hard size cap (oldest evicted)."""
+    """LRU dedup set with a hard size cap (least-recently-seen evicted).
 
-    __slots__ = ("_seen", "cap")
+    A hit *refreshes* the id's recency: an advert id still echoing
+    around a large mesh stays pinned while one-shot ids age out, so cap
+    pressure can no longer evict a live flood's id and re-admit its
+    echo — which would re-flood it, an advert storm at exactly the mesh
+    sizes the cluster tier targets.  ``evictions`` counts ids dropped
+    under cap pressure (exposed as ``dedup_evictions``); a nonzero rate
+    under steady load means the cap is undersized for the topology.
+    """
+
+    __slots__ = ("_seen", "cap", "evictions")
 
     def __init__(self, cap: int):
         self._seen: Dict[int, None] = {}
         self.cap = cap
+        self.evictions = 0
 
     def __contains__(self, item: int) -> bool:
         return item in self._seen
@@ -110,12 +161,18 @@ class _DedupWindow:
         return len(self._seen)
 
     def add(self, item: int) -> bool:
-        """Record ``item``; False if it was already in the window."""
+        """Record ``item``; False if it was already in the window (its
+        recency is refreshed either way)."""
         if item in self._seen:
+            # Dicts preserve insertion order: delete + reinsert moves the
+            # id to the most-recently-seen end.
+            del self._seen[item]
+            self._seen[item] = None
             return False
         self._seen[item] = None
         if len(self._seen) > self.cap:
             del self._seen[next(iter(self._seen))]
+            self.evictions += 1
         return True
 
 
@@ -157,6 +214,8 @@ class Broker:
         peer_miss_limit: int = 3,
         tracer: Optional[Tracer] = None,
         zero_copy: bool = True,
+        cluster_id: Optional[str] = None,
+        cluster_gateways: Tuple[str, ...] = (),
     ):
         self.host = host
         self.sim = host.sim
@@ -228,6 +287,38 @@ class Broker:
         if self.peer_heartbeat_interval_s is not None:
             self._arm_peer_heartbeat()
 
+        # Cluster tier (opt-in).  ``cluster_id is None`` is the flat
+        # mesh: every cluster branch below is skipped and behaviour is
+        # bit-identical to the pre-cluster broker (the determinism suite
+        # pins this).  When clustered, SubAdvert/LSA floods are scoped
+        # to intra-cluster links and gateways run a second, overlay-level
+        # control plane: ClusterLsa (gateway adjacency), ClusterInterest-
+        # Advert (prefix-collapsed interest summaries), ClusterDigest
+        # (anti-entropy for both).  Only the *active* gateway (lowest
+        # live gateway id) imports foreign interest and exports events.
+        self.cluster_id = cluster_id
+        self.cluster_gateways = tuple(sorted(cluster_gateways))
+        self._clustered = cluster_id is not None
+        self.is_gateway = (
+            self._clustered and self.broker_id in self.cluster_gateways
+        )
+        self._intercluster_peers: Set[str] = set()
+        self._intra_sorted: Tuple[str, ...] = ()
+        self._gw_lsdb: Dict[str, Tuple[int, FrozenSet[str], str]] = {}
+        self._gw_lsa_epoch = 0
+        #: origin gateway -> (epoch, patterns, cluster_id); foreign *and*
+        #: own-cluster summaries are tracked (standbys keep shadow copies
+        #: for takeover), but only foreign ones are ever installed.
+        self._cluster_interest: Dict[str, Tuple[int, Tuple[str, ...], str]] = {}
+        self._installed_foreign: Set[str] = set()
+        self._proxied: Set[str] = set()
+        self._last_summary: Optional[Tuple[str, ...]] = None
+        self._summary_epoch = 0
+        self._summary_pending = False
+        self._last_summary_flood_at = -SUMMARY_REFRESH_MIN_INTERVAL_S
+        self._summary_collapsed = False
+        self._active_gateway: Optional[str] = None
+
         # Statistics: plain integer attributes mutated on the hot paths,
         # all registered (bound) in the metrics registry below so the
         # registry is the single source of truth for snapshots.
@@ -248,6 +339,10 @@ class Broker:
         self.sequencer_changes = 0
         self.traces_started = 0
         self.traces_completed = 0
+        self.adverts_aggregated = 0
+        self.cluster_lsas_scoped = 0
+        self.intercluster_hops = 0
+        self.gateway_takeovers = 0
         self.last_route_change_at = -1.0
         self._last_sequencers: Dict[str, str] = {}
 
@@ -273,6 +368,10 @@ class Broker:
             "sequencer_changes",
             "traces_started",
             "traces_completed",
+            "adverts_aggregated",
+            "cluster_lsas_scoped",
+            "intercluster_hops",
+            "gateway_takeovers",
         ):
             self.metrics.expose(
                 counter_name, lambda name=counter_name: getattr(self, name)
@@ -287,6 +386,9 @@ class Broker:
         )
         self.metrics.expose(
             "route_cache_entries", lambda: len(self.route_cache)
+        )
+        self.metrics.expose(
+            "dedup_evictions", lambda: self._seen_adverts.evictions
         )
         self.metrics.expose(
             "local_subscriptions", lambda: len(self._local_subs)
@@ -350,44 +452,91 @@ class Broker:
 
     # --------------------------------------------------- peer provisioning
 
-    def add_peer(self, peer_id: str, peer_address: Address) -> None:
+    def add_peer(
+        self, peer_id: str, peer_address: Address, intercluster: bool = False
+    ) -> None:
         """Register a directly-connected peer broker (both directions are
-        registered by :class:`repro.broker.network.BrokerNetwork`)."""
+        registered by :class:`repro.broker.network.BrokerNetwork`).
+
+        ``intercluster=True`` marks a gateway-to-gateway link between
+        clusters: no member LSA, per-topic SubAdvert, or raw
+        subscription sync ever crosses it — the gateway overlay
+        reconciles through :class:`~repro.broker.links.ClusterDigest`
+        exchange instead.
+        """
         previous = self._peers.get(peer_id)
         if previous is not None:
             self._peer_by_address.pop(previous, None)
         self._peers[peer_id] = peer_address
         self._peer_by_address[peer_address] = peer_id
+        if intercluster:
+            self._intercluster_peers.add(peer_id)
+        else:
+            self._intercluster_peers.discard(peer_id)
         self._peer_last_heard[peer_id] = self.sim.now
         self._peers_changed()
-        if self.link_state_enabled:
-            # A link came up (first wiring, or a partition healed): flood
-            # our new adjacency, reconcile databases via digest exchange,
-            # and re-offer known interest over the new edge so the other
-            # side routes events toward us again.
-            self._originate_lsa()
-            self.host.cpu.execute(
-                self.profile.control_cost_s,
-                self._send_peer,
-                peer_id,
-                self._make_digest(),
+        if not self.link_state_enabled:
+            return
+        cpu, cost = self.host.cpu, self.profile.control_cost_s
+        if self._clustered and intercluster:
+            # Inter-cluster link-up: only the gateway tier changed.
+            self._originate_gw_lsa()
+            cpu.execute(
+                cost, self._send_peer, peer_id, self._make_cluster_digest()
             )
-            self._sync_subscriptions_to_peer(peer_id)
+            return
+        # A link came up (first wiring, or a partition healed): flood
+        # our new adjacency, reconcile databases via digest exchange,
+        # and re-offer known interest over the new edge so the other
+        # side routes events toward us again.
+        self._originate_lsa()
+        cpu.execute(cost, self._send_peer, peer_id, self._make_digest())
+        self._sync_subscriptions_to_peer(peer_id)
+        if (
+            self._clustered
+            and self.is_gateway
+            and peer_id in self.cluster_gateways
+        ):
+            # A co-gateway link is also a gateway-overlay edge.
+            self._originate_gw_lsa()
+            cpu.execute(
+                cost, self._send_peer, peer_id, self._make_cluster_digest()
+            )
 
     def remove_peer(self, peer_id: str) -> None:
         address = self._peers.pop(peer_id, None)
         if address is not None:
             self._peer_by_address.pop(address, None)
+        was_intercluster = peer_id in self._intercluster_peers
+        self._intercluster_peers.discard(peer_id)
         self._peer_last_heard.pop(peer_id, None)
         self._peers_changed()
-        if self.link_state_enabled:
-            self._originate_lsa()
+        if not self.link_state_enabled:
+            return
+        if was_intercluster:
+            self._originate_gw_lsa()
+            return
+        self._originate_lsa()
+        if (
+            self._clustered
+            and self.is_gateway
+            and peer_id in self.cluster_gateways
+        ):
+            self._originate_gw_lsa()
 
     def has_peer(self, peer_id: str) -> bool:
         return peer_id in self._peers
 
     def _peers_changed(self) -> None:
         self._sorted_peers = tuple(sorted(self._peers))
+        if self._clustered:
+            self._intra_sorted = tuple(
+                peer
+                for peer in self._sorted_peers
+                if peer not in self._intercluster_peers
+            )
+        else:
+            self._intra_sorted = self._sorted_peers
         self._routes_gen += 1
 
     def set_routes(self, routes: Dict[str, str]) -> None:
@@ -404,6 +553,11 @@ class Broker:
         self._routes = dict(routes)
         self._routes_gen += 1
         self._broker_set_epoch += 1
+        # The dedup window must outlive a flood's echo lifetime, which
+        # grows with the reachable set: resize relative to mesh size.
+        self._seen_adverts.cap = max(
+            SEEN_ADVERT_WINDOW, DEDUP_PER_BROKER * (len(self._routes) + 1)
+        )
         reachable = set(self._routes)
         reachable.add(self.broker_id)
         for origin in [
@@ -420,6 +574,8 @@ class Broker:
                 skip_peer=None,
             )
         for origin in set(self._remote_interest.values()):
+            if origin in self._installed_foreign:
+                continue  # foreign installs never leave this gateway
             for pattern in self._remote_interest.patterns_for(origin):
                 self._flood_advert(
                     SubAdvert(origin_broker=origin, pattern=pattern, add=True),
@@ -432,21 +588,35 @@ class Broker:
         The receiver re-floods anything it did not already know with
         ``skip_peer`` set to us, which is how subscription state crosses
         a healed partition without a full mesh-wide re-flood.
+
+        Clustered: foreign-gateway installs are *not* offered (members
+        must route foreign-bound events through the gateway's proxy
+        adverts, not toward gateway ids they have no routes for);
+        instead the proxied pattern set is offered under our own origin.
         """
         cpu, cost = self.host.cpu, self.profile.control_cost_s
-        for pattern in self._local_subs.all_patterns():
+        local_patterns = self._local_subs.all_patterns()
+        for pattern in local_patterns:
             advert = SubAdvert(
                 origin_broker=self.broker_id, pattern=pattern, add=True
             )
             self._seen_adverts.add(advert.advert_id)
             cpu.execute(cost, self._send_peer, peer_id, advert)
         for origin in sorted(set(self._remote_interest.values())):
+            if origin in self._installed_foreign:
+                continue
             for pattern in self._remote_interest.patterns_for(origin):
                 advert = SubAdvert(
                     origin_broker=origin, pattern=pattern, add=True
                 )
                 self._seen_adverts.add(advert.advert_id)
                 cpu.execute(cost, self._send_peer, peer_id, advert)
+        for pattern in sorted(self._proxied - set(local_patterns)):
+            advert = SubAdvert(
+                origin_broker=self.broker_id, pattern=pattern, add=True
+            )
+            self._seen_adverts.add(advert.advert_id)
+            cpu.execute(cost, self._send_peer, peer_id, advert)
 
     # --------------------------------------------------------- client I/O
 
@@ -546,11 +716,14 @@ class Broker:
         pattern = validate_pattern(message.pattern)
         had_interest = self._has_local_interest(pattern)
         self._local_subs.add(pattern, message.client_id)
-        if not had_interest:
+        # A pattern already advertised as a gateway proxy needs no flood:
+        # the mesh already routes it here (empty in flat mode).
+        if not had_interest and pattern not in self._proxied:
             self._flood_advert(
                 SubAdvert(origin_broker=self.broker_id, pattern=pattern, add=True),
                 skip_peer=None,
             )
+        self._schedule_summary_refresh()
         self.host.cpu.execute(
             self.profile.control_cost_s,
             record.link.send,
@@ -560,13 +733,17 @@ class Broker:
     def _on_unsubscribe(self, message: Unsubscribe) -> None:
         self.control_messages += 1
         self._local_subs.remove(message.pattern, message.client_id)
-        if not self._has_local_interest(message.pattern):
+        if (
+            not self._has_local_interest(message.pattern)
+            and message.pattern not in self._proxied
+        ):
             self._flood_advert(
                 SubAdvert(
                     origin_broker=self.broker_id, pattern=message.pattern, add=False
                 ),
                 skip_peer=None,
             )
+        self._schedule_summary_refresh()
 
     def _on_heartbeat(self, message: Heartbeat) -> None:
         self.heartbeats_received += 1
@@ -611,13 +788,17 @@ class Broker:
             record.outbox.close()
         for pattern in self._local_subs.patterns_for(client_id):
             self._local_subs.remove(pattern, client_id)
-            if not self._has_local_interest(pattern):
+            if (
+                not self._has_local_interest(pattern)
+                and pattern not in self._proxied
+            ):
                 self._flood_advert(
                     SubAdvert(
                         origin_broker=self.broker_id, pattern=pattern, add=False
                     ),
                     skip_peer=None,
                 )
+        self._schedule_summary_refresh()
         record.link.close()
 
     def _has_local_interest(self, pattern: str) -> bool:
@@ -708,8 +889,20 @@ class Broker:
             self._sequencer_epoch = self._broker_set_epoch
         sequencer = self._sequencers.get(topic)
         if sequencer is None:
+            candidates = self.known_brokers()
+            if self._clustered and self.is_gateway:
+                # Gateways also know foreign gateways; elections must
+                # stay cluster-local so every member of the cluster
+                # (gateway or not) derives the same sequencer.  Ordering
+                # domains are per cluster — see DESIGN.md.
+                foreign = {
+                    origin
+                    for origin, entry in self._gw_lsdb.items()
+                    if entry[2] != self.cluster_id
+                }
+                candidates = [b for b in candidates if b not in foreign]
             sequencer = min(
-                self.known_brokers(),
+                candidates,
                 key=lambda broker: hashlib.sha256(
                     f"{topic}|{broker}".encode()
                 ).hexdigest(),
@@ -749,9 +942,22 @@ class Broker:
         local = tuple(sorted(self._local_subs.match(topic)))
         remote = self._remote_interest.match(topic)
         remote.discard(self.broker_id)
+        if self._clustered and self.is_gateway:
+            # Tier partition for gateway re-export: foreign-gateway
+            # targets (installed aggregated interest) vs own-cluster
+            # members.  Standbys install nothing, so inter is empty and
+            # intra degenerates to the full remote set.
+            inter = frozenset(
+                origin for origin in remote if origin in self._installed_foreign
+            )
+            intra: Optional[FrozenSet[str]] = frozenset(remote) - inter
+        else:
+            inter = intra = None
         entry = RouteEntry(
             generation, local, frozenset(remote),
             self._compute_groups(remote),
+            intra_targets=intra,
+            inter_targets=inter,
         )
         if self.route_cache_enabled:
             self.route_cache.store(topic, entry)
@@ -972,7 +1178,7 @@ class Broker:
             # heartbeat out between media bursts is still clearly alive.
             self._peer_last_heard[from_peer] = self.sim.now
         if isinstance(payload, PeerEvent):
-            self._on_peer_event(payload)
+            self._on_peer_event(payload, from_peer=from_peer)
         elif isinstance(payload, SequenceRequest):
             self._on_sequence_request(payload)
         elif isinstance(payload, SubAdvert):
@@ -983,13 +1189,35 @@ class Broker:
             self._on_link_state_advert(payload, from_peer=from_peer)
         elif isinstance(payload, LinkStateDigest):
             self._on_link_state_digest(payload, from_peer=from_peer)
+        elif isinstance(payload, ClusterLsa):
+            self._on_cluster_lsa(payload, from_peer=from_peer)
+        elif isinstance(payload, ClusterInterestAdvert):
+            self._on_cluster_interest(payload, from_peer=from_peer)
+        elif isinstance(payload, ClusterDigest):
+            self._on_cluster_digest(payload, from_peer=from_peer)
 
-    def _on_peer_event(self, peer_event: PeerEvent) -> None:
+    def _on_peer_event(
+        self, peer_event: PeerEvent, from_peer: Optional[str] = None
+    ) -> None:
         event = peer_event.event
         hop = self._begin_hop(event)
         targets = set(peer_event.targets)
+        if self._clustered and from_peer in self._intercluster_peers:
+            self.intercluster_hops += 1
+        reexported = False
         if self.broker_id in targets:
             targets.discard(self.broker_id)
+            if self._clustered and self.is_gateway:
+                # Tier boundary: being a target at a gateway also means
+                # "re-export".  Arrivals over an inter-cluster link fan
+                # out to own-cluster members with matching interest;
+                # arrivals from inside the cluster are exported to
+                # remote-gateway targets — but only by the active
+                # gateway, so a standby never duplicates the export.
+                extra = self._reexport_targets(event, from_peer)
+                if extra:
+                    targets |= extra
+                    reexported = True
             if hop is not None:
                 # Deliver on a fork when we also forward onward, so the
                 # onward branches keep their own in-progress hop.
@@ -1005,7 +1233,15 @@ class Broker:
                 )
             self.events_routed += 1
         if targets:
-            self._forward_to_targets(event, targets)
+            if reexported:
+                # The re-export resolved a fresh fan-out at the tier
+                # boundary: charge it like any other routing decision.
+                self.host.cpu.execute(
+                    self.profile.route_cost_s,
+                    self._forward_to_targets, event, targets,
+                )
+            else:
+                self._forward_to_targets(event, targets)
 
     def _on_sequence_request(self, request: SequenceRequest) -> None:
         event = request.event
@@ -1047,20 +1283,66 @@ class Broker:
         if not self._seen_adverts.add(advert.advert_id):
             return
         self.control_messages += 1
-        if advert.origin_broker != self.broker_id:
-            if advert.add:
-                self._remote_interest.add(advert.pattern, advert.origin_broker)
-            else:
-                self._remote_interest.remove(advert.pattern, advert.origin_broker)
+        if advert.origin_broker == self.broker_id:
+            # Echo of our own advert: our original flood already covered
+            # every reachable peer, and our local state is authoritative.
+            return
+        if advert.add:
+            changed = self._remote_interest.add(
+                advert.pattern, advert.origin_broker
+            )
+        else:
+            changed = self._remote_interest.remove(
+                advert.pattern, advert.origin_broker
+            )
+        if not changed:
+            # Already-known state: a peer-sync offer, or an echo whose id
+            # aged out of the dedup window.  Absorb it — re-flooding a
+            # no-op is what turns a window eviction into a self-sustaining
+            # advert storm (each re-flood evicts more live ids, whose
+            # echoes then also read as new).
+            return
         # Reflood to everyone except the peer it arrived from — sending
         # it back is pure waste (the sender already deduplicates it).
         self._flood_advert(advert, skip_peer=from_peer)
+        self._schedule_summary_refresh()
 
     def _flood_advert(self, advert: Any, skip_peer: Optional[str]) -> None:
         """Flood a dedup-windowed advert (SubAdvert or LinkStateAdvert) to
-        every peer except the one it arrived from."""
+        every peer except the one it arrived from.
+
+        Clustered: the flood is scoped to intra-cluster links — member
+        subscription state and member adjacency never cross a cluster
+        boundary; the gateway overlay carries aggregated summaries and
+        cluster-level LSAs instead.
+        """
         self._seen_adverts.add(advert.advert_id)
-        for peer_id in self._sorted_peers:
+        if self._clustered:
+            peers = self._intra_sorted
+            if self._intercluster_peers and isinstance(advert, LinkStateAdvert):
+                self.cluster_lsas_scoped += 1
+        else:
+            peers = self._sorted_peers
+        for peer_id in peers:
+            if peer_id == skip_peer:
+                continue
+            self.host.cpu.execute(
+                self.profile.control_cost_s, self._send_peer, peer_id, advert
+            )
+
+    def _gateway_overlay_peers(self) -> List[str]:
+        """Direct peers on the gateway overlay: inter-cluster links plus
+        co-gateways of our own cluster we hold an intra link to."""
+        overlay = set(self._intercluster_peers)
+        for gateway in self.cluster_gateways:
+            if gateway != self.broker_id and gateway in self._peers:
+                overlay.add(gateway)
+        return sorted(overlay)
+
+    def _flood_gateway(self, advert: Any, skip_peer: Optional[str]) -> None:
+        """Flood a gateway-tier advert over the gateway overlay."""
+        self._seen_adverts.add(advert.advert_id)
+        for peer_id in self._gateway_overlay_peers():
             if peer_id == skip_peer:
                 continue
             self.host.cpu.execute(
@@ -1096,8 +1378,25 @@ class Broker:
         cpu, cost = self.host.cpu, self.profile.control_cost_s
         for peer_id in self._sorted_peers:
             cpu.execute(cost, self._send_peer, peer_id, beat)
-            if send_digest:
-                cpu.execute(cost, self._send_peer, peer_id, self._make_digest())
+            if not send_digest:
+                continue
+            if self._clustered and peer_id in self._intercluster_peers:
+                # Inter-cluster links repair gateway-tier state only.
+                cpu.execute(
+                    cost, self._send_peer, peer_id, self._make_cluster_digest()
+                )
+                continue
+            cpu.execute(cost, self._send_peer, peer_id, self._make_digest())
+            if (
+                self._clustered
+                and self.is_gateway
+                and peer_id in self.cluster_gateways
+            ):
+                # Co-gateways also reconcile the gateway tier, so a
+                # standby's shadow state survives lost overlay floods.
+                cpu.execute(
+                    cost, self._send_peer, peer_id, self._make_cluster_digest()
+                )
         self._arm_peer_heartbeat()
 
     def _evict_peer(self, peer_id: str) -> None:
@@ -1112,11 +1411,23 @@ class Broker:
 
     # ------------------------------------------- link-state routing (LSAs)
 
+    def _intra_neighbors(self) -> FrozenSet[str]:
+        """Adjacency advertised in member LSAs: all peers in flat mode,
+        intra-cluster peers only when clustered (inter links belong to
+        the gateway tier and must not leak into member LSAs)."""
+        if self._clustered:
+            return frozenset(
+                peer
+                for peer in self._peers
+                if peer not in self._intercluster_peers
+            )
+        return frozenset(self._peers)
+
     def _originate_lsa(self) -> None:
         """Flood a fresh advert for our current adjacency."""
         self._lsa_epoch += 1
         self.lsas_originated += 1
-        neighbors = frozenset(self._peers)
+        neighbors = self._intra_neighbors()
         self._lsdb[self.broker_id] = (self._lsa_epoch, neighbors)
         self._flood_advert(
             LinkStateAdvert(
@@ -1129,7 +1440,7 @@ class Broker:
         self._schedule_recompute()
 
     def _make_digest(self) -> LinkStateDigest:
-        self._lsdb[self.broker_id] = (self._lsa_epoch, frozenset(self._peers))
+        self._lsdb[self.broker_id] = (self._lsa_epoch, self._intra_neighbors())
         return LinkStateDigest(
             origin_broker=self.broker_id,
             epochs={origin: entry[0] for origin, entry in self._lsdb.items()},
@@ -1164,8 +1475,8 @@ class Broker:
     def _on_link_state_digest(
         self, digest: LinkStateDigest, from_peer: Optional[str]
     ) -> None:
-        if from_peer is None:
-            return
+        if from_peer is None or from_peer in self._intercluster_peers:
+            return  # member LSDBs never reconcile across a cluster boundary
         self.control_messages += 1
         self._make_digest()  # refresh our own entry before comparing
         cpu, cost = self.host.cpu, self.profile.control_cost_s
@@ -1212,7 +1523,40 @@ class Broker:
         claimed: Dict[str, FrozenSet[str]] = {
             origin: entry[1] for origin, entry in self._lsdb.items()
         }
-        claimed[self.broker_id] = frozenset(self._peers)
+        claimed[self.broker_id] = self._intra_neighbors()
+        routes, dist = self._dijkstra(claimed)
+        gw_dist: Dict[str, int] = {}
+        if self._clustered and self.is_gateway:
+            routes, gw_dist = self._merge_gateway_routes(routes)
+        self.set_routes(routes)
+        # Forget unreachable origins: their interest was just purged by
+        # set_routes, and dropping the stale LSDB entry means a restarted
+        # broker re-enters at epoch 1 without fighting its past life.
+        for origin in [
+            o for o in self._lsdb if o != self.broker_id and o not in dist
+        ]:
+            del self._lsdb[origin]
+        if self._clustered and self.is_gateway:
+            for origin in [
+                o
+                for o in self._gw_lsdb
+                if o != self.broker_id and o not in gw_dist
+            ]:
+                del self._gw_lsdb[origin]
+                self._cluster_interest.pop(origin, None)
+        self._check_active_gateway()
+        if self._clustered and self.is_gateway:
+            # A foreign gateway may have vanished (its entries were just
+            # purged) without our own active/standby role changing:
+            # reconcile installs and proxies against the surviving set.
+            self._reconcile_foreign_install()
+        self._schedule_summary_refresh()
+
+    def _dijkstra(
+        self, claimed: Dict[str, FrozenSet[str]]
+    ) -> Tuple[Dict[str, str], Dict[str, int]]:
+        """Unit-weight shortest paths over a two-sided-claim adjacency;
+        returns (destination → first hop, destination → distance)."""
         adjacency: Dict[str, Set[str]] = {
             origin: {
                 neighbor
@@ -1235,14 +1579,386 @@ class Broker:
             for neighbor in sorted(adjacency.get(node, ())):
                 if neighbor not in dist:
                     heapq.heappush(heap, (d + 1, neighbor, first_hop))
-        self.set_routes(routes)
-        # Forget unreachable origins: their interest was just purged by
-        # set_routes, and dropping the stale LSDB entry means a restarted
-        # broker re-enters at epoch 1 without fighting its past life.
-        for origin in [
-            o for o in self._lsdb if o != self.broker_id and o not in dist
-        ]:
-            del self._lsdb[origin]
+        return routes, dist
+
+    def _merge_gateway_routes(
+        self, routes: Dict[str, str]
+    ) -> Tuple[Dict[str, str], Dict[str, int]]:
+        """Overlay the gateway-tier shortest paths onto the intra table.
+
+        The gateway overlay's first hops are always direct peers (inter
+        links or co-gateways), so the merged table stays a plain
+        destination → next-peer map and the whole existing forwarding
+        fast path works unchanged.  Same-cluster destinations keep their
+        intra routes — the overlay only contributes *foreign* gateways.
+        """
+        claimed: Dict[str, FrozenSet[str]] = {
+            origin: entry[1] for origin, entry in self._gw_lsdb.items()
+        }
+        claimed[self.broker_id] = frozenset(self._gateway_overlay_peers())
+        cluster_of: Dict[str, str] = {
+            origin: entry[2] for origin, entry in self._gw_lsdb.items()
+        }
+        gw_routes, gw_dist = self._dijkstra(claimed)
+        merged = dict(routes)
+        for gateway, first_hop in gw_routes.items():
+            if cluster_of.get(gateway) == self.cluster_id:
+                continue  # same-cluster: intra routing wins
+            merged.setdefault(gateway, first_hop)
+        return merged, gw_dist
+
+    # ---------------------------------------- cluster tier (gateway plane)
+
+    def _foreign_origins(self) -> Set[str]:
+        """Gateways in ``_cluster_interest`` belonging to other clusters."""
+        return {
+            origin
+            for origin, entry in self._cluster_interest.items()
+            if entry[2] != self.cluster_id
+        }
+
+    def _originate_gw_lsa(self) -> None:
+        """Flood a fresh gateway-tier advert for our overlay adjacency."""
+        if not (self._clustered and self.is_gateway):
+            return
+        self._gw_lsa_epoch += 1
+        self.lsas_originated += 1
+        neighbors = frozenset(self._gateway_overlay_peers())
+        self._gw_lsdb[self.broker_id] = (
+            self._gw_lsa_epoch, neighbors, self.cluster_id,
+        )
+        self._flood_gateway(
+            ClusterLsa(
+                origin_gateway=self.broker_id,
+                cluster_id=self.cluster_id,
+                epoch=self._gw_lsa_epoch,
+                gw_neighbors=neighbors,
+            ),
+            skip_peer=None,
+        )
+        self._schedule_recompute()
+
+    def _make_cluster_digest(self) -> ClusterDigest:
+        self._gw_lsdb[self.broker_id] = (
+            self._gw_lsa_epoch,
+            frozenset(self._gateway_overlay_peers()),
+            self.cluster_id,
+        )
+        interest_epochs = {
+            origin: entry[0]
+            for origin, entry in self._cluster_interest.items()
+        }
+        if self._summary_epoch:
+            interest_epochs[self.broker_id] = self._summary_epoch
+        return ClusterDigest(
+            origin_gateway=self.broker_id,
+            lsa_epochs={
+                origin: entry[0] for origin, entry in self._gw_lsdb.items()
+            },
+            interest_epochs=interest_epochs,
+        )
+
+    def _on_cluster_lsa(
+        self, lsa: ClusterLsa, from_peer: Optional[str]
+    ) -> None:
+        if not self._seen_adverts.add(lsa.advert_id):
+            self.lsas_deduped += 1
+            return
+        if not (self._clustered and self.is_gateway):
+            return  # members are never on the gateway overlay
+        self.control_messages += 1
+        self.lsas_received += 1
+        origin = lsa.origin_gateway
+        if origin == self.broker_id:
+            # Echo from a past incarnation (we restarted): jump past it
+            # and re-originate so the overlay converges on the live
+            # adjacency — same rule as the member tier.
+            if lsa.epoch >= self._gw_lsa_epoch:
+                self._gw_lsa_epoch = lsa.epoch
+                self._originate_gw_lsa()
+            return
+        current = self._gw_lsdb.get(origin)
+        if current is not None and lsa.epoch <= current[0]:
+            self.lsas_stale += 1
+            return
+        self._gw_lsdb[origin] = (
+            lsa.epoch, frozenset(lsa.gw_neighbors), lsa.cluster_id,
+        )
+        self._flood_gateway(lsa, skip_peer=from_peer)
+        self._schedule_recompute()
+
+    def _on_cluster_interest(
+        self, advert: ClusterInterestAdvert, from_peer: Optional[str]
+    ) -> None:
+        if not self._seen_adverts.add(advert.advert_id):
+            self.lsas_deduped += 1
+            return
+        if not (self._clustered and self.is_gateway):
+            return
+        self.control_messages += 1
+        origin = advert.origin_gateway
+        if origin == self.broker_id:
+            # Past-incarnation echo: jump the epoch and force a resend so
+            # remote clusters converge on our live summary.
+            if advert.epoch >= self._summary_epoch:
+                self._summary_epoch = advert.epoch
+                self._last_summary = None
+                self._schedule_summary_refresh()
+            return
+        current = self._cluster_interest.get(origin)
+        if current is not None and advert.epoch <= current[0]:
+            self.lsas_stale += 1
+            return
+        self._cluster_interest[origin] = (
+            advert.epoch, tuple(advert.patterns), advert.cluster_id,
+        )
+        self._flood_gateway(advert, skip_peer=from_peer)
+        if (
+            advert.cluster_id != self.cluster_id
+            and self._active_gateway == self.broker_id
+        ):
+            self._reconcile_foreign_install()
+
+    def _on_cluster_digest(
+        self, digest: ClusterDigest, from_peer: Optional[str]
+    ) -> None:
+        """Gateway-tier anti-entropy: push strictly-newer entries to the
+        peer, and ask back (with our digest) when strictly behind.
+        Terminates for the same reason the member tier does — replies
+        are only sent when strictly behind and epochs only advance."""
+        if from_peer is None or not (self._clustered and self.is_gateway):
+            return
+        self.control_messages += 1
+        self._make_cluster_digest()  # refresh our own entries first
+        cpu, cost = self.host.cpu, self.profile.control_cost_s
+        their_lsas = digest.lsa_epochs
+        for origin in sorted(self._gw_lsdb):
+            epoch, neighbors, cluster = self._gw_lsdb[origin]
+            if their_lsas.get(origin, -1) < epoch:
+                lsa = ClusterLsa(
+                    origin_gateway=origin,
+                    cluster_id=cluster,
+                    epoch=epoch,
+                    gw_neighbors=neighbors,
+                )
+                self._seen_adverts.add(lsa.advert_id)
+                cpu.execute(cost, self._send_peer, from_peer, lsa)
+        their_interest = digest.interest_epochs
+        for origin in sorted(self._cluster_interest):
+            epoch, patterns, cluster = self._cluster_interest[origin]
+            if their_interest.get(origin, -1) < epoch:
+                advert = ClusterInterestAdvert(
+                    origin_gateway=origin,
+                    cluster_id=cluster,
+                    epoch=epoch,
+                    patterns=patterns,
+                )
+                self._seen_adverts.add(advert.advert_id)
+                cpu.execute(cost, self._send_peer, from_peer, advert)
+        if (
+            self._summary_epoch
+            and their_interest.get(self.broker_id, -1) < self._summary_epoch
+        ):
+            advert = ClusterInterestAdvert(
+                origin_gateway=self.broker_id,
+                cluster_id=self.cluster_id,
+                epoch=self._summary_epoch,
+                patterns=self._last_summary or (),
+            )
+            self._seen_adverts.add(advert.advert_id)
+            cpu.execute(cost, self._send_peer, from_peer, advert)
+        behind = any(
+            origin not in self._gw_lsdb or self._gw_lsdb[origin][0] < epoch
+            for origin, epoch in their_lsas.items()
+        ) or any(
+            self._interest_epoch_of(origin) < epoch
+            for origin, epoch in their_interest.items()
+        )
+        if behind:
+            cpu.execute(
+                cost, self._send_peer, from_peer, self._make_cluster_digest()
+            )
+
+    def _interest_epoch_of(self, origin: str) -> int:
+        if origin == self.broker_id:
+            return self._summary_epoch
+        entry = self._cluster_interest.get(origin)
+        return entry[0] if entry is not None else -1
+
+    def _check_active_gateway(self) -> None:
+        """(Re)elect our cluster's active gateway: the lowest gateway id
+        that is us or intra-reachable.  Only the active gateway imports
+        foreign interest, proxies it to members, exports events, and
+        publishes the cluster's summary; standbys are pure transit with
+        shadow state, ready for takeover."""
+        if not (self._clustered and self.is_gateway):
+            return
+        live = [
+            gateway
+            for gateway in self.cluster_gateways
+            if gateway == self.broker_id or gateway in self._routes
+        ]
+        active = min(live) if live else self.broker_id
+        previous = self._active_gateway
+        if active == previous:
+            return
+        self._active_gateway = active
+        if active == self.broker_id:
+            if previous is not None:
+                self.gateway_takeovers += 1
+            self._reconcile_foreign_install()
+            self._last_summary = None  # force a (re)send of our summary
+            self._schedule_summary_refresh()
+        elif previous == self.broker_id:
+            # Demoted (a lower gateway healed): uninstall foreign
+            # interest, withdraw proxies, and retract our summary so
+            # remote clusters stop exporting toward us — otherwise both
+            # gateways stay targeted and every event delivers twice.
+            self._reconcile_foreign_install()
+            if self._summary_epoch:
+                self._summary_epoch += 1
+                self._last_summary = ()
+                self._flood_gateway(
+                    ClusterInterestAdvert(
+                        origin_gateway=self.broker_id,
+                        cluster_id=self.cluster_id,
+                        epoch=self._summary_epoch,
+                        patterns=(),
+                    ),
+                    skip_peer=None,
+                )
+
+    def _schedule_summary_refresh(self) -> None:
+        """Debounced recompute of our aggregated interest summary (many
+        subscription changes, one summary flood), rate-limited to one
+        flood per ``SUMMARY_REFRESH_MIN_INTERVAL_S`` so churn below the
+        collapse budget cannot export one overlay flood per op.  No-op
+        for members and for the flat mesh."""
+        if not (self._clustered and self.is_gateway) or self._summary_pending:
+            return
+        self._summary_pending = True
+        delay = max(
+            0.0,
+            self._last_summary_flood_at
+            + SUMMARY_REFRESH_MIN_INTERVAL_S
+            - self.sim.now,
+        )
+        self.sim.schedule(delay, self._run_summary_refresh)
+
+    def _run_summary_refresh(self) -> None:
+        self._summary_pending = False
+        if self._closed:
+            return
+        self._refresh_interest_summary()
+
+    def _refresh_interest_summary(self) -> None:
+        """Recompute and (when changed) flood this cluster's aggregated
+        interest summary.  Active gateway only."""
+        if self._active_gateway != self.broker_id:
+            return
+        patterns = set(self._local_subs.all_patterns())
+        foreign = self._foreign_origins()
+        for origin in set(self._remote_interest.values()):
+            if origin in foreign:
+                continue  # foreign installs are not member interest
+            patterns.update(self._remote_interest.patterns_for(origin))
+        budget = INTEREST_SUMMARY_BUDGET
+        if self._summary_collapsed:
+            # Hysteresis: a cluster hovering at the budget must not flap
+            # between the exact list and the wildcard form on every
+            # churn transient — stay collapsed until interest genuinely
+            # narrows.
+            budget //= SUMMARY_COLLAPSE_RELEASE
+        summary = summarize_patterns(patterns, budget)
+        if summary == self._last_summary:
+            return
+        self._summary_collapsed = len(summary) < len(patterns)
+        self._summary_epoch += 1
+        self._last_summary = summary
+        self._last_summary_flood_at = self.sim.now
+        self.adverts_aggregated += len(patterns)
+        self._flood_gateway(
+            ClusterInterestAdvert(
+                origin_gateway=self.broker_id,
+                cluster_id=self.cluster_id,
+                epoch=self._summary_epoch,
+                patterns=summary,
+            ),
+            skip_peer=None,
+        )
+
+    def _reconcile_foreign_install(self) -> None:
+        """Make ``_remote_interest``'s foreign-origin entries match what
+        this gateway should install — every foreign summary when active,
+        none when standby — then re-derive the proxied pattern set and
+        flood the proxy-advert deltas into the cluster."""
+        active = self._active_gateway == self.broker_id
+        wanted_origins = self._foreign_origins() if active else set()
+        for origin in sorted(self._installed_foreign - wanted_origins):
+            for pattern in list(self._remote_interest.patterns_for(origin)):
+                self._remote_interest.remove(pattern, origin)
+            self._installed_foreign.discard(origin)
+        for origin in sorted(wanted_origins):
+            current = set(self._remote_interest.patterns_for(origin))
+            wanted = set(self._cluster_interest[origin][1])
+            for pattern in sorted(current - wanted):
+                self._remote_interest.remove(pattern, origin)
+            for pattern in sorted(wanted - current):
+                self._remote_interest.add(pattern, origin)
+            self._installed_foreign.add(origin)
+        self._sync_proxies()
+
+    def _sync_proxies(self) -> None:
+        """Advertise installed foreign interest into the cluster under
+        our own origin, so members route matching events toward us.
+
+        The flood rules keep our *effective* advertised interest — local
+        subscriptions ∪ proxied patterns — consistent on both edges: a
+        proxy add only floods when the pattern was not already
+        advertised locally, and a proxy removal only withdraws when no
+        local client still holds the pattern (the subscribe/unsubscribe
+        paths apply the mirror-image checks against ``_proxied``).
+        """
+        wanted: Set[str] = set()
+        for origin in self._installed_foreign:
+            wanted.update(self._remote_interest.patterns_for(origin))
+        for pattern in sorted(self._proxied - wanted):
+            self._proxied.discard(pattern)
+            if not self._has_local_interest(pattern):
+                self._flood_advert(
+                    SubAdvert(
+                        origin_broker=self.broker_id, pattern=pattern, add=False
+                    ),
+                    skip_peer=None,
+                )
+        for pattern in sorted(wanted - self._proxied):
+            fresh = not self._has_local_interest(pattern)
+            self._proxied.add(pattern)
+            if fresh:
+                self._flood_advert(
+                    SubAdvert(
+                        origin_broker=self.broker_id, pattern=pattern, add=True
+                    ),
+                    skip_peer=None,
+                )
+
+    def _reexport_targets(self, event: NBEvent, from_peer: Optional[str]) -> FrozenSet[str]:
+        """Extra targets a gateway adds when it is itself targeted.
+
+        Inter-cluster arrival → fan out to own-cluster members with
+        matching interest; intra arrival at the *active* gateway →
+        export to remote gateways whose aggregated interest matches.
+        Standbys receiving intra traffic add nothing, so exports are
+        never duplicated.
+        """
+        entry = self.resolve_route(event.topic)
+        if from_peer is not None and from_peer in self._intercluster_peers:
+            extra = entry.intra_targets
+        elif self._active_gateway == self.broker_id:
+            extra = entry.inter_targets
+        else:
+            extra = None
+        return extra if extra is not None else frozenset()
 
     # ------------------------------------------------------------- admin
 

@@ -210,6 +210,87 @@ class SubAdvert(WireMessage):
         self.add = add
 
 
+class ClusterInterestAdvert(WireMessage):
+    """Aggregated interest summary one cluster exports to the others.
+
+    Sent by a cluster's *active* gateway and flooded over the gateway
+    overlay only (never into a cluster's member mesh): the summary is
+    the prefix-collapsed union of every pattern the cluster's members
+    are interested in (see :func:`repro.broker.topic.summarize_patterns`).
+    Epoch-versioned per origin gateway so a newer summary fully replaces
+    an older one; a replaced summary's stale patterns are withdrawn by
+    diffing, not re-flooding.
+    """
+
+    __slots__ = ("advert_id", "origin_gateway", "cluster_id", "epoch", "patterns")
+
+    def __init__(
+        self,
+        advert_id: Optional[int] = None,
+        origin_gateway: str = "",
+        cluster_id: str = "",
+        epoch: int = 0,
+        patterns: tuple = (),
+    ):
+        self.advert_id = advert_id if advert_id is not None else next(_advert_ids)
+        self.origin_gateway = origin_gateway
+        self.cluster_id = cluster_id
+        self.epoch = epoch
+        self.patterns = patterns
+
+
+class ClusterLsa(WireMessage):
+    """Gateway-tier link-state advert: one gateway's overlay adjacency.
+
+    The cluster tier's answer to :class:`LinkStateAdvert` — member LSAs
+    never leave their cluster, so gateways flood *these* over the
+    gateway overlay (inter-cluster links plus co-gateway links) to learn
+    cluster-level reachability and compute routes to remote gateways.
+    """
+
+    __slots__ = ("advert_id", "origin_gateway", "cluster_id", "epoch",
+                 "gw_neighbors")
+
+    def __init__(
+        self,
+        advert_id: Optional[int] = None,
+        origin_gateway: str = "",
+        cluster_id: str = "",
+        epoch: int = 0,
+        gw_neighbors: FrozenSet[str] = frozenset(),
+    ):
+        self.advert_id = advert_id if advert_id is not None else next(_advert_ids)
+        self.origin_gateway = origin_gateway
+        self.cluster_id = cluster_id
+        self.epoch = epoch
+        self.gw_neighbors = gw_neighbors
+
+
+class ClusterDigest(WireMessage):
+    """Anti-entropy summary of a gateway's cluster-tier databases.
+
+    Carries the epoch of every known :class:`ClusterLsa` and
+    :class:`ClusterInterestAdvert`; the receiver pushes back anything it
+    holds at a strictly newer epoch (and answers with its own digest
+    when strictly behind — the same terminating reconciliation rule as
+    :class:`LinkStateDigest`, one tier up).
+    """
+
+    __slots__ = ("origin_gateway", "lsa_epochs", "interest_epochs")
+
+    def __init__(
+        self,
+        origin_gateway: str = "",
+        lsa_epochs: Optional[Dict[str, int]] = None,
+        interest_epochs: Optional[Dict[str, int]] = None,
+    ):
+        self.origin_gateway = origin_gateway
+        self.lsa_epochs = lsa_epochs if lsa_epochs is not None else {}
+        self.interest_epochs = (
+            interest_epochs if interest_epochs is not None else {}
+        )
+
+
 class PeerHeartbeat(WireMessage):
     """Broker-to-broker liveness beacon over an established peer link.
 
@@ -286,6 +367,16 @@ def message_size(message: Any, envelope_bytes: int) -> int:
         return CONTROL_BYTES + 8 * len(message.neighbors)
     if isinstance(message, LinkStateDigest):
         return CONTROL_BYTES + 12 * len(message.epochs)
+    if isinstance(message, ClusterInterestAdvert):
+        return CONTROL_BYTES + sum(
+            len(pattern) for pattern in message.patterns
+        )
+    if isinstance(message, ClusterLsa):
+        return CONTROL_BYTES + 8 * len(message.gw_neighbors)
+    if isinstance(message, ClusterDigest):
+        return CONTROL_BYTES + 12 * (
+            len(message.lsa_epochs) + len(message.interest_epochs)
+        )
     return CONTROL_BYTES
 
 

@@ -81,6 +81,11 @@ class BrokerSample:
     sequencer_changes: int = 0
     traces_started: int = 0
     traces_completed: int = 0
+    adverts_aggregated: int = 0
+    cluster_lsas_scoped: int = 0
+    intercluster_hops: int = 0
+    gateway_takeovers: int = 0
+    dedup_evictions: int = 0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":

@@ -132,12 +132,49 @@ class BrokerNetwork:
         tracer: Optional[Tracer] = None,
         shards: int = 1,
         shard_epoch_s: float = DEFAULT_SHARD_EPOCH_S,
+        clusters: Optional[Dict[str, Sequence[str]]] = None,
+        gateways_per_cluster: int = 2,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.network = network
         self.profile = profile
         self.autonomous = autonomous
+        # ------------------------------------------------ cluster tier
+        # ``clusters`` maps cluster id → ordered member broker names and
+        # switches the fabric into the hierarchical mode: SubAdvert/LSA
+        # floods stay inside each cluster and gateways run the overlay
+        # control plane (see Broker).  ``clusters=None`` (default) is the
+        # flat mesh, bit-identical to the pre-cluster behaviour.
+        self.clusters = (
+            {cid: tuple(members) for cid, members in clusters.items()}
+            if clusters
+            else None
+        )
+        self._cluster_of: Dict[str, str] = {}
+        self._gateways_of: Dict[str, Tuple[str, ...]] = {}
+        if self.clusters is not None:
+            if not autonomous:
+                raise ValueError(
+                    "clusters= requires autonomous=True (gateway election "
+                    "and scoped flooding are mesh-driven)"
+                )
+            if shards > 1:
+                raise ValueError("clusters= cannot combine with shards>1")
+            if gateways_per_cluster < 1:
+                raise ValueError("gateways_per_cluster must be >= 1")
+            for cluster_id, members in self.clusters.items():
+                if not members:
+                    raise ValueError(f"cluster {cluster_id!r} has no members")
+                for name in members:
+                    if name in self._cluster_of:
+                        raise ValueError(
+                            f"broker {name!r} assigned to two clusters"
+                        )
+                    self._cluster_of[name] = cluster_id
+                self._gateways_of[cluster_id] = tuple(
+                    members[: min(gateways_per_cluster, len(members))]
+                )
         #: Shared by every broker in the collection, so the sampling
         #: budget (1-in-N) is collection-wide and survives restarts.
         self.tracer = tracer
@@ -221,9 +258,24 @@ class BrokerNetwork:
             raise ValueError("shard placement requires BrokerNetwork(shards=N)")
         if name in self._brokers:
             raise ValueError(f"duplicate broker {name!r}")
+        if self.clusters is not None and name not in self._cluster_of:
+            raise ValueError(
+                f"broker {name!r} is not a member of any provisioned cluster"
+            )
         if host is None:
             host = self.network.create_host(name, link=link)
-        broker = Broker(
+        broker = self._make_broker(name, host, profile=profile)
+        self._brokers[name] = broker
+        self.graph.add_node(name)
+        return broker
+
+    def _make_broker(
+        self, name: str, host: Host, profile: Optional[BrokerProfile] = None
+    ) -> Broker:
+        """Construct a broker with this collection's settings — including
+        its cluster placement, so restarts come back with the same role."""
+        cluster_id = self._cluster_of.get(name)
+        return Broker(
             host,
             broker_id=name,
             profile=profile if profile is not None else self.profile,
@@ -231,10 +283,25 @@ class BrokerNetwork:
             peer_heartbeat_interval_s=self.peer_heartbeat_interval_s,
             peer_miss_limit=self.peer_miss_limit,
             tracer=self.tracer,
+            cluster_id=cluster_id,
+            cluster_gateways=(
+                self._gateways_of[cluster_id] if cluster_id is not None else ()
+            ),
         )
-        self._brokers[name] = broker
-        self.graph.add_node(name)
-        return broker
+
+    def _is_intercluster(self, a: str, b: str) -> bool:
+        return (
+            self.clusters is not None
+            and self._cluster_of.get(a) != self._cluster_of.get(b)
+        )
+
+    def cluster_gateways(self, cluster_id: str) -> Tuple[str, ...]:
+        """The provisioned gateway brokers of one cluster."""
+        return self._gateways_of[cluster_id]
+
+    def cluster_of(self, name: str) -> Optional[str]:
+        """The cluster a broker belongs to (None in flat mode)."""
+        return self._cluster_of.get(name)
 
     def connect(self, a: str, b: str) -> None:
         """Create a peer link between brokers ``a`` and ``b``."""
@@ -253,9 +320,20 @@ class BrokerNetwork:
                 return
         broker_a = self.broker(a)
         broker_b = self.broker(b)
+        intercluster = self._is_intercluster(a, b)
+        if intercluster:
+            cluster_a, cluster_b = self._cluster_of[a], self._cluster_of[b]
+            if (
+                a not in self._gateways_of[cluster_a]
+                or b not in self._gateways_of[cluster_b]
+            ):
+                raise ValueError(
+                    f"inter-cluster link {a!r}–{b!r} must join gateway "
+                    "brokers of their clusters"
+                )
         self.graph.add_edge(a, b)
-        broker_a.add_peer(b, broker_b.peer_address)
-        broker_b.add_peer(a, broker_a.peer_address)
+        broker_a.add_peer(b, broker_b.peer_address, intercluster=intercluster)
+        broker_b.add_peer(a, broker_a.peer_address, intercluster=intercluster)
         if self.autonomous:
             return  # LSA flood + digest exchange take it from here
         self._recompute_routes()
@@ -321,15 +399,7 @@ class BrokerNetwork:
         """Bring a crashed broker back on its old host and re-peer it with
         every pre-crash neighbour that is alive and not cut off."""
         host, former_neighbors = self._crashed.pop(name)
-        broker = Broker(
-            host,
-            broker_id=name,
-            profile=self.profile,
-            link_state_enabled=self.autonomous,
-            peer_heartbeat_interval_s=self.peer_heartbeat_interval_s,
-            peer_miss_limit=self.peer_miss_limit,
-            tracer=self.tracer,
-        )
+        broker = self._make_broker(name, host)
         self._brokers[name] = broker
         self.graph.add_node(name)
         for peer in sorted(former_neighbors):
@@ -344,8 +414,9 @@ class BrokerNetwork:
         broker_a = self.broker(a)
         broker_b = self.broker(b)
         self.graph.add_edge(a, b)
-        broker_a.add_peer(b, broker_b.peer_address)
-        broker_b.add_peer(a, broker_a.peer_address)
+        intercluster = self._is_intercluster(a, b)
+        broker_a.add_peer(b, broker_b.peer_address, intercluster=intercluster)
+        broker_b.add_peer(a, broker_a.peer_address, intercluster=intercluster)
 
     def _edge_key(self, a: str, b: str) -> Tuple[str, str]:
         return (a, b) if a <= b else (b, a)
@@ -553,9 +624,15 @@ class BrokerNetwork:
         **options,
     ) -> "BrokerNetwork":
         """Clusters of fully-meshed brokers; cluster gateways form a ring —
-        the cluster / super-cluster organization of NaradaBrokering."""
+        the cluster / super-cluster organization of NaradaBrokering.
+
+        Topology-only (flat routing): every cluster's first member sits on
+        the primary gateway ring, and clusters with more than one member
+        also get a *redundant* second uplink from their second member, so
+        crashing the primary gateway no longer isolates the cluster.
+        """
         broker_network = cls(network, profile, **options)
-        gateways: List[str] = []
+        cluster_members: List[List[str]] = []
         for c, size in enumerate(cluster_sizes):
             members = [f"{name_prefix}-c{c}-{i}" for i in range(size)]
             for name in members:
@@ -564,9 +641,72 @@ class BrokerNetwork:
                 for b in members[i + 1:]:
                     broker_network.connect(a, b)
             if members:
-                gateways.append(members[0])
-        for left, right in zip(gateways, gateways[1:]):
-            broker_network.connect(left, right)
+                cluster_members.append(members)
+        gateways = [members[0] for members in cluster_members]
+        primary: List[Tuple[str, str]] = list(zip(gateways, gateways[1:]))
         if len(gateways) > 2:
-            broker_network.connect(gateways[-1], gateways[0])
+            primary.append((gateways[-1], gateways[0]))
+        for left, right in primary:
+            broker_network.connect(left, right)
+        secondaries = [
+            members[1] if len(members) > 1 else members[0]
+            for members in cluster_members
+        ]
+        secondary: List[Tuple[str, str]] = list(zip(secondaries, secondaries[1:]))
+        if len(secondaries) > 2:
+            secondary.append((secondaries[-1], secondaries[0]))
+        primary_edges = {frozenset(edge) for edge in primary}
+        for left, right in secondary:
+            if left != right and frozenset((left, right)) not in primary_edges:
+                broker_network.connect(left, right)
+        return broker_network
+
+    @classmethod
+    def clustered(
+        cls,
+        network: Network,
+        cluster_sizes: Iterable[int],
+        name_prefix: str = "broker",
+        profile: BrokerProfile = NARADA_PROFILE,
+        link: LinkProfile = LAN_1G,
+        gateways_per_cluster: int = 2,
+        **options,
+    ) -> "BrokerNetwork":
+        """The hierarchical layout with the cluster *tier* switched on.
+
+        Same shape as :meth:`hierarchical` — fully-meshed clusters on a
+        gateway ring — but brokers are provisioned with their cluster
+        membership, so SubAdvert/LSA floods are scoped per cluster and
+        gateways exchange aggregated interest summaries instead.  Every
+        gateway of adjacent clusters is cross-linked, so losing any one
+        gateway leaves the inter-cluster fabric connected.  Implies
+        ``autonomous=True``.
+        """
+        sizes = list(cluster_sizes)
+        clusters = {
+            f"c{c}": [f"{name_prefix}-c{c}-{i}" for i in range(size)]
+            for c, size in enumerate(sizes)
+        }
+        options.setdefault("autonomous", True)
+        broker_network = cls(
+            network,
+            profile,
+            clusters=clusters,
+            gateways_per_cluster=gateways_per_cluster,
+            **options,
+        )
+        for members in clusters.values():
+            for name in members:
+                broker_network.add_broker(name, link=link)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    broker_network.connect(a, b)
+        cluster_ids = [cid for cid, members in clusters.items() if members]
+        pairs: List[Tuple[str, str]] = list(zip(cluster_ids, cluster_ids[1:]))
+        if len(cluster_ids) > 2:
+            pairs.append((cluster_ids[-1], cluster_ids[0]))
+        for left, right in pairs:
+            for gateway_a in broker_network.cluster_gateways(left):
+                for gateway_b in broker_network.cluster_gateways(right):
+                    broker_network.connect(gateway_a, gateway_b)
         return broker_network

@@ -33,7 +33,7 @@ numbers the slow path charges, so Figure 3 calibration is untouched.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple, TYPE_CHECKING
+from typing import Dict, FrozenSet, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.broker.profile import BrokerProfile
@@ -50,13 +50,24 @@ DEFAULT_MAX_ENTRIES = 4096
 
 
 class RouteEntry:
-    """The resolved fan-out for one concrete topic at one generation."""
+    """The resolved fan-out for one concrete topic at one generation.
+
+    In clustered mode the remote target set is additionally partitioned
+    by tier — ``intra_targets`` (brokers in this broker's own cluster)
+    and ``inter_targets`` (remote-cluster gateways that advertised
+    aggregated interest) — so a gateway re-exporting an event at a
+    cluster boundary resolves the scoped fan-out from the same cached
+    entry.  Flat mode never computes the partition (both stay ``None``),
+    keeping the entry bit-identical to the pre-cluster fast path.
+    """
 
     __slots__ = (
         "generation",
         "local_targets",
         "remote_targets",
         "next_hop_groups",
+        "intra_targets",
+        "inter_targets",
         "_send_costs",
     )
 
@@ -66,11 +77,15 @@ class RouteEntry:
         local_targets: Tuple[str, ...],
         remote_targets: FrozenSet[str],
         next_hop_groups: NextHopGroups,
+        intra_targets: Optional[FrozenSet[str]] = None,
+        inter_targets: Optional[FrozenSet[str]] = None,
     ):
         self.generation = generation
         self.local_targets = local_targets
         self.remote_targets = remote_targets
         self.next_hop_groups = next_hop_groups
+        self.intra_targets = intra_targets
+        self.inter_targets = inter_targets
         self._send_costs: Dict[int, float] = {}
 
     def send_cost_s(self, profile: "BrokerProfile", payload_bytes: int) -> float:

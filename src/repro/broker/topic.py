@@ -86,6 +86,40 @@ def match_topic(pattern: str, topic: str) -> bool:
     return match_compiled(compile_pattern(pattern), topic)
 
 
+def summarize_patterns(
+    patterns, budget: int = 64
+) -> Tuple[str, ...]:
+    """Prefix-collapse a pattern set to at most ``budget`` patterns.
+
+    The cluster tier exports one aggregated interest summary per cluster
+    instead of per-topic adverts.  The summary must *over*-approximate
+    (a false positive costs one wasted inter-cluster forward that the
+    entry gateway drops; a false negative loses events), so collapsing
+    always widens: patterns deeper than the current depth cap are
+    truncated and terminated with ``#``, and the cap shrinks until the
+    set fits.  Deterministic — same input set, same summary — which the
+    epoch-diffed :class:`~repro.broker.links.ClusterInterestAdvert`
+    withdrawal logic relies on.
+    """
+    summary = sorted(set(patterns))
+    if len(summary) <= budget:
+        return tuple(summary)
+    depth = max(len(split_topic(pattern)) for pattern in summary)
+    while len(summary) > budget and depth > 1:
+        depth -= 1
+        collapsed = set()
+        for pattern in summary:
+            segments = split_topic(pattern)
+            if len(segments) > depth:
+                collapsed.add("/" + "/".join(segments[:depth] + [MULTI]))
+            else:
+                collapsed.add(pattern)
+        summary = sorted(collapsed)
+    if len(summary) > budget:
+        return ("/" + MULTI,)  # degenerate: everything
+    return tuple(summary)
+
+
 class _TrieNode(Generic[T]):
     __slots__ = ("children", "here", "multi")
 

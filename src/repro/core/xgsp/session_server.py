@@ -813,8 +813,13 @@ class XgspSessionServer:
                 continue
             try:
                 message = xml_codec.decode(xml)
-            except Exception:
+            except Exception as exc:
                 self.swallowed_errors += 1
+                _log.debug(
+                    "%s dropped undecodable in-flight request during "
+                    "promotion replay: %s: %s",
+                    self.server_id, type(exc).__name__, exc,
+                )
                 continue
             key = self._request_key(reply_to, message)
             cached = self._applied.get(key)

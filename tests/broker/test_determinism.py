@@ -148,6 +148,81 @@ def test_shards_1_is_bit_identical_to_legacy_event_loop():
     assert sharded_trace(shards=1) == normalize(legacy, id_field=0)
 
 
+def flat_mesh_trace(**network_options):
+    """A seeded multi-broker autonomous workload over lossy links; the
+    cluster tier must stay completely inert when ``clusters`` is None."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    collection = BrokerNetwork.ring(
+        net, 4, link=FLAKY, autonomous=True,
+        peer_heartbeat_interval_s=0.25, peer_miss_limit=2,
+        **network_options,
+    )
+    trace = []
+    client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
+    client.connect(collection.broker("broker-0"))
+    client.subscribe(
+        "/room/#",
+        lambda event: trace.append((event.event_id, event.topic, sim.now)),
+    )
+    publisher = BrokerClient(net.create_host("pub", link=FLAKY), client_id="pub")
+    publisher.connect(collection.broker("broker-2"))
+    sim.run(until=3.0)
+    for index in range(40):
+        sim.schedule_at(
+            3.0 + index * 0.01, publisher.publish, "/room/video", index, 300
+        )
+    sim.run(until=6.0)
+    assert trace
+    for broker in collection.brokers():
+        # Not one cluster-plane branch may fire in flat mode.
+        assert broker.cluster_id is None
+        assert broker.adverts_aggregated == 0
+        assert broker.cluster_lsas_scoped == 0
+        assert broker.intercluster_hops == 0
+        assert broker.gateway_takeovers == 0
+    return normalize(trace, id_field=0)
+
+
+def test_clusters_none_is_bit_identical_to_flat_mesh():
+    """Passing ``clusters=None`` explicitly must be *exactly* the flat
+    mesh — same event ids, sequence deltas, and delivery times."""
+    assert flat_mesh_trace(clusters=None) == flat_mesh_trace()
+
+
+def clustered_trace():
+    """One seeded cross-cluster workload through the full cluster tier."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    collection = BrokerNetwork.clustered(
+        net, [3, 3, 3], link=FLAKY,
+        peer_heartbeat_interval_s=0.25, peer_miss_limit=2,
+    )
+    trace = []
+    client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
+    client.connect(collection.broker("broker-c0-2"))
+    client.subscribe(
+        "/room/#",
+        lambda event: trace.append((event.event_id, event.topic, sim.now)),
+    )
+    publisher = BrokerClient(net.create_host("pub", link=FLAKY), client_id="pub")
+    publisher.connect(collection.broker("broker-c2-2"))
+    sim.run(until=20.0)
+    for index in range(40):
+        sim.schedule_at(
+            20.0 + index * 0.01, publisher.publish, "/room/video", index, 300
+        )
+    sim.run(until=25.0)
+    assert trace
+    return normalize(trace, id_field=0)
+
+
+def test_clustered_mode_is_deterministic():
+    """The gateway overlay (elections, summaries, re-export) replays
+    bit-identically under the same seed."""
+    assert clustered_trace() == clustered_trace()
+
+
 def test_shared_payload_mutation_is_detected():
     """Zero-copy shares one payload across receivers; mutating it must
     fail loudly (freeze-at-fan-out), not silently corrupt peers."""

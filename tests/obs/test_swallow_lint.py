@@ -1,9 +1,16 @@
 """Anti-drift lint: no silent exception swallows anywhere in ``src/``.
 
 Walks every module under ``src/repro`` for ``except Exception`` (or
-bare ``except``) handlers whose body neither counts nor logs — i.e.
-consists only of ``pass`` / bare ``return`` / ``continue``.  Every
-legitimate drop must be a *counted* drop (a ``swallowed_errors``
+bare ``except``) handlers and rejects two shapes:
+
+* a body that neither counts nor logs — i.e. consists only of ``pass``
+  / bare ``return`` / ``continue``;
+* a broad handler that never binds the exception (``except Exception:``
+  with no ``as exc``) — counted or not, the drop is *anonymous*: the
+  handler cannot log the exception class, so the debug trail required
+  of every counted drop is impossible by construction.
+
+Every legitimate drop must be a *counted* drop (a ``swallowed_errors``
 increment and a debug log of the exception class); anything else hides
 real failures from the whole observability surface.
 
@@ -52,6 +59,11 @@ def silent_swallows(path: Path):
             continue
         if ALLOW_TAG in lines[node.lineno - 1]:
             continue
+        if node.name is None:
+            # No ``as exc`` binding: the handler cannot log the
+            # exception class, so even a counted drop is anonymous.
+            yield node.lineno
+            continue
         if all(_is_silent(statement) for statement in node.body):
             yield node.lineno
 
@@ -75,7 +87,7 @@ def test_lint_catches_a_silent_swallow(tmp_path):
     """The lint itself works — guards against a silently no-op walker."""
     bad = tmp_path / "bad.py"
     bad.write_text(
-        "def f():\n"
+        "def f(self):\n"
         "    try:\n"
         "        g()\n"
         "    except Exception:\n"
@@ -84,8 +96,18 @@ def test_lint_catches_a_silent_swallow(tmp_path):
         "        g()\n"
         "    except Exception:\n"
         "        return None\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        self.swallowed_errors += 1\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception as exc:\n"
+        "        pass\n"
     )
-    assert list(silent_swallows(bad)) == [4, 8]
+    # 4/8: silent bodies; 12: counted but unbound (cannot log the
+    # exception class); 16: bound but still silent.
+    assert list(silent_swallows(bad)) == [4, 8, 12, 16]
 
 
 def test_lint_accepts_counted_and_allowlisted(tmp_path):
