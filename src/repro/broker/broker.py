@@ -28,6 +28,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.broker.event import NBEvent, freeze_payload
 from repro.broker.links import (
+    Busy,
     ClientLink,
     ClusterDigest,
     ClusterInterestAdvert,
@@ -54,6 +55,12 @@ from repro.broker.links import (
     UdpClientLink,
     Unsubscribe,
     message_size,
+)
+from repro.broker.overload import (
+    DEFAULT_RETRY_AFTER_S,
+    NORMAL,
+    OverloadController,
+    ShedWatermarks,
 )
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
 from repro.broker.reliable import ReliableOutbox
@@ -216,6 +223,9 @@ class Broker:
         zero_copy: bool = True,
         cluster_id: Optional[str] = None,
         cluster_gateways: Tuple[str, ...] = (),
+        overload_enabled: bool = True,
+        shed_watermarks: Optional[ShedWatermarks] = None,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
     ):
         self.host = host
         self.sim = host.sim
@@ -319,6 +329,32 @@ class Broker:
         self._summary_collapsed = False
         self._active_gateway: Optional[str] = None
 
+        # Overload protection (opt-out).  The controller is a pure
+        # observer below its watermarks: pressure is read inline at the
+        # dissemination/admission decision points through side-effect-
+        # free signal reads (no timers, no RNG), so an enabled-but-idle
+        # controller leaves the simulation bit-identical to a run with
+        # ``overload_enabled=False`` — the determinism suite pins this.
+        self.overload: Optional[OverloadController] = (
+            OverloadController(
+                (
+                    lambda: self.host.cpu.queue_depth,
+                    lambda: self.host.nic.queued_bytes,
+                    self._outbox_depth,
+                ),
+                shed_watermarks
+                if shed_watermarks is not None
+                else ShedWatermarks(),
+                retry_after_s=retry_after_s,
+            )
+            if overload_enabled
+            else None
+        )
+        #: Overflow evictions of outboxes that have since been closed
+        #: (client dropped/reconnected) — keeps the ``outbox_overflows``
+        #: gauge monotonic across client churn.
+        self._outbox_overflows_closed = 0
+
         # Statistics: plain integer attributes mutated on the hot paths,
         # all registered (bound) in the metrics registry below so the
         # registry is the single source of truth for snapshots.
@@ -397,6 +433,25 @@ class Broker:
             "remote_interest", lambda: len(self._remote_interest)
         )
         self.metrics.expose("outbox_depth", self._outbox_depth)
+        self.metrics.expose("outbox_overflows", self._outbox_overflows)
+        self.metrics.expose("overload_state", self._overload_state)
+        for overload_name in (
+            "overload_entries",
+            "admissions_refused",
+            "events_shed",
+            "events_shed_control",
+            "events_shed_audio",
+            "events_shed_video",
+            "events_shed_bulk",
+        ):
+            self.metrics.expose(
+                overload_name,
+                lambda name=overload_name: (
+                    getattr(self.overload, name)
+                    if self.overload is not None
+                    else 0
+                ),
+            )
         self.delivery_latency = self.metrics.histogram(
             "delivery_latency_s", LATENCY_BUCKETS_S
         )
@@ -449,6 +504,22 @@ class Broker:
             for record in self._clients.values()
             if record.outbox is not None
         )
+
+    def _outbox_overflows(self) -> int:
+        """Bounded-outbox overflow evictions, live and closed (gauge)."""
+        return self._outbox_overflows_closed + sum(
+            record.outbox.overflows
+            for record in self._clients.values()
+            if record.outbox is not None
+        )
+
+    def _overload_state(self) -> int:
+        """Current overload state (gauge): 0 NORMAL, 1 DEGRADED, 2
+        SHEDDING.  Reading refreshes the lazy state machine, so monitor
+        samples observe recovery without the controller owning a timer."""
+        if self.overload is None:
+            return NORMAL
+        return self.overload.refresh(self.sim.now)
 
     # --------------------------------------------------- peer provisioning
 
@@ -673,6 +744,16 @@ class Broker:
     ) -> None:
         self.control_messages += 1
         client_id = message.client_id
+        if self.overload is not None and client_id not in self._clients:
+            # Admission control: a SHEDDING broker refuses *new* clients
+            # (an established client reconnecting keeps its session) with
+            # a retry-after hint instead of taking on more fan-out work.
+            admitted, retry_after = self.overload.admit(self.sim.now)
+            if not admitted:
+                self._refuse_admission(
+                    message, src, connection, ssl, retry_after
+                )
+                return
         envelope = self.profile.envelope_bytes
         if connection is not None:
             if ssl:
@@ -698,6 +779,7 @@ class Broker:
             )
         previous = self._clients.get(client_id)
         if previous is not None and previous.outbox is not None:
+            self._outbox_overflows_closed += previous.outbox.overflows
             previous.outbox.close()
         self._clients[client_id] = _ClientRecord(
             client_id, link, outbox, last_seen=self.sim.now
@@ -708,11 +790,60 @@ class Broker:
             ConnectAck(client_id=client_id, broker_id=self.broker_id),
         )
 
+    def _refuse_admission(
+        self,
+        message: Connect,
+        src: Optional[Address],
+        connection: Optional[TcpConnection],
+        ssl: bool,
+        retry_after_s: float,
+    ) -> None:
+        """Answer a refused connect with ``Busy`` over a throwaway link
+        (no client record is created — the whole point is not to)."""
+        client_id = message.client_id
+        envelope = self.profile.envelope_bytes
+        if connection is not None:
+            if ssl:
+                link: ClientLink = SslClientLink(
+                    client_id, envelope, connection, self.host
+                )
+            else:
+                link = TcpClientLink(client_id, envelope, connection)
+        else:
+            reply_to = message.reply_to if message.reply_to is not None else src
+            if reply_to is None:
+                return
+            link = UdpClientLink(
+                client_id, envelope, self._udp, reply_to, kind=message.link_type
+            )
+        self.host.cpu.execute(
+            self.profile.control_cost_s,
+            link.send,
+            Busy(
+                client_id=client_id,
+                operation="connect",
+                retry_after_s=retry_after_s,
+            ),
+        )
+
     def _on_subscribe(self, message: Subscribe) -> None:
         self.control_messages += 1
         record = self._clients.get(message.client_id)
         if record is None:
             return
+        if self.overload is not None:
+            admitted, retry_after = self.overload.admit(self.sim.now)
+            if not admitted:
+                self.host.cpu.execute(
+                    self.profile.control_cost_s,
+                    record.link.send,
+                    Busy(
+                        client_id=message.client_id,
+                        operation="subscribe",
+                        retry_after_s=retry_after,
+                    ),
+                )
+                return
         pattern = validate_pattern(message.pattern)
         had_interest = self._has_local_interest(pattern)
         self._local_subs.add(pattern, message.client_id)
@@ -785,6 +916,7 @@ class Broker:
         if record is None:
             return
         if record.outbox is not None:
+            self._outbox_overflows_closed += record.outbox.overflows
             record.outbox.close()
         for pattern in self._local_subs.patterns_for(client_id):
             self._local_subs.remove(pattern, client_id)
@@ -985,6 +1117,10 @@ class Broker:
         """
         if self._closed:
             return
+        if self.overload is not None and self.overload.should_shed(
+            event.priority, self.sim.now
+        ):
+            return  # shed before fan-out: no delivery, no forwarding
         self.events_routed += 1
         entry = self.resolve_route(event.topic)
         self.routing_cost.observe(
@@ -1200,6 +1336,10 @@ class Broker:
         self, peer_event: PeerEvent, from_peer: Optional[str] = None
     ) -> None:
         event = peer_event.event
+        if self.overload is not None and self.overload.should_shed(
+            event.priority, self.sim.now
+        ):
+            return  # shed in transit: neither delivered nor re-forwarded
         hop = self._begin_hop(event)
         targets = set(peer_event.targets)
         if self._clustered and from_peer in self._intercluster_peers:

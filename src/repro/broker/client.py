@@ -22,6 +22,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from repro.broker.broker import Broker
 from repro.broker.event import NBEvent
 from repro.broker.links import (
+    Busy,
     ClientTransport,
     Connect,
     ConnectAck,
@@ -121,6 +122,7 @@ class BrokerClient:
         self.link_losses = 0
         self.failovers = 0
         self.subscriptions_replayed = 0
+        self.busy_rejections = 0
         # Optional per-client metrics registry (one registry per client —
         # names are not namespaced).  ``receive_latency_s`` observes the
         # end-to-end publish→dispatch delay of every non-management event.
@@ -137,6 +139,7 @@ class BrokerClient:
                 "link_losses",
                 "failovers",
                 "subscriptions_replayed",
+                "busy_rejections",
             ):
                 metrics.expose(
                     counter_name,
@@ -367,9 +370,11 @@ class BrokerClient:
         if not already_pending:
             self._arm_subscribe_retry(pattern, 0)
 
-    def _arm_subscribe_retry(self, pattern: str, retries: int) -> None:
+    def _arm_subscribe_retry(
+        self, pattern: str, retries: int, delay_s: float = CONTROL_RETRY_S
+    ) -> None:
         timer = self.sim.schedule(
-            CONTROL_RETRY_S, self._retry_subscribe, pattern, retries
+            delay_s, self._retry_subscribe, pattern, retries
         )
         self._subscribe_timers[pattern] = timer
 
@@ -463,6 +468,41 @@ class BrokerClient:
         elif isinstance(message, HeartbeatAck):
             self._missed_heartbeats = 0
             self.heartbeats_acked += 1
+        elif isinstance(message, Busy):
+            self._on_busy(message)
+
+    def _on_busy(self, message: Busy) -> None:
+        """The broker refused admission: back off for at least the
+        server-supplied ``retry_after_s`` instead of hammering it with
+        the fixed control-retry cadence."""
+        self.busy_rejections += 1
+        if message.operation == "connect":
+            if self._connect_timer is not None:
+                self._connect_timer.cancel()
+                self._connect_timer = None
+            if self._reconnecting and self._failover_brokers:
+                # Mid-failover: this candidate is overloaded — tear the
+                # half-open transport down and let the shared backoff
+                # (floored by the hint) pick the next candidate.
+                if self._transport is not None:
+                    transport, self._transport = self._transport, None
+                    transport.close()
+                self._failover_backoff.note_retry_after(message.retry_after_s)
+                self._schedule_failover_attempt()
+            else:
+                # Initial connect with nowhere else to go: re-attempt
+                # this broker once its own capacity estimate has passed.
+                delay = max(message.retry_after_s, CONTROL_RETRY_S)
+                self._connect_timer = self.sim.schedule(
+                    delay, self._send_connect, self._link_type, 0
+                )
+        elif message.operation == "subscribe":
+            # The refusal is broker-wide, not per-pattern: push every
+            # pending subscribe retry out past the hint.
+            delay = max(message.retry_after_s, CONTROL_RETRY_S)
+            for pattern, timer in list(self._subscribe_timers.items()):
+                timer.cancel()
+                self._arm_subscribe_retry(pattern, 0, delay_s=delay)
 
     def _on_connect_ack(self, message: ConnectAck) -> None:
         if self.connected:

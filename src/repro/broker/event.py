@@ -13,6 +13,45 @@ from typing import Any, Dict, Optional
 
 _event_ids = itertools.count(1)
 
+# --------------------------------------------------------------- priority
+# Event priority classes, shed strictly lowest-class-first by the
+# overload controller (``repro.broker.overload``).  CONTROL is never
+# shed: heartbeats, LSAs, SubAdverts, XGSP signaling and SLO alerts keep
+# the mesh healing and leaders elected while media degrades.  Numeric
+# order is shed order reversed — higher number sheds first.
+PRIORITY_CONTROL = 0
+PRIORITY_AUDIO = 1
+PRIORITY_VIDEO = 2
+PRIORITY_BULK = 3
+
+PRIORITY_NAMES = ("control", "audio", "video", "bulk")
+
+#: Topic prefixes of the system planes.  ``/narada/trace`` is BULK (a
+#: lost sampled trace is an observability gap, not a correctness one);
+#: every other system topic — monitor, alerts, XGSP signaling/journal —
+#: is CONTROL.
+_BULK_PREFIXES = ("/narada/trace", "/narada/archive")
+_CONTROL_PREFIXES = ("/narada/", "/xgsp/")
+
+
+def classify_topic(topic: str) -> int:
+    """Deterministic priority class of a topic (pure string function).
+
+    System planes are classified by prefix; application traffic by the
+    conventional media segment names (``.../audio``, ``.../video``).
+    Unrecognized application topics default to VIDEO — sheddable under
+    overload, but after BULK.
+    """
+    for prefix in _BULK_PREFIXES:
+        if topic.startswith(prefix):
+            return PRIORITY_BULK
+    for prefix in _CONTROL_PREFIXES:
+        if topic.startswith(prefix):
+            return PRIORITY_CONTROL
+    if "audio" in topic:
+        return PRIORITY_AUDIO
+    return PRIORITY_VIDEO
+
 
 def freeze_payload(payload: Any) -> Any:
     """Return an immutable view of common mutable payload containers.
@@ -70,6 +109,7 @@ class NBEvent:
         "sequence",
         "sequenced_by",
         "headers",
+        "priority",
         "trace",
     )
 
@@ -85,6 +125,7 @@ class NBEvent:
         sequence: Optional[int] = None,
         sequenced_by: Optional[str] = None,
         headers: Optional[Dict[str, Any]] = None,
+        priority: Optional[int] = None,
     ):
         self.event_id = next(_event_ids)
         self.topic = topic
@@ -97,6 +138,9 @@ class NBEvent:
         self.sequence = sequence
         self.sequenced_by = sequenced_by
         self.headers = headers
+        self.priority = (
+            priority if priority is not None else classify_topic(topic)
+        )
         self.trace = None
 
     def fork_for_branch(self) -> "NBEvent":
@@ -117,6 +161,7 @@ class NBEvent:
             sequence=self.sequence,
             sequenced_by=self.sequenced_by,
             headers=self.headers,
+            priority=self.priority,
         )
         clone.event_id = self.event_id
         if self.trace is not None:

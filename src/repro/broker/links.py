@@ -132,6 +132,23 @@ class Unsubscribe(WireMessage):
         self.pattern = pattern
 
 
+class Busy(WireMessage):
+    """Admission refusal from a SHEDDING broker (overload protection).
+
+    ``operation`` names what was refused (``"connect"`` / ``"subscribe"``)
+    and ``retry_after_s`` is the broker's capacity estimate — clients feed
+    it into their shared :class:`~repro.util.backoff.ExponentialBackoff`
+    as the floor of the next delay instead of hammering a hot broker.
+    """
+
+    __slots__ = ("client_id", "operation", "retry_after_s")
+
+    def __init__(self, client_id: str, operation: str, retry_after_s: float):
+        self.client_id = client_id
+        self.operation = operation
+        self.retry_after_s = retry_after_s
+
+
 class Heartbeat(WireMessage):
     """Client liveness probe; the broker echoes a :class:`HeartbeatAck`."""
 

@@ -86,6 +86,16 @@ class BrokerSample:
     intercluster_hops: int = 0
     gateway_takeovers: int = 0
     dedup_evictions: int = 0
+    # Overload protection (see repro.broker.overload).
+    overload_state: int = 0
+    overload_entries: int = 0
+    admissions_refused: int = 0
+    events_shed: int = 0
+    events_shed_control: int = 0
+    events_shed_audio: int = 0
+    events_shed_video: int = 0
+    events_shed_bulk: int = 0
+    outbox_overflows: int = 0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":

@@ -28,6 +28,7 @@ import networkx as nx
 
 from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
+from repro.broker.overload import DEFAULT_RETRY_AFTER_S, ShedWatermarks
 from repro.broker.profile import BrokerProfile, NARADA_PROFILE
 from repro.obs.trace import Tracer
 from repro.simnet.kernel import Simulator
@@ -134,6 +135,9 @@ class BrokerNetwork:
         shard_epoch_s: float = DEFAULT_SHARD_EPOCH_S,
         clusters: Optional[Dict[str, Sequence[str]]] = None,
         gateways_per_cluster: int = 2,
+        overload_enabled: bool = True,
+        shed_watermarks: Optional[ShedWatermarks] = None,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -184,6 +188,11 @@ class BrokerNetwork:
             else (DEFAULT_PEER_HEARTBEAT_S if autonomous else None)
         )
         self.peer_miss_limit = peer_miss_limit
+        # Overload-protection knobs, threaded to every broker (including
+        # restarts, so a broker comes back with the same watermarks).
+        self.overload_enabled = overload_enabled
+        self.shed_watermarks = shed_watermarks
+        self.retry_after_s = retry_after_s
         self.graph = nx.Graph()
         self._brokers: Dict[str, Broker] = {}
         self._crashed: Dict[str, Tuple[Host, Set[str]]] = {}
@@ -217,6 +226,9 @@ class BrokerNetwork:
                     peer_heartbeat_interval_s=peer_heartbeat_interval_s,
                     peer_miss_limit=peer_miss_limit,
                     tracer=tracer,
+                    overload_enabled=overload_enabled,
+                    shed_watermarks=shed_watermarks,
+                    retry_after_s=retry_after_s,
                 )
                 self._shard_worlds.append(_BrokerShard(index, net, sibling))
             self._coordinator = EpochCoordinator(
@@ -287,6 +299,9 @@ class BrokerNetwork:
             cluster_gateways=(
                 self._gateways_of[cluster_id] if cluster_id is not None else ()
             ),
+            overload_enabled=self.overload_enabled,
+            shed_watermarks=self.shed_watermarks,
+            retry_after_s=self.retry_after_s,
         )
 
     def _is_intercluster(self, a: str, b: str) -> bool:

@@ -32,6 +32,13 @@ class ReliableOutbox:
     Pending entries are plain ``(event, timer, retries)`` tuples — the
     most compact per-event representation available (cheaper than a
     slotted instance) — keyed by event id.
+
+    ``max_pending`` bounds the store: a dead-slow consumer used to grow
+    it without limit.  When full, the *oldest* pending event is
+    abandoned (drop-oldest — the consumer has had the longest to ack it
+    and newer media supersedes it) and ``overflows`` counts the
+    eviction.  Overflow abandons do **not** fire ``on_abandon``: the
+    link is congested, not dead.
     """
 
     __slots__ = (
@@ -40,10 +47,12 @@ class ReliableOutbox:
         "resend_interval_s",
         "max_interval_s",
         "max_retries",
+        "max_pending",
         "on_abandon",
         "_pending",
         "retransmissions",
         "abandoned",
+        "overflows",
     )
 
     def __init__(
@@ -53,17 +62,22 @@ class ReliableOutbox:
         resend_interval_s: float = 0.25,
         max_interval_s: float = 2.0,
         max_retries: int = 8,
+        max_pending: int = 2048,
         on_abandon: Optional[Callable[[NBEvent], None]] = None,
     ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.sim = sim
         self._send = send
         self.resend_interval_s = resend_interval_s
         self.max_interval_s = max_interval_s
         self.max_retries = max_retries
+        self.max_pending = max_pending
         self.on_abandon = on_abandon
         self._pending: Dict[int, Tuple[NBEvent, Timer, int]] = {}
         self.retransmissions = 0
         self.abandoned = 0
+        self.overflows = 0
 
     @property
     def pending_count(self) -> int:
@@ -76,6 +90,13 @@ class ReliableOutbox:
 
     def send(self, event: NBEvent) -> None:
         """Transmit and track until acknowledged."""
+        if len(self._pending) >= self.max_pending:
+            # Dict preserves insertion order, so the first key is the
+            # oldest still-unacknowledged event.
+            oldest_id = next(iter(self._pending))
+            _event, timer, _retries = self._pending.pop(oldest_id)
+            timer.cancel()
+            self.overflows += 1
         self._send(event)
         timer = self.sim.schedule(self._interval(0), self._resend, event.event_id)
         self._pending[event.event_id] = (event, timer, 0)

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
-from repro.broker.event import NBEvent
+from repro.broker.event import NBEvent, PRIORITY_VIDEO
 from repro.broker.links import LinkType
 from repro.obs.trace import Tracer
 from repro.simnet.node import Host
@@ -44,9 +44,24 @@ class RtpProxy:
         keepalive_interval_s: Optional[float] = None,
         failover_brokers: Optional[List[Broker]] = None,
         tracer: Optional[Tracer] = None,
+        playout_budget_s: Optional[float] = None,
+        video_playout_budget_s: Optional[float] = None,
     ):
         self.host = host
         self.proxy_id = proxy_id
+        #: Overload degradation at the media egress edge: an event whose
+        #: end-to-end age exceeds its playout budget is useless to a
+        #: real-time receiver — emitting it would only displace fresh
+        #: media.  Video gets the tighter budget (defaults to half the
+        #: audio one), so under backlog video drops before audio.
+        self.playout_budget_s = playout_budget_s
+        self.video_playout_budget_s = (
+            video_playout_budget_s
+            if video_playout_budget_s is not None
+            else (playout_budget_s / 2 if playout_budget_s is not None else None)
+        )
+        self.late_drops_audio = 0
+        self.late_drops_video = 0
         #: Samples at the media ingress edge: a traced packet carries its
         #: proxy hop before the first broker hop.
         self.tracer = tracer
@@ -125,6 +140,21 @@ class RtpProxy:
         def on_event(event: NBEvent, dst=destination, sock=socket):
             if sock.closed:
                 return
+            if self.playout_budget_s is not None:
+                budget = (
+                    self.video_playout_budget_s
+                    if event.priority >= PRIORITY_VIDEO
+                    else self.playout_budget_s
+                )
+                if self.client.sim.now - event.published_at > budget:
+                    # Late beyond playout: drop stale media before fresh
+                    # media ever waits behind it (video before audio —
+                    # its budget is tighter).
+                    if event.priority >= PRIORITY_VIDEO:
+                        self.late_drops_video += 1
+                    else:
+                        self.late_drops_audio += 1
+                    return
             self.packets_out += 1
             if event.topic not in self.first_media_at:
                 now = self.client.sim.now

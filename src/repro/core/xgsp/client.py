@@ -35,6 +35,7 @@ from repro.core.xgsp.messages import (
     ListSessions,
     MuteMember,
     SessionAnnouncement,
+    SessionBusy,
     TerminateSession,
 )
 from repro.core.xgsp.session_server import (
@@ -127,6 +128,7 @@ class XgspClient:
         self._announcement_handlers: List[AnnouncementCallback] = []
         self.timeouts = 0
         self.retries_sent = 0
+        self.busy_rejections = 0
         self.swallowed_errors = 0
 
     @property
@@ -220,6 +222,25 @@ class XgspClient:
         if isinstance(message, SessionAnnouncement) and message.event == "invitation":
             for handler in self._announcement_handlers:
                 handler(message)
+            return
+        if isinstance(message, SessionBusy):
+            # Transient admission refusal: keep the request pending (the
+            # server kept no record of it) and pace the next retry by the
+            # server-supplied hint instead of hammering.  The overall
+            # timeout budget keeps running — a persistently busy server
+            # still times the request out.
+            pending = self._pending.get(message.request_id)
+            if pending is None:
+                return
+            self.busy_rejections += 1
+            if pending.backoff is not None and pending.retries_left > 0:
+                pending.backoff.note_retry_after(message.retry_after_s)
+                if pending.retry_timer is not None:
+                    pending.retry_timer.cancel()
+                pending.retry_timer = self.sim.schedule(
+                    pending.backoff.next_delay(), self._on_retry,
+                    message.request_id,
+                )
             return
         pending = self._pending.pop(getattr(message, "request_id", -1), None)
         if pending is None:

@@ -101,6 +101,22 @@ class JoinRejected(XgspMessage):
 
 
 @dataclass
+class SessionBusy(XgspMessage):
+    """Admission-control refusal: the session server is shedding load.
+
+    Unlike :class:`JoinRejected` (a protocol decision — the join will
+    never succeed), a busy answer is transient: the client should retry
+    the *same* request (same ``request_id``) no sooner than
+    ``retry_after_s``.  The server does not record the request in its
+    duplicate-suppression table, so the paced retry is processed fresh.
+    """
+
+    session_id: str = ""
+    participant: str = ""
+    retry_after_s: float = 0.0
+
+
+@dataclass
 class LeaveSession(XgspMessage):
     session_id: str = ""
     participant: str = ""

@@ -55,6 +55,7 @@ from repro.core.xgsp.messages import (
     MuteMember,
     ReplicaHeartbeat,
     SessionAnnouncement,
+    SessionBusy,
     SessionCreated,
     SessionList,
     SessionOp,
@@ -122,6 +123,8 @@ class XgspSessionServer:
         replica_miss_limit: int = 3,
         standby: bool = False,
         inflight_replay_window_s: float = INFLIGHT_REPLAY_WINDOW_S,
+        max_inflight_requests: Optional[int] = None,
+        retry_after_s: float = 1.0,
     ):
         self.host = host
         self.sim = host.sim
@@ -133,6 +136,17 @@ class XgspSessionServer:
         self.client.subscribe(SERVER_TOPIC, self._on_request_event)
         self.requests_handled = 0
         self.swallowed_errors = 0
+        # --- admission control (overload protection, DESIGN.md §9) -----
+        # Bound on modeled in-flight work: when the host CPU's run queue
+        # is deeper than this, new joins are answered with SessionBusy
+        # (retry-after pacing) instead of queuing without limit.
+        if max_inflight_requests is not None and max_inflight_requests < 1:
+            raise ValueError("max_inflight_requests must be >= 1")
+        if retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
+        self.max_inflight_requests = max_inflight_requests
+        self.retry_after_s = retry_after_s
+        self.joins_shed = 0
         # --- replication state (inert when standalone) -----------------
         self.replica_heartbeat_interval_s = replica_heartbeat_interval_s
         self.replica_miss_limit = replica_miss_limit
@@ -208,6 +222,7 @@ class XgspSessionServer:
             "snapshots_installed",
             "replica_heartbeats_received",
             "swallowed_errors",
+            "joins_shed",
         ):
             self.metrics.expose(
                 counter_name, lambda name=counter_name: getattr(self, name)
@@ -294,6 +309,27 @@ class XgspSessionServer:
             self._inflight.append((self.sim.now, reply_to, payload["xml"]))
             while len(self._inflight) > INFLIGHT_BUFFER_MAX:
                 self._inflight.popleft()
+            return
+        if (
+            self.max_inflight_requests is not None
+            and isinstance(message, JoinSession)
+            and self.host.cpu.queue_depth > self.max_inflight_requests
+        ):
+            # Admission control: shed the join with retry-after pacing
+            # instead of queuing without limit.  Deliberately NOT
+            # recorded in the dedup table — the client's paced retry
+            # (same request_id) must be processed fresh.
+            self.joins_shed += 1
+            if reply_to:
+                self._publish_xml(
+                    reply_to,
+                    SessionBusy(
+                        session_id=message.session_id,
+                        participant=message.participant,
+                        retry_after_s=self.retry_after_s,
+                        request_id=message.request_id,
+                    ),
+                )
             return
         self.signaling_latency.observe(self.sim.now - event.published_at)
         response = self.handle_message(message, reply_to=reply_to)

@@ -34,6 +34,7 @@ MESSAGE_TYPES: Dict[str, Type] = {
         m.JoinSession,
         m.JoinAccepted,
         m.JoinRejected,
+        m.SessionBusy,
         m.LeaveSession,
         m.InviteUser,
         m.FloorControl,

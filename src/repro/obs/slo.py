@@ -14,7 +14,9 @@ Probes shipped here mirror the paper's operational concerns:
 * :meth:`SloWatchdog.watch_media_gap` — time since the last media
   delivery on a topic against a gap budget (fires *during* the silence,
   which is exactly when operators need it — a crashed broker produces no
-  sample that could trip a latency histogram).
+  sample that could trip a latency histogram);
+* :meth:`SloWatchdog.watch_overload` — a broker's overload state
+  (DESIGN.md §9): one alert per DEGRADED/SHEDDING episode.
 """
 
 from __future__ import annotations
@@ -150,6 +152,26 @@ class SloWatchdog:
             return value if value > target else None
 
         self._probes.append(_Probe(name, kind, target, check))
+
+    def watch_overload(
+        self,
+        name: str,
+        state: Callable[[], int],
+    ) -> None:
+        """Alert while a broker's overload state is above NORMAL.
+
+        ``state`` is the broker's ``overload_state`` gauge (0 NORMAL,
+        1 DEGRADED, 2 SHEDDING — see :mod:`repro.broker.overload`).
+        Episode semantics give operators one alert per overload episode
+        and, via ``probe_status``, a live ``active`` flag; the gauge read
+        itself drives the controller's lazy state refresh, so recovery to
+        NORMAL is observed on the watchdog cadence.
+        """
+        def check(_now: float) -> Optional[float]:
+            value = state()
+            return float(value) if value > 0 else None
+
+        self._probes.append(_Probe(name, "overload", 0.0, check))
 
     # ----------------------------------------------------------- plumbing
 

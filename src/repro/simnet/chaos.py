@@ -134,6 +134,63 @@ class ChaosSchedule:
         """
         self.sim.schedule_at(at, self._fire, "kill-service", name, action)
 
+    # ------------------------------------------------------- flash crowds
+
+    def flash_crowd(
+        self,
+        at: float,
+        count: int,
+        window_s: float,
+        spawn: Any,
+    ) -> None:
+        """Inject ``count`` arrivals staggered evenly across ``window_s``.
+
+        ``spawn`` is a caller-supplied callable taking the arrival index
+        (the schedule stays duck-typed — it knows nothing about clients,
+        subscribers, or XGSP joins).  Arrival ``i`` fires at
+        ``at + i * window_s / count``: deterministic spacing, so the same
+        seed reproduces the same crowd.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        spacing = window_s / count
+        for index in range(count):
+            self.sim.schedule_at(
+                at + index * spacing, self._fire, "flash-crowd",
+                f"arrival {index + 1}/{count}", spawn, index,
+            )
+
+    def publisher_burst(
+        self,
+        at: float,
+        duration_s: float,
+        rate_hz: float,
+        publish: Any,
+    ) -> None:
+        """Drive ``publish(index)`` at ``rate_hz`` for ``duration_s``.
+
+        Models a publish storm (screen-share start, bulk archive replay)
+        on top of steady-state traffic — the load half of a flash crowd,
+        where :meth:`flash_crowd` is the connection half.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be > 0")
+        interval = 1.0 / rate_hz
+        total = int(duration_s * rate_hz)
+        # One log entry for the whole burst — the packets are load, not
+        # individual faults, and a storm would drown the chaos log.
+        self.sim.schedule_at(
+            at, self._fire, "publisher-burst",
+            f"{total} publishes at {rate_hz:g} Hz over {duration_s:g}s",
+            publish, 0,
+        )
+        for index in range(1, total):
+            self.sim.schedule_at(at + index * interval, publish, index)
+
     # ------------------------------------------------------------- hosts
 
     def loss_burst(

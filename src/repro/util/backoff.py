@@ -47,19 +47,33 @@ class ExponentialBackoff:
         self.rng = rng if rng is not None else random.Random(0)
         self.first_immediate = first_immediate
         self.attempts = 0
+        self.retry_after_s = 0.0
+
+    def note_retry_after(self, retry_after_s: float) -> None:
+        """Record a server-supplied ``Busy(retry_after_s)`` hint.
+
+        The hint floors the *next* delay only: an overloaded server's
+        estimate of when it will have capacity overrides a still-small
+        exponential step, but once that attempt is spent the normal
+        schedule resumes (unless the server says busy again).
+        """
+        if retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0")
+        self.retry_after_s = max(self.retry_after_s, retry_after_s)
 
     def next_delay(self) -> float:
         """The delay before the next attempt; advances the attempt count."""
         attempt = self.attempts
         self.attempts += 1
+        hint, self.retry_after_s = self.retry_after_s, 0.0
         if self.first_immediate:
             if attempt == 0:
-                return 0.0
+                return hint
             attempt -= 1
         delay = min(self.base_s * (2.0 ** attempt), self.cap_s)
         if self.jitter_frac:
             delay *= 1.0 + self.jitter_frac * (2.0 * self.rng.random() - 1.0)
-        return delay
+        return max(delay, hint)
 
     def peek_delay(self) -> float:
         """The un-jittered delay :meth:`next_delay` would return, without
@@ -67,13 +81,15 @@ class ExponentialBackoff:
         attempt = self.attempts
         if self.first_immediate:
             if attempt == 0:
-                return 0.0
+                return self.retry_after_s
             attempt -= 1
-        return min(self.base_s * (2.0 ** attempt), self.cap_s)
+        return max(min(self.base_s * (2.0 ** attempt), self.cap_s),
+                   self.retry_after_s)
 
     def reset(self) -> None:
         """Back to the first step (call when the operation succeeds)."""
         self.attempts = 0
+        self.retry_after_s = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -25,7 +25,7 @@ FLAKY = LinkProfile(
 SEED = 1234
 
 
-def run_workload(batched=True, zero_copy=True, events=60):
+def run_workload(batched=True, zero_copy=True, events=60, overload_enabled=True):
     """One seeded pub-sub run; returns the full delivery trace.
 
     Three subscribers (fan-out > 1, so the zero-copy envelope path and
@@ -38,6 +38,7 @@ def run_workload(batched=True, zero_copy=True, events=60):
         net.create_host("broker-host", link=FLAKY),
         broker_id="b0",
         zero_copy=zero_copy,
+        overload_enabled=overload_enabled,
     )
     trace = []
 
@@ -96,6 +97,16 @@ def test_all_fast_paths_off_matches_all_on():
     both_on = run_workload(batched=True, zero_copy=True)
     both_off = run_workload(batched=False, zero_copy=False)
     assert both_on == both_off
+
+
+def test_overload_controller_below_watermarks_is_bit_identical():
+    """The overload controller is a pure observer under its watermarks:
+    with pressure below the degraded marks the enabled run must match a
+    run without the controller to the last bit, in both kernel modes."""
+    for batched in (True, False):
+        enabled = run_workload(batched=batched, overload_enabled=True)
+        disabled = run_workload(batched=batched, overload_enabled=False)
+        assert enabled == disabled
 
 
 def sharded_trace(shards):

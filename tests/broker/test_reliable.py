@@ -305,3 +305,38 @@ def test_ordered_inbox_sequencer_change_is_per_topic():
     assert inbox.sequencer_changes == 1
     inbox.accept(event("/b", 1, "b0"))  # /b unaffected, still in order
     assert delivered == [("/a", 0), ("/b", 0), ("/a", 0), ("/b", 1)]
+
+
+def test_outbox_overflow_drops_oldest_without_abandon_callback():
+    from repro.broker.event import NBEvent
+    from repro.broker.reliable import ReliableOutbox
+
+    sim = Simulator()
+    sent, abandoned = [], []
+    outbox = ReliableOutbox(
+        sim, sent.append, max_pending=3, on_abandon=abandoned.append
+    )
+    events = [NBEvent("/t", i, 10) for i in range(5)]
+    for event in events:
+        outbox.send(event)
+    # The two oldest were evicted; the three newest are still tracked.
+    assert outbox.pending_count == 3
+    assert outbox.overflows == 2
+    assert abandoned == []  # congestion is not link death
+    for event in events[:2]:
+        outbox.ack(event.event_id)  # acks for evicted ids are no-ops
+    assert outbox.pending_count == 3
+    for event in events[2:]:
+        outbox.ack(event.event_id)
+    assert outbox.pending_count == 0
+    # Evicted entries' timers were cancelled: nothing left retransmits.
+    sim.run_for(30.0)
+    assert outbox.retransmissions == 0
+    assert len(sent) == 5
+
+
+def test_outbox_max_pending_validated():
+    from repro.broker.reliable import ReliableOutbox
+
+    with pytest.raises(ValueError):
+        ReliableOutbox(Simulator(), lambda event: None, max_pending=0)

@@ -180,3 +180,82 @@ def test_proxy_close_withdraws_all_subscriptions(net, sim, broker, proxy):
     assert not broker.has_local_subscription("/media/b", "rtp-proxy/px0")
     assert broker.client_count() == 0
     assert broker.statistics()["local_subscriptions"] == 0
+
+
+def test_playout_budget_drops_stale_media(net, sim, broker):
+    """Media older than its playout budget is dropped at the egress edge
+    (overload degradation: stale frames are useless to live receivers)."""
+    from repro.simnet import LinkProfile
+
+    proxy = RtpProxy(
+        net.create_host("gw"), broker, proxy_id="px",
+        playout_budget_s=0.2,
+    )
+    assert proxy.video_playout_budget_s == 0.1  # defaults to half
+    player = UdpSocket(net.create_host("player"), 6000)
+    got = []
+    player.on_receive(lambda payload, src, d: got.append(payload))
+    proxy.bridge_outbound("/media/audio", player.local_address)
+    proxy.bridge_outbound("/media/video", player.local_address)
+    # 350 ms of access latency ages every packet past both budgets.
+    publisher = make_client(
+        net, sim, broker, "pub",
+        host=net.create_host("pub", link=LinkProfile(latency_s=0.35)),
+    )
+    sim.run_for(1.0)
+    for i in range(5):
+        publisher.publish("/media/audio", ("a", i), 160)
+        publisher.publish("/media/video", ("v", i), 800)
+    sim.run_for(3.0)
+    assert got == []
+    assert proxy.packets_out == 0
+    assert proxy.late_drops_audio == 5
+    assert proxy.late_drops_video == 5
+
+
+def test_playout_budget_drops_video_before_audio(net, sim, broker):
+    """Between the two budgets, video (the tighter one) drops first."""
+    from repro.simnet import LinkProfile
+
+    proxy = RtpProxy(
+        net.create_host("gw"), broker, proxy_id="px",
+        playout_budget_s=0.5, video_playout_budget_s=0.2,
+    )
+    player = UdpSocket(net.create_host("player"), 6000)
+    got = []
+    player.on_receive(lambda payload, src, d: got.append(payload))
+    proxy.bridge_outbound("/media/audio", player.local_address)
+    proxy.bridge_outbound("/media/video", player.local_address)
+    publisher = make_client(
+        net, sim, broker, "pub",
+        host=net.create_host("pub", link=LinkProfile(latency_s=0.3)),
+    )
+    sim.run_for(1.0)
+    for i in range(5):
+        publisher.publish("/media/audio", ("a", i), 160)
+        publisher.publish("/media/video", ("v", i), 800)
+    sim.run_for(3.0)
+    assert sorted(got) == [("a", i) for i in range(5)]
+    assert proxy.packets_out == 5
+    assert proxy.late_drops_audio == 0
+    assert proxy.late_drops_video == 5
+
+
+def test_no_playout_budget_means_no_drops(net, sim, broker):
+    from repro.simnet import LinkProfile
+
+    proxy = RtpProxy(net.create_host("gw"), broker, proxy_id="px")
+    player = UdpSocket(net.create_host("player"), 6000)
+    got = []
+    player.on_receive(lambda payload, src, d: got.append(payload))
+    proxy.bridge_outbound("/media/video", player.local_address)
+    publisher = make_client(
+        net, sim, broker, "pub",
+        host=net.create_host("pub", link=LinkProfile(latency_s=0.4)),
+    )
+    sim.run_for(1.0)
+    publisher.publish("/media/video", ("v", 0), 800)
+    sim.run_for(3.0)
+    assert got == [("v", 0)]
+    assert proxy.late_drops_audio == 0
+    assert proxy.late_drops_video == 0

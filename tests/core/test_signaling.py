@@ -241,3 +241,70 @@ def test_request_timeout_when_server_absent(net, sim, broker):
     sim.run_for(10.0)
     assert timeouts == ["timeout"]
     assert alice.timeouts == 1
+
+
+def test_busy_server_sheds_join_then_admits_paced_retry(net, sim, broker):
+    """Admission control: a join shed with SessionBusy is retried by the
+    client at the server's pace (same request id) and succeeds once the
+    server has headroom — no timeout, no duplicate apply."""
+    server = XgspSessionServer(
+        net.create_host("xgsp-host"), broker,
+        max_inflight_requests=64, retry_after_s=1.0,
+    )
+    sim.run_for(1.0)
+    assert server.client.connected
+    alice = make_xgsp_client(net, sim, broker, "alice")
+    created = []
+    alice.create_session("s", on_created=created.append)
+    sim.run_for(2.0)
+    sid = created[0].session_id
+
+    bob = XgspClient(
+        net.create_host("bob-host"), broker, "bob", max_retries=8
+    )
+    sim.run_for(1.0)
+    # Force the bound below any real queue depth: every join sheds.
+    server.max_inflight_requests = -1
+    joined = []
+    bob.join(sid, on_result=joined.append)
+    sim.run_for(3.0)
+    assert joined == []  # busy answers never resolve the request
+    assert server.joins_shed >= 1
+    assert bob.busy_rejections >= 1
+    handled_while_busy = server.requests_handled
+
+    # Headroom returns; the next paced retry is processed fresh.
+    server.max_inflight_requests = 64
+    sim.run_for(8.0)
+    assert len(joined) == 1
+    assert isinstance(joined[0], JoinAccepted)
+    assert server.requests_handled == handled_while_busy + 1
+    assert server.session(sid).roster.participants() == ["bob"]
+    # The counter rides the metrics registry like every other one.
+    assert server.metrics.counters_snapshot()["joins_shed"] == server.joins_shed
+
+
+def test_busy_without_retries_counts_and_times_out(net, sim, broker):
+    """A single-shot client (max_retries=0) getting SessionBusy keeps the
+    request pending until its timeout — busy is not a resolution."""
+    server = XgspSessionServer(
+        net.create_host("xgsp-host"), broker, max_inflight_requests=64
+    )
+    sim.run_for(1.0)
+    alice = make_xgsp_client(net, sim, broker, "alice")
+    created = []
+    alice.create_session("s", on_created=created.append)
+    sim.run_for(2.0)
+    server.max_inflight_requests = -1
+    from repro.core.xgsp.messages import JoinSession
+
+    results, timeouts = [], []
+    alice.request(
+        JoinSession(session_id=created[0].session_id, participant="alice"),
+        on_response=results.append,
+        on_timeout=lambda: timeouts.append(True),
+    )
+    sim.run_for(15.0)
+    assert results == []
+    assert alice.busy_rejections == 1
+    assert timeouts == [True]

@@ -29,6 +29,7 @@ def roundtrip(message):
         m.JoinAccepted(session_id="s", participant="p",
                        media=[m.MediaDescription("video", "h261", "/t", 600e3)]),
         m.JoinRejected(session_id="s", participant="p", reason="full"),
+        m.SessionBusy(session_id="s", participant="p", retry_after_s=1.5),
         m.LeaveSession(session_id="s", participant="p"),
         m.InviteUser(session_id="s", inviter="a", invitee="b", note="join us"),
         m.FloorControl(session_id="s", participant="p", action="request"),
@@ -54,7 +55,7 @@ def test_roundtrip_all_message_types(message):
 
 
 def test_every_registered_type_has_distinct_name():
-    assert len(xml_codec.MESSAGE_TYPES) == 18
+    assert len(xml_codec.MESSAGE_TYPES) == 19
 
 
 def test_unregistered_type_rejected():

@@ -93,3 +93,25 @@ def test_alert_log_windows_and_stop(net, sim):
     sim.run_for(1.0)
     assert len(log.alerts) == 1
     assert not watchdog.client.connected
+
+
+def test_overload_probe_alerts_once_per_episode(net, sim):
+    broker, watchdog, log = make_plane(net, sim)
+    state = {"value": 0}
+    watchdog.watch_overload("b0-overload", lambda: state["value"])
+    sim.run_for(1.0)
+    assert log.alerts == []  # NORMAL: silent
+
+    state["value"] = 2  # SHEDDING
+    sim.run_for(2.0)
+    alerts = log.named("b0-overload")
+    assert len(alerts) == 1  # one episode, not one per tick
+    assert alerts[0].kind == "overload"
+    assert alerts[0].value == 2.0
+
+    state["value"] = 0  # recovered: re-armed
+    sim.run_for(1.0)
+    state["value"] = 1  # DEGRADED is its own episode
+    sim.run_for(1.0)
+    assert len(log.named("b0-overload")) == 2
+    assert watchdog.probe_status()["b0-overload"]["active"]

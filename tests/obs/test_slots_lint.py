@@ -32,6 +32,7 @@ FULLY_SLOTTED_MODULES = (
     "repro.simnet.nic",
     "repro.broker.event",
     "repro.broker.reliable",
+    "repro.broker.overload",
     "repro.obs.trace",
 )
 

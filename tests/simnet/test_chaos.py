@@ -131,3 +131,47 @@ def test_blackholed_path_drops_both_directions():
     sock_a.sendto("x2", 10, sock_b.local_address)
     sim.run_for(1.0)
     assert got == ["x2"]
+
+
+def test_flash_crowd_staggers_arrivals_across_window():
+    sim, net, stub, chaos = harness()
+    arrivals = []
+    chaos.flash_crowd(2.0, count=4, window_s=1.0,
+                      spawn=lambda i: arrivals.append((i, sim.now)))
+    sim.run_for(10.0)
+    assert arrivals == [(0, 2.0), (1, 2.25), (2, 2.5), (3, 2.75)]
+    assert [e.kind for e in chaos.log] == ["flash-crowd"] * 4
+    assert chaos.log[0].detail == "arrival 1/4"
+
+
+def test_flash_crowd_validates_arguments():
+    import pytest
+
+    sim, net, stub, chaos = harness()
+    with pytest.raises(ValueError):
+        chaos.flash_crowd(1.0, count=0, window_s=1.0, spawn=lambda i: None)
+    with pytest.raises(ValueError):
+        chaos.flash_crowd(1.0, count=5, window_s=-1.0, spawn=lambda i: None)
+
+
+def test_publisher_burst_drives_publishes_at_rate():
+    sim, net, stub, chaos = harness()
+    published = []
+    chaos.publisher_burst(1.0, duration_s=0.5, rate_hz=10.0,
+                          publish=lambda i: published.append((i, sim.now)))
+    sim.run_for(10.0)
+    assert published == [(i, 1.0 + i * 0.1) for i in range(5)]
+    # One log entry for the whole burst, not one per packet.
+    assert [e.kind for e in chaos.log] == ["publisher-burst"]
+
+
+def test_publisher_burst_validates_arguments():
+    import pytest
+
+    sim, net, stub, chaos = harness()
+    with pytest.raises(ValueError):
+        chaos.publisher_burst(1.0, duration_s=0.0, rate_hz=10.0,
+                              publish=lambda i: None)
+    with pytest.raises(ValueError):
+        chaos.publisher_burst(1.0, duration_s=1.0, rate_hz=0.0,
+                              publish=lambda i: None)

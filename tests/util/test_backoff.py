@@ -55,6 +55,57 @@ def test_zero_jitter_is_exact():
     assert backoff.next_delay() == 0.25
 
 
+def test_retry_after_floors_only_the_next_delay():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    backoff.note_retry_after(3.0)
+    assert backoff.next_delay() == 3.0  # hint beats the 0.5 step
+    assert backoff.next_delay() == 1.0  # spent: schedule resumes
+
+
+def test_retry_after_does_not_shrink_a_larger_step():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    for _ in range(4):
+        backoff.next_delay()
+    backoff.note_retry_after(1.0)
+    assert backoff.next_delay() == 8.0  # already past the hint
+
+
+def test_retry_after_keeps_the_largest_hint():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    backoff.note_retry_after(2.0)
+    backoff.note_retry_after(1.0)  # smaller later hint does not regress
+    assert backoff.next_delay() == 2.0
+
+
+def test_retry_after_overrides_first_immediate_zero():
+    backoff = ExponentialBackoff(0.5, 8.0, first_immediate=True)
+    backoff.note_retry_after(1.5)
+    assert backoff.next_delay() == 1.5  # no free immediate attempt
+    assert backoff.next_delay() == 0.5
+
+
+def test_peek_reflects_pending_hint_without_consuming_it():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    backoff.note_retry_after(4.0)
+    assert backoff.peek_delay() == 4.0
+    assert backoff.peek_delay() == 4.0
+    assert backoff.next_delay() == 4.0
+    assert backoff.peek_delay() == 1.0
+
+
+def test_reset_clears_pending_hint():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    backoff.note_retry_after(5.0)
+    backoff.reset()
+    assert backoff.next_delay() == 0.5
+
+
+def test_negative_retry_after_rejected():
+    backoff = ExponentialBackoff(0.5, 8.0)
+    with pytest.raises(ValueError):
+        backoff.note_retry_after(-0.1)
+
+
 @pytest.mark.parametrize(
     "kwargs",
     [
