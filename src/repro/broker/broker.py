@@ -375,6 +375,7 @@ class Broker:
         self.sequencer_changes = 0
         self.traces_started = 0
         self.traces_completed = 0
+        self.traces_suppressed = 0
         self.adverts_aggregated = 0
         self.cluster_lsas_scoped = 0
         self.intercluster_hops = 0
@@ -404,6 +405,7 @@ class Broker:
             "sequencer_changes",
             "traces_started",
             "traces_completed",
+            "traces_suppressed",
             "adverts_aggregated",
             "cluster_lsas_scoped",
             "intercluster_hops",
@@ -479,6 +481,22 @@ class Broker:
 
     def client_count(self) -> int:
         return len(self._clients)
+
+    @property
+    def is_active_gateway(self) -> bool:
+        """True while this broker is its cluster's elected active gateway.
+
+        Side-effect free (reads the election result maintained by peer
+        liveness): the telemetry plane uses it to keep exactly one
+        cluster-health aggregator publishing per cluster, with standby
+        gateways shadowing silently until a takeover (DESIGN.md §11).
+        """
+        return (
+            self._clustered
+            and self.is_gateway
+            and not self._closed
+            and self._active_gateway == self.broker_id
+        )
 
     def client_ids(self) -> List[str]:
         return sorted(self._clients)
@@ -941,7 +959,14 @@ class Broker:
     def _on_publish(self, message: Publish) -> None:
         event = message.event
         if self.tracer is not None and event.trace is None:
-            if self.tracer.sample(event, self.sim.now) is not None:
+            # Trace traffic is BULK-class: when the overload controller
+            # is already shedding that class, don't produce it either.
+            # The plain state read (no refresh) is NORMAL for the whole
+            # run whenever the watermarks never trip, so sampling stays
+            # bit-identical to an unprotected run in that regime.
+            if self.overload is not None and self.overload.state != NORMAL:
+                self.traces_suppressed += 1
+            elif self.tracer.sample(event, self.sim.now) is not None:
                 self.traces_started += 1
         hop = self._begin_hop(event)
         if event.ordered:

@@ -3,16 +3,30 @@
 NaradaBrokering ships a management/monitoring service; Global-MMCS
 operators need it to see broker load across the distributed collection.
 A :class:`BrokerMonitor` samples one broker's counters periodically and
-publishes :class:`BrokerSample` events on the management topic
-``/narada/monitor/<broker-id>``; a :class:`MonitoringClient` subscribes
-(wildcard) and keeps bounded per-broker history — the data an admission
-or load-balancing policy would consume.
+publishes on the management topic ``/narada/monitor/<broker-id>`` (or
+``/narada/monitor/<cluster>/<broker-id>`` in the clustered fabric, so
+samples stay inside their cluster); a :class:`MonitoringClient`
+subscribes (wildcard) and keeps bounded per-broker history — the data an
+admission or load-balancing policy would consume.
+
+Two sample encodings:
+
+* :class:`BrokerSample` — the classic full snapshot, one dataclass per
+  tick.  Fine for a flat console watching a handful of brokers.
+* :class:`DeltaSample` — the hierarchical plane's wire format (DESIGN.md
+  §11): only the counters whose value changed since the previous tick,
+  plus the cumulative delivery-latency sketch when it moved.  Every
+  ``full_every`` ticks the monitor publishes a *full* snapshot, which is
+  also the resync mechanism — an aggregator that detects a sequence gap
+  (gateway takeover, lossy link) simply waits for the next full sample
+  instead of requesting a replay.
 
 Anti-drift: :meth:`BrokerSample.capture` splats ``Broker.statistics()``
 (itself generated from the broker's metrics registry) into the dataclass
 constructor.  A counter registered on the broker but missing here raises
 ``TypeError`` at the first capture instead of silently vanishing from
-the monitoring surface.
+the monitoring surface.  ``DeltaSample`` payloads are built from the
+same ``statistics()`` dict, so they inherit the same coverage.
 """
 
 from __future__ import annotations
@@ -24,16 +38,26 @@ from typing import Deque, Dict, List, Optional
 from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
 from repro.broker.event import NBEvent
+from repro.obs.series import HistogramSketch, delta_encode
 from repro.simnet.kernel import Timer
 from repro.simnet.node import Host
 
 MONITOR_TOPIC_PREFIX = "/narada/monitor"
 
-#: Wire size of one encoded sample.
+#: Wire size of one encoded full sample.
 SAMPLE_BYTES = 160
 
 #: Default per-broker history cap for :class:`MonitoringClient`.
 DEFAULT_HISTORY_LIMIT = 720
+
+#: A delta sample ships a full snapshot every this many ticks — the
+#: passive resync cadence for aggregators that joined (or lost samples)
+#: mid-stream.
+DEFAULT_FULL_EVERY = 8
+
+#: Default staleness horizon: three missed ticks at the default 5 s
+#: monitor interval means the broker is presumed down.
+DEFAULT_STALE_TIMEOUT_S = 15.0
 
 
 @dataclass
@@ -81,6 +105,7 @@ class BrokerSample:
     sequencer_changes: int = 0
     traces_started: int = 0
     traces_completed: int = 0
+    traces_suppressed: int = 0
     adverts_aggregated: int = 0
     cluster_lsas_scoped: int = 0
     intercluster_hops: int = 0
@@ -115,12 +140,86 @@ class BrokerSample:
         )
 
 
-def monitor_topic(broker_id: str) -> str:
+class DeltaSample:
+    """Delta-encoded telemetry: changed counters + the latency sketch.
+
+    ``counters`` maps metric name → *absolute* current value for every
+    metric that changed since the previous tick (all of them when
+    ``full`` is set); ``sketch`` is the broker's cumulative
+    delivery-latency sketch, included only when it changed (always on a
+    full sample).  ``seq`` increments per monitor tick so consumers can
+    detect gaps and wait out a resync.
+    """
+
+    __slots__ = ("broker_id", "at", "seq", "full", "counters", "sketch")
+
+    def __init__(
+        self,
+        broker_id: str,
+        at: float,
+        seq: int,
+        full: bool,
+        counters: Dict[str, float],
+        sketch: Optional[HistogramSketch],
+    ):
+        self.broker_id = broker_id
+        self.at = at
+        self.seq = seq
+        self.full = full
+        self.counters = counters
+        self.sketch = sketch
+
+    def wire_size(self) -> int:
+        """Modeled encoding: 24 B header + 12 B per carried counter."""
+        size = 24 + 12 * len(self.counters)
+        if self.sketch is not None:
+            size += self.sketch.wire_size()
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "full" if self.full else "delta"
+        return (
+            f"<DeltaSample {self.broker_id} #{self.seq} {kind} "
+            f"{len(self.counters)} counters>"
+        )
+
+
+def monitor_topic(broker_id: str, cluster_id: Optional[str] = None) -> str:
+    if cluster_id is not None:
+        return f"{MONITOR_TOPIC_PREFIX}/{cluster_id}/{broker_id}"
     return f"{MONITOR_TOPIC_PREFIX}/{broker_id}"
 
 
+def sample_numbers(broker: Broker) -> Dict[str, float]:
+    """The flat numeric view of one broker: host gauges + statistics().
+
+    This is the dict :class:`DeltaSample` payloads are delta-encoded
+    from; the delivery-latency histogram travels separately as a
+    mergeable sketch rather than as pre-baked percentile scalars.
+    """
+    host = broker.host
+    numbers: Dict[str, float] = {
+        "clients": broker.client_count(),
+        "cpu_busy_s": host.cpu.busy_time,
+        "gc_pauses": host.cpu.gc_pauses,
+        "nic_sent_packets": host.nic.sent_packets,
+        "nic_dropped_packets": host.nic.dropped_packets,
+        "last_route_change_at": broker.last_route_change_at,
+    }
+    numbers.update(broker.statistics())
+    return numbers
+
+
 class BrokerMonitor:
-    """Publishes one broker's telemetry on its management topic."""
+    """Publishes one broker's telemetry on its management topic.
+
+    With ``delta=True`` the monitor publishes :class:`DeltaSample`
+    (changed counters only, full snapshot every ``full_every`` ticks);
+    the default publishes classic full :class:`BrokerSample` objects.
+    ``topic`` overrides the publish topic — the hierarchical plane uses
+    the cluster-scoped form so leaf samples never cross the gateway
+    overlay.
+    """
 
     def __init__(
         self,
@@ -129,10 +228,18 @@ class BrokerMonitor:
         monitor_id: Optional[str] = None,
         keepalive_interval_s: Optional[float] = None,
         failover_brokers: Optional[List[Broker]] = None,
+        delta: bool = False,
+        full_every: int = DEFAULT_FULL_EVERY,
+        topic: Optional[str] = None,
     ):
+        if full_every < 1:
+            raise ValueError("full_every must be >= 1")
         self.broker = broker
         self.sim = broker.sim
         self.interval_s = interval_s
+        self.delta = delta
+        self.full_every = full_every
+        self.topic = topic or monitor_topic(broker.broker_id)
         self.client = BrokerClient(
             broker.host,
             client_id=monitor_id or f"monitor/{broker.broker_id}",
@@ -142,7 +249,13 @@ class BrokerMonitor:
             self.client.set_failover_brokers(failover_brokers)
         self.client.connect(broker)
         self._timer: Optional[Timer] = None
+        self._seq = 0
+        self._ticks_since_full = 0
+        self._last_numbers: Optional[Dict[str, float]] = None
+        self._last_sketch: Optional[HistogramSketch] = None
         self.samples_published = 0
+        self.full_samples_published = 0
+        self.sample_bytes_published = 0
 
     def start(self) -> None:
         if self._timer is None:
@@ -154,13 +267,49 @@ class BrokerMonitor:
             self._timer = None
 
     def _tick(self) -> None:
-        sample = BrokerSample.capture(self.broker)
-        if self.client.connected:
-            self.client.publish(
-                monitor_topic(self.broker.broker_id), sample, SAMPLE_BYTES
-            )
-            self.samples_published += 1
+        if self.delta:
+            self._publish_delta()
+        else:
+            sample = BrokerSample.capture(self.broker)
+            if self.client.connected:
+                self.client.publish(self.topic, sample, SAMPLE_BYTES)
+                self.samples_published += 1
+                self.sample_bytes_published += SAMPLE_BYTES
         self._timer = self.sim.schedule(self.interval_s, self._tick)
+
+    def _publish_delta(self) -> None:
+        numbers = sample_numbers(self.broker)
+        sketch = HistogramSketch.from_histogram(self.broker.delivery_latency)
+        full = (
+            self._last_numbers is None
+            or self._ticks_since_full + 1 >= self.full_every
+        )
+        if full:
+            counters = dict(numbers)
+            sketch_payload: Optional[HistogramSketch] = sketch
+            self._ticks_since_full = 0
+        else:
+            counters = delta_encode(self._last_numbers, numbers)
+            sketch_payload = sketch if sketch != self._last_sketch else None
+            self._ticks_since_full += 1
+        self._seq += 1
+        self._last_numbers = numbers
+        self._last_sketch = sketch
+        if not self.client.connected:
+            return
+        sample = DeltaSample(
+            self.broker.broker_id,
+            self.sim.now,
+            self._seq,
+            full,
+            counters,
+            sketch_payload,
+        )
+        self.client.publish(self.topic, sample, sample.wire_size())
+        self.samples_published += 1
+        if full:
+            self.full_samples_published += 1
+        self.sample_bytes_published += sample.wire_size()
 
 
 class MonitoringClient:
@@ -171,6 +320,11 @@ class MonitoringClient:
     long soak cannot grow the console's memory without bound.  Duplicate
     deliveries of the same sample (e.g. republished across a failover
     replay) are dropped.
+
+    A crashed broker stops publishing but its history stays: use
+    :meth:`stale_brokers` (or the :attr:`stale_broker_count` gauge) to
+    surface brokers whose newest sample is older than the staleness
+    horizon — that silence *is* the crash signal.
     """
 
     def __init__(
@@ -181,10 +335,15 @@ class MonitoringClient:
         history_limit: int = DEFAULT_HISTORY_LIMIT,
         keepalive_interval_s: Optional[float] = None,
         failover_brokers: Optional[List[Broker]] = None,
+        stale_timeout_s: float = DEFAULT_STALE_TIMEOUT_S,
     ):
         if history_limit < 2:
             raise ValueError("history_limit must be at least 2")
+        if stale_timeout_s <= 0:
+            raise ValueError("stale_timeout_s must be positive")
         self.history_limit = history_limit
+        self.stale_timeout_s = stale_timeout_s
+        self.sim = broker.sim
         self.client = BrokerClient(
             host, client_id=client_id,
             keepalive_interval_s=keepalive_interval_s,
@@ -195,12 +354,14 @@ class MonitoringClient:
         self.history: Dict[str, Deque[BrokerSample]] = {}
         self.dropped_samples = 0
         self.duplicate_samples = 0
+        self.samples_received = 0
         self.client.subscribe(f"{MONITOR_TOPIC_PREFIX}/#", self._on_sample)
 
     def _on_sample(self, event: NBEvent) -> None:
         sample = event.payload
         if not isinstance(sample, BrokerSample):
             return
+        self.samples_received += 1
         window = self.history.get(sample.broker_id)
         if window is None:
             window = self.history[sample.broker_id] = deque(
@@ -219,6 +380,28 @@ class MonitoringClient:
     def latest(self, broker_id: str) -> Optional[BrokerSample]:
         samples = self.history.get(broker_id)
         return samples[-1] if samples else None
+
+    def stale_brokers(self, timeout_s: Optional[float] = None) -> List[str]:
+        """Brokers whose newest sample is older than ``timeout_s``.
+
+        A broker that was seen once and then went silent (crash,
+        partition) shows up here after one timeout; a broker that never
+        reported at all cannot (it has no history row) — pair this with
+        an expected-membership list for provisioning checks.
+        """
+        horizon = self.sim.now - (
+            timeout_s if timeout_s is not None else self.stale_timeout_s
+        )
+        return sorted(
+            broker_id
+            for broker_id, window in self.history.items()
+            if window and window[-1].at < horizon
+        )
+
+    @property
+    def stale_broker_count(self) -> int:
+        """Gauge: how many seen brokers are currently stale."""
+        return len(self.stale_brokers())
 
     def delivery_rate(self, broker_id: str) -> float:
         """Events delivered per second over the sampled window."""

@@ -471,6 +471,21 @@ class BrokerNetwork:
 
     # --------------------------------------------------- sharded stepping
 
+    def attach_telemetry(self, **options) -> "TelemetryPlane":
+        """Build the telemetry plane for this fabric (DESIGN.md §11).
+
+        Clustered fabrics get delta monitors on cluster-scoped topics,
+        per-gateway :class:`~repro.obs.aggregate.ClusterHealthAggregator`
+        roles and an O(clusters) fleet console; flat fabrics get classic
+        full-sample monitors and a wildcard monitoring console; sharded
+        fabrics get one flat sub-plane per region.  Call after the
+        topology is built, then ``start()`` the returned plane.  Options
+        are forwarded to :class:`~repro.obs.aggregate.TelemetryPlane`.
+        """
+        from repro.obs.aggregate import TelemetryPlane
+
+        return TelemetryPlane(self, **options)
+
     def bridge_topic(self, pattern: str) -> None:
         """Export ``pattern`` across every shard boundary.
 

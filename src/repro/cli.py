@@ -10,6 +10,11 @@ Commands:
 * ``trace-demo`` — stream media across a 5-broker mesh, crash a transit
   broker, and print the sampled-trace forensics: hop-by-hop delay
   attribution, the reroute, and the SLO alert the outage raised.
+* ``fleet-health [--clusters N --size M --duration S]`` — build a small
+  clustered fabric with the hierarchical telemetry plane attached, run
+  a conference workload with a late load ramp on one cluster, and print
+  the fleet/cluster/broker health report (states, hot brokers, SLO
+  budget burn, capacity headroom) from the O(clusters) fleet console.
 * ``info`` — print the system inventory and calibration constants.
 * ``profile [--packets N] [--sort tottime|cumulative] [--limit N]`` —
   run the Figure-3 workload under cProfile and print the hottest
@@ -176,6 +181,68 @@ def _cmd_trace_demo(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fleet_health(args: argparse.Namespace) -> int:
+    """Demonstrate the hierarchical telemetry plane end to end."""
+    from repro.broker import BrokerClient, BrokerNetwork
+    from repro.obs.report import build_report, render_report
+    from repro.simnet import Network, SeededStreams, Simulator
+
+    sim = Simulator()
+    net = Network(sim, SeededStreams(args.seed))
+    cluster_sizes = [args.size] * args.clusters
+    fabric = BrokerNetwork.clustered(net, cluster_sizes)
+    plane = fabric.attach_telemetry(sample_interval_s=1.0)
+    plane.start()
+    names = sorted(b.broker_id for b in fabric.brokers())
+    print(f"clustered fabric: {len(names)} brokers in {args.clusters} "
+          f"clusters, telemetry plane attached "
+          f"({len(plane.monitors)} monitors, "
+          f"{len(plane.aggregators)} gateway aggregators)")
+    sim.run(until=20.0)  # topology + overlay convergence
+
+    listeners = []
+    for index in range(8):
+        client = BrokerClient(net.create_host(f"listener-{index}"),
+                              client_id=f"listener-{index}")
+        client.connect(fabric.broker(names[index % len(names)]))
+        client.subscribe("/conf/main/#", lambda event: None)
+        listeners.append(client)
+    publisher = BrokerClient(net.create_host("av-pub"), client_id="av-pub")
+    publisher.connect(fabric.broker(names[-1]))
+
+    def steady(topic, rate_hz, size):
+        def tick():
+            publisher.publish(topic, sim.now, size)
+            sim.schedule(1.0 / rate_hz, tick)
+        return tick
+
+    sim.schedule(0.0, steady("/conf/main/audio", 50, 200))
+    sim.schedule(0.0, steady("/conf/main/video", 25, 1200))
+    # A late ramp on the hot broker, so the report has something to show.
+    ramp_pub = BrokerClient(net.create_host("ramp-pub"), client_id="ramp-pub")
+    ramp_pub.connect(fabric.broker(names[0]))
+
+    def ramp(step=[0]):
+        step[0] += 1
+        for _ in range(step[0]):
+            ramp_pub.publish("/conf/main/video", sim.now, 1200)
+        if sim.now < 20.0 + args.duration:
+            sim.schedule(0.25, ramp)
+
+    sim.schedule_at(20.0 + args.duration * 0.6, ramp)
+    sim.run(until=20.0 + args.duration + 2.0)
+
+    report = build_report(plane.fleet, slo_p99_s=args.slo_p99_ms / 1000.0)
+    print()
+    print(render_report(report))
+    print()
+    print(f"console ingress: {plane.console_ingress()} summaries "
+          f"(vs {plane.samples_published()} leaf samples published)")
+    plane.stop()
+    fabric.close()
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.baselines.jmf import JMF_PROFILE
@@ -260,6 +327,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_demo.add_argument("--sample-rate", type=float, default=0.2)
     trace_demo.add_argument("--seed", type=int, default=12)
     trace_demo.set_defaults(handler=_cmd_trace_demo)
+
+    fleet = sub.add_parser(
+        "fleet-health",
+        help="run a clustered fabric and print the fleet health report",
+    )
+    fleet.add_argument("--clusters", type=int, default=3)
+    fleet.add_argument("--size", type=int, default=3,
+                       help="brokers per cluster")
+    fleet.add_argument("--duration", type=float, default=15.0,
+                       help="workload seconds after convergence")
+    fleet.add_argument("--slo-p99-ms", type=float, default=100.0)
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.set_defaults(handler=_cmd_fleet_health)
 
     info = sub.add_parser("info", help="inventory + calibration")
     info.set_defaults(handler=_cmd_info)

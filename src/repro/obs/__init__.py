@@ -1,12 +1,14 @@
-"""Observability spine: metrics registry, event tracing, SLO watchdogs.
+"""Observability spine: metrics, tracing, series, SLOs, fleet telemetry.
 
-``metrics`` and ``trace`` are dependency-free and imported eagerly —
-they are what the broker core pulls in.  ``collector`` and ``slo`` sit
-*above* the broker (they are broker clients), so they are exported
+``metrics``, ``trace``, ``series`` and ``anomaly`` are dependency-free
+and imported eagerly — they are what the broker core (and leaf
+monitors) pull in.  ``collector``, ``slo``, ``aggregate`` and ``report``
+sit *above* the broker (they are broker clients), so they are exported
 lazily via PEP 562 to keep ``repro.broker.broker`` → ``repro.obs`` from
 becoming an import cycle.
 """
 
+from repro.obs.anomaly import Anomaly, EwmaBandDetector, SlopeDetector
 from repro.obs.metrics import (
     COST_BUCKETS_S,
     LATENCY_BUCKETS_S,
@@ -14,6 +16,15 @@ from repro.obs.metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
+)
+from repro.obs.series import (
+    HistogramSketch,
+    SeriesStore,
+    TimeSeries,
+    delta_encode,
+    merge_counter_totals,
+    merge_sketches,
 )
 from repro.obs.trace import (
     ALERT_TOPIC_PREFIX,
@@ -31,6 +42,13 @@ _LAZY = {
     "SloAlert": ("repro.obs.slo", "SloAlert"),
     "SloWatchdog": ("repro.obs.slo", "SloWatchdog"),
     "AlertLog": ("repro.obs.slo", "AlertLog"),
+    "BrokerHealth": ("repro.obs.aggregate", "BrokerHealth"),
+    "ClusterHealthAggregator": ("repro.obs.aggregate", "ClusterHealthAggregator"),
+    "ClusterHealthSummary": ("repro.obs.aggregate", "ClusterHealthSummary"),
+    "FleetMonitor": ("repro.obs.aggregate", "FleetMonitor"),
+    "TelemetryPlane": ("repro.obs.aggregate", "TelemetryPlane"),
+    "build_report": ("repro.obs.report", "build_report"),
+    "render_report": ("repro.obs.report", "render_report"),
 }
 
 __all__ = [
@@ -40,6 +58,16 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
+    "Anomaly",
+    "EwmaBandDetector",
+    "SlopeDetector",
+    "HistogramSketch",
+    "SeriesStore",
+    "TimeSeries",
+    "delta_encode",
+    "merge_counter_totals",
+    "merge_sketches",
     "ALERT_TOPIC_PREFIX",
     "NARADA_PREFIX",
     "TRACE_TOPIC_PREFIX",

@@ -18,8 +18,10 @@ Two registration styles:
   plain ``self.x += 1`` integer increments with zero added cost.
 
 Histograms use fixed bucket bounds (no per-observation allocation) and
-export p50/p95/p99 as the upper edge of the bucket the quantile falls
-in — the MonALISA-style "good enough to alert on" percentile.
+export p50/p95/p99 by linear interpolation *within* the bucket the
+quantile rank falls in — the MonALISA-style "good enough to alert on"
+percentile without the up-to-one-bucket-width upward bias that
+reporting the bucket's upper edge used to add.
 """
 
 from __future__ import annotations
@@ -44,6 +46,43 @@ COST_BUCKETS_S: Tuple[float, ...] = (
 )
 
 
+def bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    max_value: float,
+    q: float,
+) -> float:
+    """Interpolated quantile over fixed-bucket counts.
+
+    ``bounds`` are the upper edges of the finite buckets; ``counts`` has
+    one extra trailing overflow bucket.  The rank is located in its
+    bucket and the estimate interpolates linearly between the bucket's
+    lower and upper edge (the overflow bucket interpolates up to the
+    observed maximum), assuming observations spread evenly within a
+    bucket.  Shared by :class:`Histogram` and the mergeable
+    :class:`~repro.obs.series.HistogramSketch` so local and fleet-merged
+    percentiles agree bucket-for-bucket.
+    """
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        cumulative += bucket_count
+        if cumulative >= rank:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            if index < len(bounds):
+                upper = bounds[index]
+            else:  # overflow bucket: interpolate up to the observed max
+                upper = max(max_value, lower)
+            fraction = (rank - (cumulative - bucket_count)) / bucket_count
+            return lower + fraction * (upper - lower)
+    return max_value
+
+
 class Counter:
     """A monotonically increasing integer metric."""
 
@@ -65,9 +104,9 @@ class Histogram:
 
     ``bounds`` are the upper edges of the finite buckets; one overflow
     bucket catches everything above the last bound.  ``quantile``
-    returns the upper edge of the bucket containing the requested rank
-    (the overflow bucket reports the observed maximum), which bounds the
-    true percentile from above — the conservative direction for SLOs.
+    interpolates within the bucket containing the requested rank (see
+    :func:`bucket_quantile`), so the estimate is off by at most the
+    width of that bucket rather than always sitting at its upper edge.
     """
 
     __slots__ = ("name", "bounds", "counts", "count", "sum", "max")
@@ -92,17 +131,7 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= rank:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return self.max
-        return self.max
+        return bucket_quantile(self.bounds, self.counts, self.count, self.max, q)
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -16,7 +16,12 @@ Probes shipped here mirror the paper's operational concerns:
   which is exactly when operators need it — a crashed broker produces no
   sample that could trip a latency histogram);
 * :meth:`SloWatchdog.watch_overload` — a broker's overload state
-  (DESIGN.md §9): one alert per DEGRADED/SHEDDING episode.
+  (DESIGN.md §9): one alert per DEGRADED/SHEDDING episode;
+* :meth:`SloWatchdog.watch_anomaly` — an online detector
+  (:mod:`repro.obs.anomaly`) fed from a gauge on the watchdog cadence,
+  recording each reading into a :class:`~repro.obs.series.TimeSeries`;
+  this is the early-warning probe that fires on a flash-crowd *ramp*
+  before the overload controller's watermarks trip (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.broker.broker import Broker
 from repro.broker.client import BrokerClient
 from repro.broker.event import NBEvent
 from repro.obs.metrics import Histogram
+from repro.obs.series import TimeSeries
 from repro.obs.trace import ALERT_TOPIC_PREFIX
 from repro.simnet.node import Host
 
@@ -172,6 +178,35 @@ class SloWatchdog:
             return float(value) if value > 0 else None
 
         self._probes.append(_Probe(name, "overload", 0.0, check))
+
+    def watch_anomaly(
+        self,
+        name: str,
+        getter: Callable[[], float],
+        detector: object,
+        series: Optional[TimeSeries] = None,
+    ) -> None:
+        """Alert when an online detector flags the gauge's trajectory.
+
+        Unlike :meth:`watch_gauge` this probe has no fixed target: the
+        detector (:class:`~repro.obs.anomaly.EwmaBandDetector` or
+        :class:`~repro.obs.anomaly.SlopeDetector`) decides from the
+        signal's own history whether the current reading is anomalous —
+        which is how a ramp gets caught while the absolute level is
+        still far below any overload watermark.  Every reading is also
+        recorded into ``series`` (if given), so the console's
+        time-series store and the detector see the same data.  Episode
+        semantics are the watchdog's usual: one alert per anomaly
+        episode, re-armed once the detector goes quiet.
+        """
+        def check(now: float) -> Optional[float]:
+            value = float(getter())
+            if series is not None:
+                series.record(now, value)
+            anomaly = detector.observe(now, value)
+            return value if anomaly is not None else None
+
+        self._probes.append(_Probe(name, "anomaly", 0.0, check))
 
     # ----------------------------------------------------------- plumbing
 

@@ -297,12 +297,19 @@ class Tracer:
     __slots__ = ("sample_rate", "interval", "_publishes", "sampled")
 
     def __init__(self, sample_rate: float = 0.01):
+        self._publishes = 0
+        self.sampled = 0
+        self.set_sample_rate(sample_rate)
+
+    def set_sample_rate(self, sample_rate: float) -> None:
+        """Adjust the sampling rate at runtime (takes effect on the next
+        publish).  The publish counter is preserved, so a rate change is
+        a pure re-parameterization — with an unchanged rate the sampled
+        set is bit-identical to never having called this at all."""
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError(f"sample rate {sample_rate} outside (0, 1]")
         self.sample_rate = sample_rate
         self.interval = max(1, round(1.0 / sample_rate))
-        self._publishes = 0
-        self.sampled = 0
 
     def should_sample(self, topic: str) -> bool:
         if internal_topic(topic):

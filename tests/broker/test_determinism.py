@@ -25,13 +25,21 @@ FLAKY = LinkProfile(
 SEED = 1234
 
 
-def run_workload(batched=True, zero_copy=True, events=60, overload_enabled=True):
+def run_workload(
+    batched=True,
+    zero_copy=True,
+    events=60,
+    overload_enabled=True,
+    tracer_rate=None,
+):
     """One seeded pub-sub run; returns the full delivery trace.
 
     Three subscribers (fan-out > 1, so the zero-copy envelope path and
     payload freezing both engage), one publisher, plain + ordered
     events, lossy jittery links everywhere.
     """
+    from repro.obs.trace import Tracer
+
     sim = Simulator(batched=batched)
     net = Network(sim, SeededStreams(SEED))
     broker = Broker(
@@ -39,6 +47,7 @@ def run_workload(batched=True, zero_copy=True, events=60, overload_enabled=True)
         broker_id="b0",
         zero_copy=zero_copy,
         overload_enabled=overload_enabled,
+        tracer=Tracer(tracer_rate) if tracer_rate else None,
     )
     trace = []
 
@@ -232,6 +241,64 @@ def test_clustered_mode_is_deterministic():
     """The gateway overlay (elections, summaries, re-export) replays
     bit-identically under the same seed."""
     assert clustered_trace() == clustered_trace()
+
+
+def test_tracer_auto_degrade_is_inert_below_watermarks():
+    """The tracer's overload gate reads ``overload.state`` without
+    refreshing it: in a run where the controller never trips, the
+    traced workload must match a controller-less run to the last bit
+    (the gate may not perturb sampling decisions or delivery order)."""
+    enabled = run_workload(overload_enabled=True, tracer_rate=0.25)
+    disabled = run_workload(overload_enabled=False, tracer_rate=0.25)
+    assert enabled == disabled
+
+
+def telemetry_clustered_trace():
+    """A clustered workload with the full telemetry plane attached;
+    returns both the data-plane delivery trace and a telemetry-plane
+    signature (what the console computed)."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    collection = BrokerNetwork.clustered(
+        net, [3, 3], link=FLAKY,
+        peer_heartbeat_interval_s=0.25, peer_miss_limit=2,
+    )
+    plane = collection.attach_telemetry(sample_interval_s=0.5)
+    plane.start()
+    trace = []
+    client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
+    client.connect(collection.broker("broker-c0-2"))
+    client.subscribe(
+        "/room/#",
+        lambda event: trace.append((event.event_id, event.topic, sim.now)),
+    )
+    publisher = BrokerClient(net.create_host("pub", link=FLAKY), client_id="pub")
+    publisher.connect(collection.broker("broker-c1-2"))
+    sim.run(until=20.0)
+    for index in range(40):
+        sim.schedule_at(
+            20.0 + index * 0.01, publisher.publish, "/room/video", index, 300
+        )
+    sim.run(until=25.0)
+    assert trace
+    fleet = plane.fleet
+    signature = (
+        fleet.summaries_received,
+        fleet.clusters_seen(),
+        sorted(fleet.broker_rows()),
+        fleet.fleet_quantile(0.99),
+        fleet.fleet_counters().get("events_delivered"),
+        plane.samples_published(),
+        plane.sample_bytes_published(),
+    )
+    plane.stop()
+    return normalize(trace, id_field=0), signature
+
+
+def test_telemetry_plane_is_deterministic():
+    """Monitors, aggregators and the console replay bit-identically:
+    same seed → same delivery trace AND same console-side state."""
+    assert telemetry_clustered_trace() == telemetry_clustered_trace()
 
 
 def test_shared_payload_mutation_is_detected():

@@ -29,16 +29,29 @@ def test_histogram_buckets_and_moments():
     assert histogram.counts == [1, 2, 1, 1]
 
 
-def test_histogram_quantile_upper_edge():
+def test_histogram_quantile_interpolates_within_bucket():
     histogram = Histogram("lat", bounds=(0.1, 0.5, 1.0))
     for value in (0.05, 0.3, 0.3, 0.9):
         histogram.observe(value)
-    # p50 rank falls in the 0.5 bucket; the edge bounds it from above.
-    assert histogram.quantile(0.50) == 0.5
-    assert histogram.quantile(0.99) == 1.0
-    # Overflow bucket reports the observed maximum.
+    # p50 rank lands mid-way through the (0.1, 0.5] bucket: the estimate
+    # interpolates to 0.3 instead of reporting the 0.5 upper edge.
+    assert histogram.quantile(0.50) == pytest.approx(0.3)
+    # p99 rank sits 96% through the (0.5, 1.0] bucket.
+    assert histogram.quantile(0.99) == pytest.approx(0.98)
+    # Overflow bucket interpolates between the last bound and the max.
     histogram.observe(7.0)
-    assert histogram.quantile(0.99) == 7.0
+    assert histogram.quantile(0.99) == pytest.approx(1.0 + 0.95 * 6.0)
+    assert histogram.quantile(1.0) == 7.0
+
+
+def test_histogram_quantile_never_exceeds_bucket_edge():
+    histogram = Histogram("lat", bounds=(0.1, 0.5, 1.0))
+    for value in (0.05, 0.3, 0.3, 0.9):
+        histogram.observe(value)
+    # The interpolated estimate stays within the rank's bucket: at most
+    # one bucket width below the edge the old estimator reported.
+    assert 0.1 < histogram.quantile(0.50) <= 0.5
+    assert 0.5 < histogram.quantile(0.99) <= 1.0
 
 
 def test_histogram_empty_is_zero():
@@ -87,7 +100,9 @@ def test_registry_snapshot_flattens_histograms():
     snapshot = registry.snapshot()
     assert snapshot["events"] == 1
     assert snapshot["delivery_latency_s_count"] == 1
-    assert snapshot["delivery_latency_s_p99"] == 0.005  # bucket upper edge
+    # One observation in the (0.002, 0.005] bucket: p99 interpolates
+    # 99% of the way through the bucket instead of pinning to the edge.
+    assert snapshot["delivery_latency_s_p99"] == pytest.approx(0.00497)
 
 
 def test_registry_queries():

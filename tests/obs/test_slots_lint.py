@@ -34,6 +34,7 @@ FULLY_SLOTTED_MODULES = (
     "repro.broker.reliable",
     "repro.broker.overload",
     "repro.obs.trace",
+    "repro.obs.series",
 )
 
 #: (module, class) pairs in modules that also contain connection-scoped

@@ -131,3 +131,76 @@ def test_single_broker_end_to_end_trace(net, sim):
     assert hop.departed_at is not None and hop.link == "local"
     # Trace dissemination itself is never traced (no recursion).
     assert all(t.topic == "/conf/video" for t in collector.traces)
+
+
+def test_set_sample_rate_is_runtime_adjustable():
+    tracer = Tracer(1.0)
+    for _ in range(3):
+        assert tracer.should_sample("/conf/video")
+    # Re-parameterize to 1-in-2 without resetting the publish counter.
+    tracer.set_sample_rate(0.5)
+    assert tracer.interval == 2
+    decisions = [tracer.should_sample("/conf/video") for _ in range(4)]
+    assert decisions == [True, False, True, False]
+    # An unchanged rate is a pure no-op on the sampled stream.
+    tracer.set_sample_rate(0.5)
+    assert [tracer.should_sample("/conf/video") for _ in range(2)] == [
+        True, False,
+    ]
+    with pytest.raises(ValueError):
+        tracer.set_sample_rate(0.0)
+    with pytest.raises(ValueError):
+        tracer.set_sample_rate(2.0)
+
+
+def test_tracing_suppressed_while_overloaded(net, sim):
+    """Trace starts are BULK-class work: under DEGRADED/SHEDDING the
+    broker stops opening new traces (counted, not silent) and resumes
+    exactly when the controller recovers."""
+    from repro.broker.overload import (
+        DEGRADED,
+        NORMAL,
+        OverloadController,
+        ShedWatermarks,
+    )
+
+    broker = Broker(
+        net.create_host("b-host"), broker_id="b0", tracer=Tracer(1.0),
+        overload_enabled=True,
+    )
+    # Drive the controller with a synthetic pressure signal so the test
+    # chooses when the broker is overloaded.
+    pressure = {"cpu": 0}
+    broker.overload = OverloadController(
+        (lambda: pressure["cpu"], lambda: 0, lambda: 0),
+        ShedWatermarks(cpu_degraded=1, cpu_shedding=2),
+    )
+    subscriber = BrokerClient(net.create_host("sub-host"), client_id="sub")
+    subscriber.connect(broker)
+    subscriber.subscribe("/conf/video", lambda e: None)
+    publisher = BrokerClient(net.create_host("pub-host"), client_id="pub")
+    publisher.connect(broker)
+    sim.run_for(0.5)
+
+    publisher.publish("/conf/video", 0, 200)
+    sim.run_for(0.5)
+    assert broker.traces_started == 1
+    assert broker.traces_suppressed == 0
+
+    # Degrade the broker: new publishes must not open traces.
+    pressure["cpu"] = 1
+    assert broker.overload.refresh(sim.now) == DEGRADED
+    for index in range(3):
+        publisher.publish("/conf/video", 1 + index, 200)
+    sim.run_for(0.5)
+    assert broker.traces_started == 1
+    assert broker.traces_suppressed == 3
+    assert broker.statistics()["traces_suppressed"] == 3
+
+    # Recovery: tracing resumes with no residual effect.
+    pressure["cpu"] = 0
+    assert broker.overload.refresh(sim.now) == NORMAL
+    publisher.publish("/conf/video", 9, 200)
+    sim.run_for(0.5)
+    assert broker.traces_started == 2
+    assert broker.traces_suppressed == 3
