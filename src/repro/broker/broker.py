@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from collections import deque
+from typing import (
+    Any, Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
+)
 
 from repro.broker.event import NBEvent, freeze_payload
 from repro.broker.links import (
@@ -47,6 +50,7 @@ from repro.broker.links import (
     PeerHeartbeat,
     Publish,
     SequenceRequest,
+    SequencerPin,
     SslClientLink,
     SubAdvert,
     Subscribe,
@@ -141,6 +145,36 @@ SUMMARY_COLLAPSE_RELEASE = 2
 #: repaired by anti-entropy within a few heartbeat intervals.
 ANTI_ENTROPY_TICKS = 4
 
+#: Cost-class quantization ladder for WAN-aware routing (geo mode):
+#: one-way latency upper bound (seconds) → integer cost class.  Costs
+#: derive from *configured* link/fabric latency, never from jittered
+#: samples, and the ladder is coarse on purpose: a route only
+#: re-originates when a link crosses a class boundary, so latency
+#: jitter can never flap the route tables.
+COST_CLASSES = (
+    (0.002, 1),    # same rack / metro LAN
+    (0.010, 2),    # campus
+    (0.030, 4),    # regional WAN
+    (0.060, 8),    # continental WAN
+    (0.120, 16),   # transoceanic
+)
+COST_CLASS_MAX = 32
+
+#: Locality pinning (geo mode): after this many sequenced events on a
+#: topic, the current sequencer checks where the publishes actually
+#: originate, and re-pins the topic to a broker contributing more than
+#: SEQUENCER_PIN_MAJORITY of them.  The counting window resets after
+#: every decision, so a transient publisher burst cannot bounce the pin
+#: — it must dominate a full fresh window (hysteresis).
+SEQUENCER_PIN_WINDOW = 64
+SEQUENCER_PIN_MAJORITY = 0.6
+
+#: Bound on each partition-park queue (ordered events awaiting an
+#: unreachable sequencer; reliable events awaiting unreachable
+#: interested brokers).  Oldest entries drop first under cap pressure,
+#: mirroring the PR-8 bounded-outbox rule.
+PARK_QUEUE_MAX = 2048
+
 
 class _DedupWindow:
     """LRU dedup set with a hard size cap (least-recently-seen evicted).
@@ -226,6 +260,7 @@ class Broker:
         overload_enabled: bool = True,
         shed_watermarks: Optional[ShedWatermarks] = None,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        region: Optional[str] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -329,6 +364,42 @@ class Broker:
         self._summary_collapsed = False
         self._active_gateway: Optional[str] = None
 
+        # Geo federation (opt-in, PR 10).  ``region is None`` is the
+        # pre-geo fabric: every branch below is skipped, LSAs carry no
+        # costs, Dijkstra weights stay uniform, and no park queue ever
+        # holds an event — the determinism suite pins bit-identity.
+        # With a region set: link-state adverts carry per-adjacency
+        # cost classes (quantized from configured latency), ordered
+        # topics pin their sequencer near the publisher majority, a
+        # minority-side partition parks ordered topics instead of
+        # forking sequence numbers, and reliable cross-region traffic
+        # queues until the partition heals.
+        self.region = region
+        self._geo = region is not None
+        self._lsdb_costs: Dict[str, Dict[str, int]] = {}
+        self._gw_lsdb_costs: Dict[str, Dict[str, int]] = {}
+        self._advertised_costs: Dict[str, int] = {}
+        #: High-watermark of every broker ever seen reachable — the
+        #: "stable set" a partition minority measures itself against.
+        self._stable_brokers: Set[str] = set()
+        self._stable_sequencers: Dict[str, str] = {}
+        self._stable_seq_gen = -1  # validated against len(_stable_brokers)
+        #: topic -> (pin epoch, pinned broker)
+        self._sequencer_pins: Dict[str, Tuple[int, str]] = {}
+        #: topic -> origin broker -> sequenced count (current window)
+        self._pin_counts: Dict[str, Dict[str, int]] = {}
+        self._parked_ordered: Deque[Tuple[NBEvent, Optional[str]]] = deque()
+        self._wan_parked: Deque[Tuple[NBEvent, FrozenSet[str]]] = deque()
+        #: Reliable events recently *sent* toward remote targets, kept
+        #: for one peer-eviction window: a regional cut blackholes the
+        #: wire silently, so anything forwarded between the physical cut
+        #: and the heartbeat eviction would otherwise be lost.  When a
+        #: route disappears, the overlapping tail of this buffer is
+        #: re-parked (receiver-side event-id dedup absorbs the replays
+        #: for events that did arrive).
+        self._wan_recent: Deque[Tuple[NBEvent, FrozenSet[str], float]] = deque()
+        self._park_drain_pending = False
+
         # Overload protection (opt-out).  The controller is a pure
         # observer below its watermarks: pressure is read inline at the
         # dissemination/admission decision points through side-effect-
@@ -380,6 +451,15 @@ class Broker:
         self.cluster_lsas_scoped = 0
         self.intercluster_hops = 0
         self.gateway_takeovers = 0
+        self.sequencer_pins_set = 0
+        self.ordered_parked = 0
+        self.ordered_park_drained = 0
+        self.ordered_park_drops = 0
+        self.wan_parked = 0
+        self.wan_park_drained = 0
+        self.wan_park_drops = 0
+        self.wan_replays = 0
+        self.cost_reoriginations = 0
         self.last_route_change_at = -1.0
         self._last_sequencers: Dict[str, str] = {}
 
@@ -410,6 +490,15 @@ class Broker:
             "cluster_lsas_scoped",
             "intercluster_hops",
             "gateway_takeovers",
+            "sequencer_pins_set",
+            "ordered_parked",
+            "ordered_park_drained",
+            "ordered_park_drops",
+            "wan_parked",
+            "wan_park_drained",
+            "wan_park_drops",
+            "wan_replays",
+            "cost_reoriginations",
         ):
             self.metrics.expose(
                 counter_name, lambda name=counter_name: getattr(self, name)
@@ -649,6 +738,16 @@ class Broker:
         )
         reachable = set(self._routes)
         reachable.add(self.broker_id)
+        if self._geo:
+            # Geo mode retains interest advertised by currently-
+            # unreachable brokers: a cut-off region is expected back, and
+            # the WAN park queue needs to know exactly which interested
+            # brokers are owed a reliable event when the partition heals.
+            self._stable_brokers |= reachable
+            self._replay_wan_recent(reachable)
+            if self._parked_ordered or self._wan_parked:
+                self._schedule_park_drain()
+            return
         for origin in [
             o for o in set(self._remote_interest.values()) if o not in reachable
         ]:
@@ -1002,7 +1101,25 @@ class Broker:
         hop: Optional[HopRecord] = None,
     ) -> None:
         sequencer = self.sequencer_for(event.topic)
+        if self._geo:
+            if sequencer != self.broker_id and sequencer not in self._routes:
+                # A pinned sequencer we cannot currently reach: never
+                # fall back to a local election while the pin holds —
+                # that is exactly the sequence-number fork to avoid.
+                self._park_ordered(event, exclude)
+                return
+            if (
+                self._in_minority()
+                and self._stable_sequencer_for(event.topic) != sequencer
+            ):
+                # Minority side of a partition: the stable set elects a
+                # broker beyond the cut, who is still sequencing for the
+                # majority.  Park instead of forking.
+                self._park_ordered(event, exclude)
+                return
         if sequencer == self.broker_id:
+            if self._geo:
+                self._note_sequenced(event.topic, self.broker_id)
             event.sequence = self._sequences.get(event.topic, 0)
             event.sequenced_by = self.broker_id
             self._sequences[event.topic] = event.sequence + 1
@@ -1036,34 +1153,28 @@ class Broker:
     def sequencer_for(self, topic: str) -> str:
         """Deterministic sequencer election for an ordered topic.
 
-        The election only depends on the topic and the known-broker set,
-        so it is cached per (topic, broker-set epoch) — the epoch bumps
-        whenever :meth:`set_routes` changes the reachable broker set,
-        which empties the cache lazily.
+        The election only depends on the topic and the known-broker set
+        (plus any locality pin in geo mode), so it is cached per
+        (topic, routing generation).  Validating against ``_routes_gen``
+        rather than the coarser broker-set epoch closes the heal window:
+        the generation bumps the instant a peer link comes back
+        (``add_peer`` → ``_peers_changed``), before the debounced route
+        recompute runs, so a cached pre-partition election can never be
+        served after the topology visibly changed.
         """
-        if self._sequencer_epoch != self._broker_set_epoch:
+        if self._sequencer_epoch != self._routes_gen:
             self._sequencers.clear()
-            self._sequencer_epoch = self._broker_set_epoch
+            self._sequencer_epoch = self._routes_gen
         sequencer = self._sequencers.get(topic)
         if sequencer is None:
-            candidates = self.known_brokers()
-            if self._clustered and self.is_gateway:
-                # Gateways also know foreign gateways; elections must
-                # stay cluster-local so every member of the cluster
-                # (gateway or not) derives the same sequencer.  Ordering
-                # domains are per cluster — see DESIGN.md.
-                foreign = {
-                    origin
-                    for origin, entry in self._gw_lsdb.items()
-                    if entry[2] != self.cluster_id
-                }
-                candidates = [b for b in candidates if b not in foreign]
-            sequencer = min(
-                candidates,
-                key=lambda broker: hashlib.sha256(
-                    f"{topic}|{broker}".encode()
-                ).hexdigest(),
-            )
+            if self._geo:
+                pin = self._sequencer_pins.get(topic)
+                if pin is not None and (
+                    pin[1] == self.broker_id or pin[1] in self._routes
+                ):
+                    sequencer = pin[1]
+            if sequencer is None:
+                sequencer = self._hash_elect(topic, self.known_brokers())
             self._sequencers[topic] = sequencer
             if len(self._sequencers) > SEQUENCER_CACHE_MAX:
                 del self._sequencers[next(iter(self._sequencers))]
@@ -1076,6 +1187,211 @@ class Broker:
             if len(self._last_sequencers) > SEQUENCER_CACHE_MAX:
                 del self._last_sequencers[next(iter(self._last_sequencers))]
         return sequencer
+
+    def _hash_elect(self, topic: str, candidates: List[str]) -> str:
+        if self._clustered and self.is_gateway:
+            # Gateways also know foreign gateways; elections must stay
+            # cluster-local so every member of the cluster (gateway or
+            # not) derives the same sequencer.  Ordering domains are per
+            # cluster — see DESIGN.md.
+            foreign = {
+                origin
+                for origin, entry in self._gw_lsdb.items()
+                if entry[2] != self.cluster_id
+            }
+            candidates = [b for b in candidates if b not in foreign]
+        return min(
+            candidates,
+            key=lambda broker: hashlib.sha256(
+                f"{topic}|{broker}".encode()
+            ).hexdigest(),
+        )
+
+    # ------------------------------------- geo partition survival (PR 10)
+
+    def _in_minority(self) -> bool:
+        """True when we can reach at most half of the stable broker set:
+        the conservative side of a partition, which must park ordered
+        topics rather than fork their sequence numbers."""
+        return (len(self._routes) + 1) * 2 <= len(self._stable_brokers)
+
+    def _stable_sequencer_for(self, topic: str) -> str:
+        """The sequencer the *full* (high-watermark) broker set elects —
+        what the unreachable majority is presumed to still be using."""
+        pin = self._sequencer_pins.get(topic)
+        if pin is not None:
+            return pin[1]
+        if self._stable_seq_gen != len(self._stable_brokers):
+            self._stable_sequencers.clear()
+            self._stable_seq_gen = len(self._stable_brokers)
+        sequencer = self._stable_sequencers.get(topic)
+        if sequencer is None:
+            candidates = sorted(self._stable_brokers | {self.broker_id})
+            sequencer = self._hash_elect(topic, candidates)
+            self._stable_sequencers[topic] = sequencer
+            if len(self._stable_sequencers) > SEQUENCER_CACHE_MAX:
+                del self._stable_sequencers[
+                    next(iter(self._stable_sequencers))
+                ]
+        return sequencer
+
+    def _park_ordered(self, event: NBEvent, exclude: Optional[str]) -> None:
+        self.ordered_parked += 1
+        self._parked_ordered.append((event, exclude))
+        if len(self._parked_ordered) > PARK_QUEUE_MAX:
+            self._parked_ordered.popleft()
+            self.ordered_park_drops += 1
+
+    def _park_wan(self, event: NBEvent, missing: FrozenSet[str]) -> None:
+        self.wan_parked += 1
+        self._wan_parked.append((event, missing))
+        if len(self._wan_parked) > PARK_QUEUE_MAX:
+            self._wan_parked.popleft()
+            self.wan_park_drops += 1
+
+    def _wan_recent_window(self) -> float:
+        """How long a sent event stays replayable: the worst-case lag
+        between a physical cut and heartbeat eviction of the dead peer,
+        plus slack for the route recompute that follows."""
+        if self.peer_heartbeat_interval_s is not None:
+            return (self.peer_miss_limit + 2) * self.peer_heartbeat_interval_s
+        return 2.0
+
+    def _note_wan_sent(self, event: NBEvent, targets: FrozenSet[str]) -> None:
+        horizon = self.sim.now - self._wan_recent_window()
+        while self._wan_recent and self._wan_recent[0][2] < horizon:
+            self._wan_recent.popleft()
+        self._wan_recent.append((event, targets, self.sim.now))
+        if len(self._wan_recent) > PARK_QUEUE_MAX:
+            self._wan_recent.popleft()
+
+    def _replay_wan_recent(self, reachable: Set[str]) -> None:
+        """Re-park recently forwarded reliable events whose targets just
+        fell out of the route table — they were sent into the window
+        between the physical cut and heartbeat eviction, so the wire
+        silently ate them.  Receiver-side event-id dedup absorbs the
+        replays for copies that did arrive before the cut."""
+        if not self._wan_recent:
+            return
+        horizon = self.sim.now - self._wan_recent_window()
+        kept: Deque[Tuple[NBEvent, FrozenSet[str], float]] = deque()
+        for event, targets, at in self._wan_recent:
+            if at < horizon:
+                continue
+            lost = targets - reachable
+            if lost:
+                self.wan_replays += 1
+                self._park_wan(event, frozenset(lost))
+            remaining = targets & reachable
+            if remaining:
+                kept.append((event, remaining, at))
+        self._wan_recent = kept
+
+    def _schedule_park_drain(self) -> None:
+        if self._park_drain_pending:
+            return
+        self._park_drain_pending = True
+        self.sim.schedule(0.0, self._run_park_drain)
+
+    def _run_park_drain(self) -> None:
+        self._park_drain_pending = False
+        if self._closed:
+            return
+        self._drain_parked_ordered()
+        self._drain_wan_parked()
+
+    def _drain_parked_ordered(self) -> None:
+        """Re-run parked ordered publishes through sequencing.  Events
+        whose sequencer is still beyond the cut simply re-park — the
+        drain is only triggered by topology changes, so this cannot
+        spin."""
+        if not self._parked_ordered:
+            return
+        pending = list(self._parked_ordered)
+        self._parked_ordered.clear()
+        for event, exclude in pending:
+            self.ordered_park_drained += 1
+            self._sequence_then_disseminate(event, exclude)
+
+    def _drain_wan_parked(self) -> None:
+        """Forward parked reliable events to interested brokers that
+        became reachable again; remainders re-park for a later heal."""
+        if not self._wan_parked:
+            return
+        reachable = set(self._routes)
+        pending = list(self._wan_parked)
+        self._wan_parked.clear()
+        for event, missing in pending:
+            targets = missing & reachable
+            if targets:
+                self.wan_park_drained += 1
+                self._forward_to_targets(event, set(targets))
+                missing = missing - targets
+            if missing:
+                self._wan_parked.append((event, frozenset(missing)))
+
+    def _note_sequenced(self, topic: str, origin: str) -> None:
+        """Count where sequenced publishes originate (we are the topic's
+        sequencer); after a full window, re-pin the topic to a broker
+        contributing a sustained majority of them."""
+        counts = self._pin_counts.setdefault(topic, {})
+        counts[origin] = counts.get(origin, 0) + 1
+        total = sum(counts.values())
+        if total < SEQUENCER_PIN_WINDOW:
+            return
+        self._pin_counts[topic] = {}
+        leader = next(
+            (
+                broker
+                for broker, count in sorted(counts.items())
+                if count > total * SEQUENCER_PIN_MAJORITY
+            ),
+            None,
+        )
+        if (
+            leader is None
+            or leader == self.broker_id
+            or leader not in self._routes
+        ):
+            return
+        current = self._sequencer_pins.get(topic)
+        pin = SequencerPin(
+            topic=topic,
+            broker=leader,
+            epoch=(current[0] if current is not None else 0) + 1,
+            next_sequence=self._sequences.get(topic, 0),
+            origin_broker=self.broker_id,
+        )
+        self._apply_pin(pin)
+        self._flood_advert(pin, skip_peer=None)
+
+    def _apply_pin(self, pin: SequencerPin) -> None:
+        self._sequencer_pins[pin.topic] = (pin.epoch, pin.broker)
+        self.sequencer_pins_set += 1
+        self._sequencers.pop(pin.topic, None)
+        self._stable_sequencers.pop(pin.topic, None)
+        if pin.broker == self.broker_id:
+            # Sequence-counter handoff: numbering continues where the
+            # previous sequencer left off instead of restarting at 0.
+            if pin.next_sequence > self._sequences.get(pin.topic, 0):
+                self._sequences[pin.topic] = pin.next_sequence
+
+    def _on_sequencer_pin(
+        self, pin: SequencerPin, from_peer: Optional[str]
+    ) -> None:
+        if not self._seen_adverts.add(pin.advert_id):
+            return
+        self.control_messages += 1
+        if not self._geo:
+            return  # geo-unaware brokers never honor pins
+        current = self._sequencer_pins.get(pin.topic)
+        if current is not None:
+            if pin.epoch < current[0]:
+                return
+            if pin.epoch == current[0] and pin.broker >= current[1]:
+                return  # tie: lexicographically smaller broker wins
+        self._apply_pin(pin)
+        self._flood_advert(pin, skip_peer=from_peer)
 
     # ------------------------------------------------- routing fast path
 
@@ -1154,6 +1470,18 @@ class Broker:
             * len(entry.local_targets)
             + self.profile.forward_cost_s * len(entry.next_hop_groups)
         )
+        if self._geo and event.reliable and entry.remote_targets:
+            routed: Set[str] = set()
+            for _hop, group in entry.next_hop_groups:
+                routed |= group
+            missing = entry.remote_targets - routed
+            if not internal_topic(event.topic):
+                if missing:
+                    # Interested brokers beyond a partition cut: queue
+                    # the reliable event until the route comes back.
+                    self._park_wan(event, frozenset(missing))
+                if routed:
+                    self._note_wan_sent(event, frozenset(routed))
         self._deliver_local(event, exclude, entry)
         if entry.next_hop_groups:
             self._forward_groups(event, entry.next_hop_groups)
@@ -1265,6 +1593,16 @@ class Broker:
                 )
         else:
             groups = self._compute_groups(key)
+        if self._geo and event.reliable:
+            routed: Set[str] = set()
+            for _hop, group in groups:
+                routed |= group
+            missing = key - routed
+            if not internal_topic(event.topic):
+                if missing:
+                    self._park_wan(event, missing)
+                if routed:
+                    self._note_wan_sent(event, frozenset(routed))
         self._forward_groups(event, groups)
 
     def _forward_groups(self, event: NBEvent, groups: NextHopGroups) -> None:
@@ -1344,6 +1682,8 @@ class Broker:
             self._on_sequence_request(payload)
         elif isinstance(payload, SubAdvert):
             self._on_sub_advert(payload, from_peer=from_peer)
+        elif isinstance(payload, SequencerPin):
+            self._on_sequencer_pin(payload, from_peer=from_peer)
         elif isinstance(payload, PeerHeartbeat):
             self.peer_heartbeats_received += 1
         elif isinstance(payload, LinkStateAdvert):
@@ -1413,6 +1753,11 @@ class Broker:
         hop = self._begin_hop(event)
         sequencer = self.sequencer_for(event.topic)
         if sequencer != self.broker_id:
+            if self._geo and sequencer not in self._routes:
+                # Mid-flight topology change cut the sequencer off:
+                # park here rather than silently dropping the forward.
+                self._park_ordered(event, None)
+                return
             # Not ours (topology may have changed); forward along.
             if hop is not None:
                 hop.link = f"seq:{sequencer}"
@@ -1429,6 +1774,8 @@ class Broker:
                     request,
                 )
             return
+        if self._geo:
+            self._note_sequenced(event.topic, request.origin_broker)
         event.sequence = self._sequences.get(event.topic, 0)
         event.sequenced_by = self.broker_id
         self._sequences[event.topic] = event.sequence + 1
@@ -1471,6 +1818,9 @@ class Broker:
         # it back is pure waste (the sender already deduplicates it).
         self._flood_advert(advert, skip_peer=from_peer)
         self._schedule_summary_refresh()
+        if self._geo and advert.add and self._wan_parked:
+            # Fresh interest after a heal may unlock parked deliveries.
+            self._schedule_park_drain()
 
     def _flood_advert(self, advert: Any, skip_peer: Optional[str]) -> None:
         """Flood a dedup-windowed advert (SubAdvert or LinkStateAdvert) to
@@ -1540,6 +1890,15 @@ class Broker:
         send_digest = (
             self.link_state_enabled and self._hb_tick % ANTI_ENTROPY_TICKS == 0
         )
+        if self._geo and send_digest:
+            # Re-originate only when an adjacency's *cost class* moved —
+            # classes derive from configured latencies, not samples, so
+            # this fires on real reconfiguration (a path override, a
+            # region change), never on jitter.  No flap storms.
+            current = self._link_cost_classes(self._intra_neighbors())
+            if current != self._advertised_costs:
+                self.cost_reoriginations += 1
+                self._originate_lsa()
         cpu, cost = self.host.cpu, self.profile.control_cost_s
         for peer_id in self._sorted_peers:
             cpu.execute(cost, self._send_peer, peer_id, beat)
@@ -1588,17 +1947,52 @@ class Broker:
             )
         return frozenset(self._peers)
 
+    @staticmethod
+    def _cost_class(latency_s: float) -> int:
+        """Quantize a configured one-way latency into a routing cost class.
+
+        Classes come from *configured* link/fabric latencies only — never
+        from per-packet samples — so jitter cannot move an adjacency
+        between classes and cost changes are as rare as topology changes.
+        """
+        for ceiling, cls in COST_CLASSES:
+            if latency_s < ceiling:
+                return cls
+        return COST_CLASS_MAX
+
+    def _link_cost_classes(self, peers: Iterable[str]) -> Dict[str, int]:
+        """Cost class per adjacency, from the simnet's configured path
+        latency plus our own access-link latency."""
+        network = self.host.network
+        own = self.host.link.latency_s
+        costs: Dict[str, int] = {}
+        for peer_id in peers:
+            address = self._peers.get(peer_id)
+            if address is None:
+                continue
+            latency = network.fabric_latency(self.host.name, address.host)
+            costs[peer_id] = self._cost_class(latency + own)
+        return costs
+
     def _originate_lsa(self) -> None:
         """Flood a fresh advert for our current adjacency."""
         self._lsa_epoch += 1
         self.lsas_originated += 1
         neighbors = self._intra_neighbors()
+        costs = self._link_cost_classes(neighbors) if self._geo else None
         self._lsdb[self.broker_id] = (self._lsa_epoch, neighbors)
+        if costs:
+            self._advertised_costs = dict(costs)
+            self._lsdb_costs[self.broker_id] = dict(costs)
+        else:
+            self._advertised_costs = {}
+            self._lsdb_costs.pop(self.broker_id, None)
         self._flood_advert(
             LinkStateAdvert(
                 origin_broker=self.broker_id,
                 epoch=self._lsa_epoch,
                 neighbors=neighbors,
+                costs=costs or None,
             ),
             skip_peer=None,
         )
@@ -1634,6 +2028,10 @@ class Broker:
             self.lsas_stale += 1
             return  # stale or already known
         self._lsdb[origin] = (lsa.epoch, lsa.neighbors)
+        if lsa.costs:
+            self._lsdb_costs[origin] = dict(lsa.costs)
+        else:
+            self._lsdb_costs.pop(origin, None)
         self._flood_advert(lsa, skip_peer=from_peer)
         self._schedule_recompute()
 
@@ -1650,7 +2048,10 @@ class Broker:
             epoch, neighbors = self._lsdb[origin]
             if theirs.get(origin, -1) < epoch:
                 lsa = LinkStateAdvert(
-                    origin_broker=origin, epoch=epoch, neighbors=neighbors
+                    origin_broker=origin,
+                    epoch=epoch,
+                    neighbors=neighbors,
+                    costs=self._lsdb_costs.get(origin),
                 )
                 self._seen_adverts.add(lsa.advert_id)
                 cpu.execute(cost, self._send_peer, from_peer, lsa)
@@ -1682,14 +2083,15 @@ class Broker:
 
         An edge counts only when *both* endpoints advertise it (a broker
         that evicted us no longer routes through us, so we must not route
-        through it either).  Unit weights; ties break lexicographically
-        so every broker derives consistent paths.
+        through it either).  Cost-weighted when any origin advertises
+        cost classes (geo mode), unit-weight otherwise; ties break
+        lexicographically so every broker derives consistent paths.
         """
         claimed: Dict[str, FrozenSet[str]] = {
             origin: entry[1] for origin, entry in self._lsdb.items()
         }
         claimed[self.broker_id] = self._intra_neighbors()
-        routes, dist = self._dijkstra(claimed)
+        routes, dist = self._dijkstra(claimed, self._lsdb_costs)
         gw_dist: Dict[str, int] = {}
         if self._clustered and self.is_gateway:
             routes, gw_dist = self._merge_gateway_routes(routes)
@@ -1697,18 +2099,25 @@ class Broker:
         # Forget unreachable origins: their interest was just purged by
         # set_routes, and dropping the stale LSDB entry means a restarted
         # broker re-enters at epoch 1 without fighting its past life.
-        for origin in [
-            o for o in self._lsdb if o != self.broker_id and o not in dist
-        ]:
-            del self._lsdb[origin]
-        if self._clustered and self.is_gateway:
+        # Geo mode retains them instead — a WAN partition makes half the
+        # fabric "unreachable" for seconds, and the retained entries keep
+        # the foreign-gateway filter and stable-set election truthful
+        # while it lasts (the LSA echo rule still resolves restarts).
+        if not self._geo:
             for origin in [
-                o
-                for o in self._gw_lsdb
-                if o != self.broker_id and o not in gw_dist
+                o for o in self._lsdb if o != self.broker_id and o not in dist
             ]:
-                del self._gw_lsdb[origin]
-                self._cluster_interest.pop(origin, None)
+                del self._lsdb[origin]
+                self._lsdb_costs.pop(origin, None)
+            if self._clustered and self.is_gateway:
+                for origin in [
+                    o
+                    for o in self._gw_lsdb
+                    if o != self.broker_id and o not in gw_dist
+                ]:
+                    del self._gw_lsdb[origin]
+                    self._gw_lsdb_costs.pop(origin, None)
+                    self._cluster_interest.pop(origin, None)
         self._check_active_gateway()
         if self._clustered and self.is_gateway:
             # A foreign gateway may have vanished (its entries were just
@@ -1718,10 +2127,20 @@ class Broker:
         self._schedule_summary_refresh()
 
     def _dijkstra(
-        self, claimed: Dict[str, FrozenSet[str]]
+        self,
+        claimed: Dict[str, FrozenSet[str]],
+        costs: Optional[Dict[str, Dict[str, int]]] = None,
     ) -> Tuple[Dict[str, str], Dict[str, int]]:
-        """Unit-weight shortest paths over a two-sided-claim adjacency;
-        returns (destination → first hop, destination → distance)."""
+        """Cost-weighted shortest paths over a two-sided-claim adjacency;
+        returns (destination → first hop, destination → distance).
+
+        An edge's weight is the larger of the two endpoints' advertised
+        cost classes, defaulting to 1 when neither side advertises any —
+        so a costless database degenerates to exactly the pre-geo
+        unit-weight hop count, heap order included.  Ties break on
+        (distance, node) lexicographically so every broker derives
+        consistent paths regardless of cost spread.
+        """
         adjacency: Dict[str, Set[str]] = {
             origin: {
                 neighbor
@@ -1730,11 +2149,22 @@ class Broker:
             }
             for origin, neighbors in claimed.items()
         }
+        if costs:
+            def weight(a: str, b: str) -> int:
+                side_a = costs.get(a)
+                side_b = costs.get(b)
+                cost_a = side_a.get(b, 1) if side_a else 1
+                cost_b = side_b.get(a, 1) if side_b else 1
+                return cost_a if cost_a >= cost_b else cost_b
+        else:
+            def weight(a: str, b: str) -> int:
+                return 1
+        me = self.broker_id
         routes: Dict[str, str] = {}
-        dist: Dict[str, int] = {self.broker_id: 0}
+        dist: Dict[str, int] = {me: 0}
         heap: List[Tuple[int, str, str]] = []
-        for neighbor in sorted(adjacency.get(self.broker_id, ())):
-            heapq.heappush(heap, (1, neighbor, neighbor))
+        for neighbor in sorted(adjacency.get(me, ())):
+            heapq.heappush(heap, (weight(me, neighbor), neighbor, neighbor))
         while heap:
             d, node, first_hop = heapq.heappop(heap)
             if node in dist:
@@ -1743,7 +2173,9 @@ class Broker:
             routes[node] = first_hop
             for neighbor in sorted(adjacency.get(node, ())):
                 if neighbor not in dist:
-                    heapq.heappush(heap, (d + 1, neighbor, first_hop))
+                    heapq.heappush(
+                        heap, (d + weight(node, neighbor), neighbor, first_hop)
+                    )
         return routes, dist
 
     def _merge_gateway_routes(
@@ -1764,7 +2196,7 @@ class Broker:
         cluster_of: Dict[str, str] = {
             origin: entry[2] for origin, entry in self._gw_lsdb.items()
         }
-        gw_routes, gw_dist = self._dijkstra(claimed)
+        gw_routes, gw_dist = self._dijkstra(claimed, self._gw_lsdb_costs)
         merged = dict(routes)
         for gateway, first_hop in gw_routes.items():
             if cluster_of.get(gateway) == self.cluster_id:
@@ -1789,15 +2221,21 @@ class Broker:
         self._gw_lsa_epoch += 1
         self.lsas_originated += 1
         neighbors = frozenset(self._gateway_overlay_peers())
+        costs = self._link_cost_classes(neighbors) if self._geo else None
         self._gw_lsdb[self.broker_id] = (
             self._gw_lsa_epoch, neighbors, self.cluster_id,
         )
+        if costs:
+            self._gw_lsdb_costs[self.broker_id] = dict(costs)
+        else:
+            self._gw_lsdb_costs.pop(self.broker_id, None)
         self._flood_gateway(
             ClusterLsa(
                 origin_gateway=self.broker_id,
                 cluster_id=self.cluster_id,
                 epoch=self._gw_lsa_epoch,
                 gw_neighbors=neighbors,
+                costs=costs or None,
             ),
             skip_peer=None,
         )
@@ -1849,6 +2287,10 @@ class Broker:
         self._gw_lsdb[origin] = (
             lsa.epoch, frozenset(lsa.gw_neighbors), lsa.cluster_id,
         )
+        if lsa.costs:
+            self._gw_lsdb_costs[origin] = dict(lsa.costs)
+        else:
+            self._gw_lsdb_costs.pop(origin, None)
         self._flood_gateway(lsa, skip_peer=from_peer)
         self._schedule_recompute()
 
@@ -1905,6 +2347,7 @@ class Broker:
                     cluster_id=cluster,
                     epoch=epoch,
                     gw_neighbors=neighbors,
+                    costs=self._gw_lsdb_costs.get(origin),
                 )
                 self._seen_adverts.add(lsa.advert_id)
                 cpu.execute(cost, self._send_peer, from_peer, lsa)

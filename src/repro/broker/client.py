@@ -111,6 +111,7 @@ class BrokerClient:
         )
         self._failover_timer = None
         self._reconnecting = False
+        self._busy_hint_source: Optional[Broker] = None
         self._broker: Optional[Broker] = None
         self._link_type = LinkType.UDP
         self._proxy_address: Optional[Address] = None
@@ -233,6 +234,7 @@ class BrokerClient:
 
     def _cancel_failover(self) -> None:
         self._reconnecting = False
+        self._busy_hint_source = None
         self._failover_backoff.reset()
         if self._failover_timer is not None:
             self._failover_timer.cancel()
@@ -299,8 +301,18 @@ class BrokerClient:
             if broker is not self._broker
         ] or self._failover_brokers
         attempt = self._failover_backoff.attempts
-        delay = self._failover_backoff.next_delay()
         broker = candidates[attempt % len(candidates)]
+        if (
+            self._busy_hint_source is not None
+            and broker is not self._busy_hint_source
+        ):
+            # The retry-after hint measured one overloaded (or since-
+            # dead) broker's capacity; it must not floor the delay of
+            # an attempt toward a different candidate — possibly in a
+            # different region entirely.
+            self._failover_backoff.clear_hint()
+        self._busy_hint_source = None
+        delay = self._failover_backoff.next_delay()
         self._failover_timer = self.sim.schedule(
             delay, self._attempt_reconnect, broker
         )
@@ -488,6 +500,7 @@ class BrokerClient:
                     transport, self._transport = self._transport, None
                     transport.close()
                 self._failover_backoff.note_retry_after(message.retry_after_s)
+                self._busy_hint_source = self._broker
                 self._schedule_failover_attempt()
             else:
                 # Initial connect with nowhere else to go: re-attempt

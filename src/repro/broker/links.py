@@ -263,10 +263,14 @@ class ClusterLsa(WireMessage):
     never leave their cluster, so gateways flood *these* over the
     gateway overlay (inter-cluster links plus co-gateway links) to learn
     cluster-level reachability and compute routes to remote gateways.
+
+    Like :class:`LinkStateAdvert`, a ``costs`` mapping (gateway → cost
+    class) is optional; ``None`` keeps the pre-WAN wire size and reads
+    as uniform cost 1.
     """
 
     __slots__ = ("advert_id", "origin_gateway", "cluster_id", "epoch",
-                 "gw_neighbors")
+                 "gw_neighbors", "costs")
 
     def __init__(
         self,
@@ -275,12 +279,14 @@ class ClusterLsa(WireMessage):
         cluster_id: str = "",
         epoch: int = 0,
         gw_neighbors: FrozenSet[str] = frozenset(),
+        costs: Optional[Dict[str, int]] = None,
     ):
         self.advert_id = advert_id if advert_id is not None else next(_advert_ids)
         self.origin_gateway = origin_gateway
         self.cluster_id = cluster_id
         self.epoch = epoch
         self.gw_neighbors = gw_neighbors
+        self.costs = costs
 
 
 class ClusterDigest(WireMessage):
@@ -330,9 +336,14 @@ class LinkStateAdvert(WireMessage):
     the origin, re-flood it to all peers except the one it arrived from
     (dedup-windowed like :class:`SubAdvert`), and recompute next-hop
     tables locally from the resulting link-state database.
+
+    ``costs`` is the optional WAN extension (PR 10): a mapping of
+    neighbor → integer cost class.  ``None`` — the default, and the only
+    value a geo-unaware broker ever sends — is wire-size-identical to
+    the pre-cost advert; receivers treat a missing entry as cost 1.
     """
 
-    __slots__ = ("advert_id", "origin_broker", "epoch", "neighbors")
+    __slots__ = ("advert_id", "origin_broker", "epoch", "neighbors", "costs")
 
     def __init__(
         self,
@@ -340,11 +351,46 @@ class LinkStateAdvert(WireMessage):
         origin_broker: str = "",
         epoch: int = 0,
         neighbors: FrozenSet[str] = frozenset(),
+        costs: Optional[Dict[str, int]] = None,
     ):
         self.advert_id = advert_id if advert_id is not None else next(_advert_ids)
         self.origin_broker = origin_broker
         self.epoch = epoch
         self.neighbors = neighbors
+        self.costs = costs
+
+
+class SequencerPin(WireMessage):
+    """Flooded locality pin: ``topic``'s ordered stream now sequences at
+    ``broker``.
+
+    Emitted by the *current* sequencer when it observes a sustained
+    publisher majority nearer another broker (PR 10 locality election).
+    Epoch-versioned per topic — a higher epoch fully replaces a lower
+    one, ties break toward the lexicographically smaller broker so every
+    replica converges on the same pin.  ``next_sequence`` hands the
+    stream's sequence counter to the new sequencer, keeping numbering
+    continuous across the handoff.
+    """
+
+    __slots__ = ("advert_id", "topic", "broker", "epoch", "next_sequence",
+                 "origin_broker")
+
+    def __init__(
+        self,
+        advert_id: Optional[int] = None,
+        topic: str = "",
+        broker: str = "",
+        epoch: int = 0,
+        next_sequence: int = 0,
+        origin_broker: str = "",
+    ):
+        self.advert_id = advert_id if advert_id is not None else next(_advert_ids)
+        self.topic = topic
+        self.broker = broker
+        self.epoch = epoch
+        self.next_sequence = next_sequence
+        self.origin_broker = origin_broker
 
 
 class LinkStateDigest(WireMessage):
@@ -381,15 +427,23 @@ def message_size(message: Any, envelope_bytes: int) -> int:
     if isinstance(message, SequenceRequest):
         return envelope_bytes + len(message.event.topic) + message.event.size + 16
     if isinstance(message, LinkStateAdvert):
-        return CONTROL_BYTES + 8 * len(message.neighbors)
+        size = CONTROL_BYTES + 8 * len(message.neighbors)
+        if message.costs:
+            size += 2 * len(message.costs)
+        return size
     if isinstance(message, LinkStateDigest):
         return CONTROL_BYTES + 12 * len(message.epochs)
+    if isinstance(message, SequencerPin):
+        return CONTROL_BYTES + len(message.topic) + len(message.broker) + 16
     if isinstance(message, ClusterInterestAdvert):
         return CONTROL_BYTES + sum(
             len(pattern) for pattern in message.patterns
         )
     if isinstance(message, ClusterLsa):
-        return CONTROL_BYTES + 8 * len(message.gw_neighbors)
+        size = CONTROL_BYTES + 8 * len(message.gw_neighbors)
+        if message.costs:
+            size += 2 * len(message.costs)
+        return size
     if isinstance(message, ClusterDigest):
         return CONTROL_BYTES + 12 * (
             len(message.lsa_epochs) + len(message.interest_epochs)

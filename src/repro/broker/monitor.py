@@ -121,6 +121,16 @@ class BrokerSample:
     events_shed_video: int = 0
     events_shed_bulk: int = 0
     outbox_overflows: int = 0
+    # Geo federation (see DESIGN.md §12).
+    cost_reoriginations: int = 0
+    sequencer_pins_set: int = 0
+    ordered_parked: int = 0
+    ordered_park_drained: int = 0
+    ordered_park_drops: int = 0
+    wan_parked: int = 0
+    wan_park_drained: int = 0
+    wan_park_drops: int = 0
+    wan_replays: int = 0
 
     @staticmethod
     def capture(broker: Broker) -> "BrokerSample":

@@ -138,12 +138,34 @@ class BrokerNetwork:
         overload_enabled: bool = True,
         shed_watermarks: Optional[ShedWatermarks] = None,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        regions: Optional[Dict[str, Sequence[str]]] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.network = network
         self.profile = profile
         self.autonomous = autonomous
+        # --------------------------------------------------- geo regions
+        # ``regions`` maps region name → broker names and switches every
+        # listed broker into geo mode: cost-weighted routing, locality
+        # pinning, and minority parking (see DESIGN.md §12).  ``regions=
+        # None`` (default) leaves every broker geo-unaware — bit-identical
+        # to the pre-geo fabric.
+        self.regions = (
+            {rid: tuple(members) for rid, members in regions.items()}
+            if regions
+            else None
+        )
+        self._region_of: Dict[str, str] = {}
+        if self.regions is not None:
+            for region_id, members in self.regions.items():
+                for name in members:
+                    if name in self._region_of:
+                        raise ValueError(
+                            f"broker {name!r} assigned to two regions"
+                        )
+                    self._region_of[name] = region_id
+        self._region_cut: Set[frozenset] = set()
         # ------------------------------------------------ cluster tier
         # ``clusters`` maps cluster id → ordered member broker names and
         # switches the fabric into the hierarchical mode: SubAdvert/LSA
@@ -229,6 +251,7 @@ class BrokerNetwork:
                     overload_enabled=overload_enabled,
                     shed_watermarks=shed_watermarks,
                     retry_after_s=retry_after_s,
+                    regions=regions,
                 )
                 self._shard_worlds.append(_BrokerShard(index, net, sibling))
             self._coordinator = EpochCoordinator(
@@ -276,6 +299,9 @@ class BrokerNetwork:
             )
         if host is None:
             host = self.network.create_host(name, link=link)
+        region = self._region_of.get(name)
+        if region is not None:
+            self.network.set_region(host.name, region)
         broker = self._make_broker(name, host, profile=profile)
         self._brokers[name] = broker
         self.graph.add_node(name)
@@ -302,6 +328,7 @@ class BrokerNetwork:
             overload_enabled=self.overload_enabled,
             shed_watermarks=self.shed_watermarks,
             retry_after_s=self.retry_after_s,
+            region=self._region_of.get(name),
         )
 
     def _is_intercluster(self, a: str, b: str) -> bool:
@@ -317,6 +344,10 @@ class BrokerNetwork:
     def cluster_of(self, name: str) -> Optional[str]:
         """The cluster a broker belongs to (None in flat mode)."""
         return self._cluster_of.get(name)
+
+    def region_of(self, name: str) -> Optional[str]:
+        """The region a broker belongs to (None in regionless mode)."""
+        return self._region_of.get(name)
 
     def connect(self, a: str, b: str) -> None:
         """Create a peer link between brokers ``a`` and ``b``."""
@@ -464,10 +495,66 @@ class BrokerNetwork:
             if side_of.get(a) != side_of.get(b):
                 self.cut_link(a, b)
 
+    def partition_regions(self, *regions: str) -> None:
+        """Blackhole every inter-region path, silently (a cable cut).
+
+        With one region named, it is cut off from every *other* region in
+        the fabric (the transoceanic-isolation scenario); with several,
+        every pair among the named regions is cut.  Intra-region paths
+        are untouched — regional service keeps running.  Restored by
+        :meth:`heal` as one fault.
+        """
+        if self.regions is None:
+            raise RuntimeError("partition_regions requires regions=")
+        named = list(dict.fromkeys(regions))
+        for region in named:
+            if region not in self.regions:
+                raise KeyError(f"unknown region {region!r}")
+        if len(named) == 1:
+            pairs = [
+                (named[0], other)
+                for other in sorted(self.regions)
+                if other != named[0]
+            ]
+        else:
+            pairs = [
+                (a, b)
+                for i, a in enumerate(named)
+                for b in named[i + 1:]
+            ]
+        for a, b in pairs:
+            self._region_cut.add(frozenset((a, b)))
+            self.network.set_region_blocked(a, b, True)
+
     def heal(self) -> None:
-        """Restore every link this network currently has cut."""
+        """Restore every link and region cut this network currently has."""
         for a, b in sorted(self._cut):
             self.restore_link(a, b)
+        if not self._region_cut:
+            return
+        healed = sorted(tuple(sorted(pair)) for pair in self._region_cut)
+        self._region_cut.clear()
+        for a, b in healed:
+            self.network.set_region_blocked(a, b, False)
+        # Re-peer straddling broker links whose endpoints evicted each
+        # other during the outage — the administrative act of plugging
+        # the cable back in; LSAs and digests reconverge from there.
+        healed_pairs = {frozenset(pair) for pair in healed}
+        for a, b in sorted(self.graph.edges):
+            region_a = self._region_of.get(a)
+            region_b = self._region_of.get(b)
+            if (
+                region_a is None
+                or region_b is None
+                or frozenset((region_a, region_b)) not in healed_pairs
+            ):
+                continue
+            broker_a = self._brokers.get(a)
+            broker_b = self._brokers.get(b)
+            if broker_a is None or broker_b is None:
+                continue
+            if not (broker_a.has_peer(b) and broker_b.has_peer(a)):
+                self._repeer(a, b)
 
     # --------------------------------------------------- sharded stepping
 
@@ -572,6 +659,20 @@ class BrokerNetwork:
 
     # -------------------------------------------------------- topologies
 
+    @staticmethod
+    def _regions_for_clusters(
+        sizes: Sequence[int], regions: Sequence[str], name_prefix: str
+    ) -> Dict[str, List[str]]:
+        """Region → broker names for the cluster builders: cluster *c*
+        lands in ``regions[c % len(regions)]``."""
+        mapping: Dict[str, List[str]] = {}
+        for c, size in enumerate(sizes):
+            region = regions[c % len(regions)]
+            mapping.setdefault(region, []).extend(
+                f"{name_prefix}-c{c}-{i}" for i in range(size)
+            )
+        return mapping
+
     @classmethod
     def single(
         cls, network: Network, name: str = "broker", profile: BrokerProfile = NARADA_PROFILE,
@@ -651,6 +752,7 @@ class BrokerNetwork:
         name_prefix: str = "broker",
         profile: BrokerProfile = NARADA_PROFILE,
         link: LinkProfile = LAN_1G,
+        regions: Optional[Sequence[str]] = None,
         **options,
     ) -> "BrokerNetwork":
         """Clusters of fully-meshed brokers; cluster gateways form a ring —
@@ -660,10 +762,18 @@ class BrokerNetwork:
         the primary gateway ring, and clusters with more than one member
         also get a *redundant* second uplink from their second member, so
         crashing the primary gateway no longer isolates the cluster.
+
+        ``regions`` assigns cluster *c* to ``regions[c % len(regions)]``
+        (one region per cluster, cycled) — see :meth:`clustered`.
         """
+        sizes = list(cluster_sizes)
+        if regions:
+            options["regions"] = cls._regions_for_clusters(
+                sizes, list(regions), name_prefix
+            )
         broker_network = cls(network, profile, **options)
         cluster_members: List[List[str]] = []
-        for c, size in enumerate(cluster_sizes):
+        for c, size in enumerate(sizes):
             members = [f"{name_prefix}-c{c}-{i}" for i in range(size)]
             for name in members:
                 broker_network.add_broker(name, link=link)
@@ -700,6 +810,7 @@ class BrokerNetwork:
         profile: BrokerProfile = NARADA_PROFILE,
         link: LinkProfile = LAN_1G,
         gateways_per_cluster: int = 2,
+        regions: Optional[Sequence[str]] = None,
         **options,
     ) -> "BrokerNetwork":
         """The hierarchical layout with the cluster *tier* switched on.
@@ -711,12 +822,21 @@ class BrokerNetwork:
         gateway of adjacent clusters is cross-linked, so losing any one
         gateway leaves the inter-cluster fabric connected.  Implies
         ``autonomous=True``.
+
+        ``regions`` assigns cluster *c* to ``regions[c % len(regions)]``
+        (one region per cluster, cycled) and switches those brokers into
+        geo mode; give inter-region paths WAN properties with
+        ``network.set_region_latency`` afterwards.
         """
         sizes = list(cluster_sizes)
         clusters = {
             f"c{c}": [f"{name_prefix}-c{c}-{i}" for i in range(size)]
             for c, size in enumerate(sizes)
         }
+        if regions:
+            options["regions"] = cls._regions_for_clusters(
+                sizes, list(regions), name_prefix
+            )
         options.setdefault("autonomous", True)
         broker_network = cls(
             network,

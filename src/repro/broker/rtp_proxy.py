@@ -46,9 +46,17 @@ class RtpProxy:
         tracer: Optional[Tracer] = None,
         playout_budget_s: Optional[float] = None,
         video_playout_budget_s: Optional[float] = None,
+        region: Optional[str] = None,
     ):
         self.host = host
         self.proxy_id = proxy_id
+        #: Geographic pin (PR 10): a regional deployment keeps the media
+        #: bridge next to its regional broker cluster, so intra-region
+        #: RTP keeps flowing while transoceanic links are down.  The pin
+        #: reorders failover candidates — same-region brokers first — so
+        #: broker loss during a partition fails over *inside* the region
+        #: instead of stalling on unreachable transoceanic candidates.
+        self.region = region
         #: Overload degradation at the media egress edge: an event whose
         #: end-to-end age exceeds its playout budget is useless to a
         #: real-time receiver — emitting it would only displace fresh
@@ -71,6 +79,12 @@ class RtpProxy:
             keepalive_interval_s=keepalive_interval_s,
         )
         if failover_brokers:
+            if region is not None:
+                failover_brokers = [
+                    b for b in failover_brokers if b.region == region
+                ] + [
+                    b for b in failover_brokers if b.region != region
+                ]
             self.client.set_failover_brokers(failover_brokers)
         self.client.connect(broker, link_type=link_type)
         self._inbound: Dict[int, Tuple[UdpSocket, str]] = {}

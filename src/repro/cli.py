@@ -190,7 +190,17 @@ def _cmd_fleet_health(args: argparse.Namespace) -> int:
     sim = Simulator()
     net = Network(sim, SeededStreams(args.seed))
     cluster_sizes = [args.size] * args.clusters
-    fabric = BrokerNetwork.clustered(net, cluster_sizes)
+    region_names = [r for r in (args.regions or "").split(",") if r]
+    fabric = BrokerNetwork.clustered(
+        net, cluster_sizes, regions=region_names or None
+    )
+    if region_names:
+        # Representative WAN properties between every region pair (the
+        # paper's US↔China shape): 60 ms / 0.1% loss.
+        distinct = sorted(set(region_names))
+        for i, region_a in enumerate(distinct):
+            for region_b in distinct[i + 1:]:
+                net.set_region_latency(region_a, region_b, 0.060, 0.001)
     plane = fabric.attach_telemetry(sample_interval_s=1.0)
     plane.start()
     names = sorted(b.broker_id for b in fabric.brokers())
@@ -232,7 +242,18 @@ def _cmd_fleet_health(args: argparse.Namespace) -> int:
     sim.schedule_at(20.0 + args.duration * 0.6, ramp)
     sim.run(until=20.0 + args.duration + 2.0)
 
-    report = build_report(plane.fleet, slo_p99_s=args.slo_p99_ms / 1000.0)
+    report_kwargs = {}
+    if region_names:
+        from repro.obs.report import region_link_health
+
+        report_kwargs["regions"] = {
+            f"c{c}": region_names[c % len(region_names)]
+            for c in range(args.clusters)
+        }
+        report_kwargs["region_links"] = region_link_health(net)
+    report = build_report(
+        plane.fleet, slo_p99_s=args.slo_p99_ms / 1000.0, **report_kwargs
+    )
     print()
     print(render_report(report))
     print()
@@ -339,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload seconds after convergence")
     fleet.add_argument("--slo-p99-ms", type=float, default=100.0)
     fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--regions", default="",
+                       help="comma-separated region names; clusters are "
+                            "assigned round-robin and the report groups "
+                            "by region (e.g. us,eu,ap)")
     fleet.set_defaults(handler=_cmd_fleet_health)
 
     info = sub.add_parser("info", help="inventory + calibration")

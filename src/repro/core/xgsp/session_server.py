@@ -125,6 +125,8 @@ class XgspSessionServer:
         inflight_replay_window_s: float = INFLIGHT_REPLAY_WINDOW_S,
         max_inflight_requests: Optional[int] = None,
         retry_after_s: float = 1.0,
+        quorum_size: Optional[int] = None,
+        region: Optional[str] = None,
     ):
         self.host = host
         self.sim = host.sim
@@ -147,6 +149,18 @@ class XgspSessionServer:
         self.max_inflight_requests = max_inflight_requests
         self.retry_after_s = retry_after_s
         self.joins_shed = 0
+        # --- geo placement (PR 10, inert when unset) -------------------
+        # ``region`` pins a replica to its regional broker cluster for
+        # observability; ``quorum_size`` is the split-brain guard: a
+        # standby that can see fewer than this many live replicas
+        # (itself included) refuses promotion — the minority side of a
+        # regional partition keeps following instead of forking the
+        # control plane, and the majority side's election proceeds.
+        if quorum_size is not None and quorum_size < 1:
+            raise ValueError("quorum_size must be >= 1")
+        self.quorum_size = quorum_size
+        self.region = region
+        self.promotions_refused = 0
         # --- replication state (inert when standalone) -----------------
         self.replica_heartbeat_interval_s = replica_heartbeat_interval_s
         self.replica_miss_limit = replica_miss_limit
@@ -223,6 +237,7 @@ class XgspSessionServer:
             "replica_heartbeats_received",
             "swallowed_errors",
             "joins_shed",
+            "promotions_refused",
         ):
             self.metrics.expose(
                 counter_name, lambda name=counter_name: getattr(self, name)
@@ -798,7 +813,24 @@ class XgspSessionServer:
             if self._replica_last_seen or self.sim.now - self._started_at > grace:
                 elected = self._elect()
                 if elected == self.server_id:
-                    self._promote()
+                    if (
+                        self.quorum_size is None
+                        or 1 + len(self._replica_last_seen) >= self.quorum_size
+                    ):
+                        self._promote()
+                    else:
+                        # Minority side of a partition: refuse the crown
+                        # rather than fork the control plane.  Re-checked
+                        # every tick, so promotion follows the heal (or a
+                        # quorum of replicas rejoining) automatically.
+                        self.promotions_refused += 1
+                        _log.debug(
+                            "%s refuses promotion: %d live replicas < "
+                            "quorum %d",
+                            self.server_id,
+                            1 + len(self._replica_last_seen),
+                            self.quorum_size,
+                        )
                 else:
                     self._leader_id = elected
                     self._leader_last_seen = self.sim.now

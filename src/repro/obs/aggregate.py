@@ -403,6 +403,14 @@ class FleetMonitor:
                     rows[row.broker_id] = row
         return rows
 
+    def cluster_broker_ids(self, cluster_id: str) -> List[str]:
+        """Broker ids the cluster's newest summary reports (geo reports
+        group these by region via the cluster → region mapping)."""
+        summary = self.latest(cluster_id)
+        if summary is None:
+            return []
+        return sorted(row.broker_id for row in summary.brokers)
+
     def fleet_sketch(self) -> HistogramSketch:
         """Fleet-wide delivery-latency sketch (clusters merged again)."""
         return merge_sketches(

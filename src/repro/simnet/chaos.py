@@ -102,8 +102,31 @@ class ChaosSchedule:
         if heal_after is not None:
             self.heal(at + heal_after)
 
+    def partition_regions(
+        self,
+        at: float,
+        *regions: str,
+        heal_after: Optional[float] = None,
+    ) -> None:
+        """Blackhole every inter-region path at ``at`` as one fault.
+
+        One region named → it is cut off from every other region (the
+        transoceanic-isolation scenario); several → every pair among them
+        is cut.  Intra-region paths keep working.  Today's alternative —
+        hand-assembling one ``cut_link`` per crossing pair — scales as
+        the product of the region sizes; this is one schedulable fault,
+        restored wholesale by :meth:`heal`.
+        """
+        detail = " | ".join(regions)
+        self.sim.schedule_at(
+            at, self._fire, "partition-regions", detail,
+            self.bnet.partition_regions, *regions,
+        )
+        if heal_after is not None:
+            self.heal(at + heal_after)
+
     def heal(self, at: float) -> None:
-        """Restore every link this network currently has cut."""
+        """Restore every link and region cut the network currently has."""
         self.sim.schedule_at(at, self._fire, "heal", "all cut links",
                              self.bnet.heal)
 

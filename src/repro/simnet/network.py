@@ -39,6 +39,9 @@ class Network:
         self._hosts: Dict[str, Host] = {}
         self._path_latency: Dict[Tuple[str, str], float] = {}
         self._blocked: Set[FrozenSet[str]] = set()
+        self._region_of: Dict[str, str] = {}
+        self._region_latency: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._region_blocked: Set[FrozenSet[str]] = set()
         self._groups: Dict[str, Set[Address]] = {}
         self._taps: List[Callable[[Datagram], None]] = []
         self.delivered_packets = 0
@@ -77,7 +80,17 @@ class Network:
         self._path_latency[(b, a)] = latency_s
 
     def fabric_latency(self, src: str, dst: str) -> float:
-        return self._path_latency.get((src, dst), self.base_latency_s)
+        override = self._path_latency.get((src, dst))
+        if override is not None:
+            return override
+        if self._region_latency:
+            ra = self._region_of.get(src)
+            rb = self._region_of.get(dst)
+            if ra is not None and rb is not None and ra != rb:
+                pair = self._region_latency.get((ra, rb))
+                if pair is not None:
+                    return pair[0]
+        return self.base_latency_s
 
     def set_path_blocked(self, a: str, b: str, blocked: bool = True) -> None:
         """Blackhole (or restore) the fabric path between two hosts.
@@ -95,6 +108,69 @@ class Network:
 
     def path_blocked(self, a: str, b: str) -> bool:
         return frozenset((a, b)) in self._blocked
+
+    # ------------------------------------------------------------- regions
+
+    def set_region(self, host: str, region: str) -> None:
+        """Assign ``host`` to a named geographic region.
+
+        Region membership is inert until :meth:`set_region_latency` or
+        :meth:`set_region_blocked` gives inter-region paths distinct
+        properties — a run that only labels hosts stays bit-identical to
+        one that never mentions regions at all.
+        """
+        self._region_of[host] = region
+
+    def region_of(self, host: str) -> Optional[str]:
+        return self._region_of.get(host)
+
+    def region_hosts(self, region: str) -> List[str]:
+        return sorted(
+            name for name, r in self._region_of.items() if r == region
+        )
+
+    def regions(self) -> List[str]:
+        return sorted(set(self._region_of.values()))
+
+    def set_region_latency(
+        self, a: str, b: str, latency_s: float, loss_rate: float = 0.0
+    ) -> None:
+        """Give every path between regions ``a`` and ``b`` a WAN profile.
+
+        ``latency_s`` replaces the fabric base latency for host pairs that
+        straddle the two regions (per-pair :meth:`set_path_latency`
+        overrides still win); ``loss_rate`` is an extra fabric-level drop
+        probability modelling the transoceanic segment.  Symmetric.
+        """
+        self._region_latency[(a, b)] = (latency_s, loss_rate)
+        self._region_latency[(b, a)] = (latency_s, loss_rate)
+
+    def region_latency(self, a: str, b: str) -> Optional[Tuple[float, float]]:
+        return self._region_latency.get((a, b))
+
+    def set_region_blocked(self, a: str, b: str, blocked: bool = True) -> None:
+        """Blackhole (or restore) every path between two regions.
+
+        The regional analogue of :meth:`set_path_blocked`: one switch
+        severs all host pairs straddling the pair of regions, which is how
+        a transoceanic cable cut presents — nothing per-host to enumerate.
+        """
+        key = frozenset((a, b))
+        if blocked:
+            self._region_blocked.add(key)
+        else:
+            self._region_blocked.discard(key)
+
+    def region_blocked(self, a: str, b: str) -> bool:
+        """Whether the pair of *regions* is currently blackholed."""
+        return frozenset((a, b)) in self._region_blocked
+
+    def region_path_blocked(self, a: str, b: str) -> bool:
+        ra = self._region_of.get(a)
+        rb = self._region_of.get(b)
+        if ra is None or rb is None or ra == rb:
+            return False
+        return frozenset((ra, rb)) in self._region_blocked
 
     # ---------------------------------------------------------- multicast
 
@@ -173,7 +249,27 @@ class Network:
             self.lost_packets += 1
             self.blackholed_packets += 1
             return
+        # Region properties apply only to cross-region pairs, and only
+        # once some region has distinct latency/loss or a regional cut —
+        # a regionless (or merely labelled) run takes zero extra RNG
+        # draws here and stays bit-identical.
+        region_pair: Optional[Tuple[float, float]] = None
+        if self._region_latency or self._region_blocked:
+            region_a = self._region_of.get(src_name)
+            region_b = self._region_of.get(dst.host)
+            if region_a is not None and region_b is not None \
+                    and region_a != region_b:
+                if self._region_blocked and \
+                        frozenset((region_a, region_b)) in self._region_blocked:
+                    self.lost_packets += 1
+                    self.blackholed_packets += 1
+                    return
+                region_pair = self._region_latency.get((region_a, region_b))
         rand = self._rng.random
+        if region_pair is not None and region_pair[1] > 0.0 \
+                and rand() < region_pair[1]:
+            self.lost_packets += 1
+            return
         src_host = self._hosts.get(src_name)
         if src_host is not None:
             link = src_host.link
@@ -184,7 +280,12 @@ class Network:
         if dst_link.loss_rate > 0.0 and rand() < dst_link.loss_rate:
             self.lost_packets += 1
             return
-        latency = self._path_latency.get((src_name, dst.host), self.base_latency_s)
+        latency = self._path_latency.get((src_name, dst.host))
+        if latency is None:
+            latency = (
+                region_pair[0] if region_pair is not None
+                else self.base_latency_s
+            )
         if src_host is not None:
             link = src_host.link
             latency += link.latency_s

@@ -61,6 +61,15 @@ class ExponentialBackoff:
             raise ValueError("retry_after_s must be >= 0")
         self.retry_after_s = max(self.retry_after_s, retry_after_s)
 
+    def clear_hint(self) -> None:
+        """Discard a recorded retry-after hint without consuming a step.
+
+        A hint describes one specific server's capacity estimate; when
+        the next attempt targets a *different* server (cross-region
+        failover rotating candidates), the hint must not floor its delay.
+        """
+        self.retry_after_s = 0.0
+
     def next_delay(self) -> float:
         """The delay before the next attempt; advances the attempt count."""
         attempt = self.attempts

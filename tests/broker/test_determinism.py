@@ -168,9 +168,14 @@ def test_shards_1_is_bit_identical_to_legacy_event_loop():
     assert sharded_trace(shards=1) == normalize(legacy, id_field=0)
 
 
-def flat_mesh_trace(**network_options):
+def flat_mesh_trace(label_regions=False, **network_options):
     """A seeded multi-broker autonomous workload over lossy links; the
-    cluster tier must stay completely inert when ``clusters`` is None."""
+    cluster tier must stay completely inert when ``clusters`` is None.
+
+    ``label_regions`` assigns every broker host a simnet region *label*
+    without region latency/loss/cuts and without ``regions=`` at the
+    broker tier — labels alone must be inert.
+    """
     sim = Simulator()
     net = Network(sim, SeededStreams(SEED))
     collection = BrokerNetwork.ring(
@@ -178,6 +183,9 @@ def flat_mesh_trace(**network_options):
         peer_heartbeat_interval_s=0.25, peer_miss_limit=2,
         **network_options,
     )
+    if label_regions:
+        for index in range(4):
+            net.set_region(f"broker-{index}", "us" if index < 2 else "eu")
     trace = []
     client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
     client.connect(collection.broker("broker-0"))
@@ -208,6 +216,58 @@ def test_clusters_none_is_bit_identical_to_flat_mesh():
     """Passing ``clusters=None`` explicitly must be *exactly* the flat
     mesh — same event ids, sequence deltas, and delivery times."""
     assert flat_mesh_trace(clusters=None) == flat_mesh_trace()
+
+
+def test_regions_none_is_bit_identical_to_flat_mesh():
+    """``regions=None`` explicitly must be *exactly* the geo-unaware
+    fabric: no cost plane, no pins, no parking, same trace to the bit."""
+    assert flat_mesh_trace(regions=None) == flat_mesh_trace()
+
+
+def test_region_labels_alone_are_bit_identical():
+    """Simnet region labels without region latency/loss/cuts (and with
+    no ``regions=`` at the broker tier) take zero extra RNG draws."""
+    assert flat_mesh_trace(label_regions=True) == flat_mesh_trace()
+
+
+def geo_mesh_trace():
+    """A seeded geo run: two regions with WAN latency/loss between them,
+    cost-carrying LSAs, and an ordered topic crossing the ocean."""
+    sim = Simulator()
+    net = Network(sim, SeededStreams(SEED))
+    collection = BrokerNetwork.ring(
+        net, 4, link=FLAKY, autonomous=True,
+        peer_heartbeat_interval_s=0.25, peer_miss_limit=2,
+        regions={
+            "us": ["broker-0", "broker-1"],
+            "eu": ["broker-2", "broker-3"],
+        },
+    )
+    net.set_region_latency("us", "eu", 0.045, loss_rate=0.001)
+    trace = []
+    client = BrokerClient(net.create_host("sub", link=FLAKY), client_id="sub")
+    client.connect(collection.broker("broker-0"))
+    client.subscribe(
+        "/room/#",
+        lambda event: trace.append((event.event_id, event.topic, sim.now)),
+    )
+    publisher = BrokerClient(net.create_host("pub", link=FLAKY), client_id="pub")
+    publisher.connect(collection.broker("broker-2"))
+    sim.run(until=3.0)
+    for index in range(40):
+        sim.schedule_at(
+            3.0 + index * 0.01, publisher.publish, "/room/video", index, 300,
+            False, (index % 4 == 0),
+        )
+    sim.run(until=6.0)
+    assert trace
+    return normalize(trace, id_field=0)
+
+
+def test_geo_mode_is_deterministic():
+    """Cost-weighted routing, WAN loss draws, and sequencer pinning all
+    replay bit-identically under the same seed."""
+    assert geo_mesh_trace() == geo_mesh_trace()
 
 
 def clustered_trace():

@@ -201,9 +201,9 @@ class TestSequencerCache:
         assert b0.sequencer_for("/ordered/t") == first
         assert "/ordered/t" in b0._sequencers
         b0.set_routes(dict(b0._routes))
-        # Epoch bumped: the cache is rebuilt lazily with the same result.
+        # Generation bumped: the cache is rebuilt lazily, same result.
         assert "/ordered/t" not in b0._sequencers or (
-            b0._sequencer_epoch != b0._broker_set_epoch
+            b0._sequencer_epoch != b0._routes_gen
         )
         assert b0.sequencer_for("/ordered/t") == first
 

@@ -27,7 +27,7 @@ def build_ring(net, n=3):
     return bnet
 
 
-def make_replica(net, bnet, index, name, standby):
+def make_replica(net, bnet, index, name, standby, **kwargs):
     return XgspSessionServer(
         net.create_host(f"{name}-host"),
         bnet.broker(f"broker-{index % len(bnet)}"),
@@ -35,6 +35,7 @@ def make_replica(net, bnet, index, name, standby):
         replica_heartbeat_interval_s=HB,
         replica_miss_limit=MISS,
         standby=standby,
+        **kwargs,
     )
 
 
@@ -307,3 +308,33 @@ def test_standalone_server_is_unchanged(sim, net):
     assert server.ops_journaled > 0  # dedup table still records locally
     assert server.promotions == 0
     assert server.replica_heartbeats_received == 0
+
+
+# -------------------------------------------------- geo minority quorum
+
+
+def test_minority_standby_refuses_promotion_without_quorum(sim, net):
+    """With ``quorum_size=2`` a standby that can see no other replica
+    (the minority side of a regional partition, or the last survivor)
+    must refuse to promote itself — a cut-off region electing its own
+    XGSP leader would fork the session journal."""
+    bnet = build_ring(net)
+    leader = make_replica(net, bnet, 0, "xgsp-a", standby=False,
+                          quorum_size=2)
+    standby = make_replica(net, bnet, 1, "xgsp-b", standby=True,
+                           quorum_size=2)
+    sim.run_for(1.5)
+    assert leader.is_leader and standby.caught_up
+
+    leader.crash()
+    sim.run_for(4.0)
+    # Election picked the standby, but alone it is below quorum.
+    assert not standby.is_leader
+    assert standby.promotions_refused >= 1
+
+    # A second replica restores quorum; the refusal is re-evaluated on
+    # the next tick and the promotion goes through.
+    make_replica(net, bnet, 2, "xgsp-c", standby=True, quorum_size=2)
+    sim.run_for(4.0)
+    assert standby.is_leader
+    assert standby.promotions == 1

@@ -25,6 +25,9 @@ class StubBrokerNetwork:
     def partition(self, groups):
         self.calls.append(("partition", tuple(tuple(g) for g in groups)))
 
+    def partition_regions(self, *regions):
+        self.calls.append(("partition_regions", regions))
+
     def heal(self):
         self.calls.append(("heal",))
 
@@ -76,6 +79,17 @@ def test_partition_with_heal_after():
     sim.run_for(10.0)
     assert stub.calls == [("partition", (("a", "b"), ("c",))), ("heal",)]
     assert chaos.log[-1].at == 5.0
+
+
+def test_partition_regions_with_heal_after():
+    sim, net, stub, chaos = harness()
+    chaos.partition_regions(2.0, "us", "eu", heal_after=10.0)
+    sim.run_for(20.0)
+    assert stub.calls == [("partition_regions", ("us", "eu")), ("heal",)]
+    assert [(e.at, e.kind, e.detail) for e in chaos.log] == [
+        (2.0, "partition-regions", "us | eu"),
+        (12.0, "heal", "all cut links"),
+    ]
 
 
 def test_random_flaps_are_seed_deterministic():

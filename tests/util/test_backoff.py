@@ -119,3 +119,21 @@ def test_negative_retry_after_rejected():
 def test_invalid_parameters_rejected(kwargs):
     with pytest.raises(ValueError):
         ExponentialBackoff(**kwargs)
+
+
+def test_clear_hint_drops_pending_floor():
+    """A retry-after hint describes one server; when the next attempt
+    targets a different one the hint must be droppable without
+    consuming an exponent step."""
+    backoff = ExponentialBackoff(0.5, 8.0)
+    backoff.note_retry_after(5.0)
+    backoff.clear_hint()
+    assert backoff.next_delay() == 0.5
+    assert backoff.next_delay() == 1.0
+
+
+def test_clear_hint_with_first_immediate_restores_the_free_attempt():
+    backoff = ExponentialBackoff(0.5, 8.0, first_immediate=True)
+    backoff.note_retry_after(5.0)
+    backoff.clear_hint()
+    assert backoff.next_delay() == 0.0
